@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var outB, errB bytes.Buffer
+	code := run(args, &outB, &errB)
+	return code, outB.String(), errB.String()
+}
+
+func TestListShowsEveryExperiment(t *testing.T) {
+	code, out, _ := runCmd(t, "-list")
+	if code != 0 {
+		t.Fatalf("list: code %d", code)
+	}
+	for _, id := range []string{"t1", "t2", "t3", "f3", "f4", "f6", "f7", "f8", "f9", "f10", "f11", "x1", "x2", "x3", "x4", "x5", "a1"} {
+		if !strings.Contains(out, id+" ") && !strings.Contains(out, id+"  ") {
+			t.Fatalf("experiment %s missing from -list:\n%s", id, out)
+		}
+	}
+}
+
+func TestUnknownExperimentRejected(t *testing.T) {
+	code, _, errs := runCmd(t, "-exp", "nope")
+	if code != 2 || !strings.Contains(errs, "unknown experiment") {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := runCmd(t, "-zzz"); code != 2 {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunX2IsFastAndCorrect(t *testing.T) {
+	// x2 (the hard chain) is the cheapest experiment; run it end to end.
+	code, out, errs := runCmd(t, "-exp", "x2")
+	if code != 0 {
+		t.Fatalf("x2: code=%d errs=%q", code, errs)
+	}
+	for _, want := range []string{"n=50", "iterations=46", "done in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("x2 output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunT3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset builds are slow")
+	}
+	code, out, _ := runCmd(t, "-exp", "t3")
+	if code != 0 || !strings.Contains(out, "twitter1") {
+		t.Fatalf("t3 output:\n%s", out)
+	}
+}

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mce"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// writeTriangleTail writes the 4-node triangle+tail graph and returns its
+// path. Cliques: {0,1,2} and {2,3}.
+func writeTriangleTail(t *testing.T) string {
+	t.Helper()
+	g := mce.FromEdges(4, []mce.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}})
+	p := filepath.Join(t.TempDir(), "g.txt")
+	if err := mce.Save(p, g); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCmd(t); code != 2 {
+		t.Fatalf("no args: code %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, "-badflag", "x"); code != 2 {
+		t.Fatalf("bad flag: code %d", code)
+	}
+	p := writeTriangleTail(t)
+	if code, _, _ := runCmd(t, "-algorithm", "Tomita", p); code != 2 {
+		t.Fatalf("algorithm without structure accepted")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	code, _, errs := runCmd(t, filepath.Join(t.TempDir(), "absent.txt"))
+	if code != 1 || errs == "" {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+}
+
+func TestEnumerateOutput(t *testing.T) {
+	p := writeTriangleTail(t)
+	code, out, errs := runCmd(t, p)
+	if code != 0 {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCountAndMinSize(t *testing.T) {
+	p := writeTriangleTail(t)
+	code, out, _ := runCmd(t, "-count", p)
+	if code != 0 || strings.TrimSpace(out) != "2" {
+		t.Fatalf("count out = %q", out)
+	}
+	code, out, _ = runCmd(t, "-count", "-min", "3", p)
+	if code != 0 || strings.TrimSpace(out) != "1" {
+		t.Fatalf("min-filtered count out = %q", out)
+	}
+}
+
+func TestStatsToStderr(t *testing.T) {
+	p := writeTriangleTail(t)
+	code, _, errs := runCmd(t, "-stats", "-count", p)
+	if code != 0 || !strings.Contains(errs, "cliques=2") {
+		t.Fatalf("stats = %q", errs)
+	}
+}
+
+func TestPinnedCombo(t *testing.T) {
+	p := writeTriangleTail(t)
+	code, out, errs := runCmd(t, "-algorithm", "Eppstein", "-structure", "Lists", "-count", p)
+	if code != 0 || strings.TrimSpace(out) != "2" {
+		t.Fatalf("code=%d out=%q errs=%q", code, out, errs)
+	}
+	code, _, _ = runCmd(t, "-algorithm", "NoSuch", "-structure", "Lists", "-count", p)
+	if code == 0 {
+		t.Fatal("bad algorithm accepted")
+	}
+}
+
+func TestCommunitiesOutput(t *testing.T) {
+	// Two triangles sharing node 2.
+	g := mce.FromEdges(5, []mce.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2},
+		{U: 2, V: 3}, {U: 3, V: 4}, {U: 2, V: 4},
+	})
+	p := filepath.Join(t.TempDir(), "g.txt")
+	if err := mce.Save(p, g); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errs := runCmd(t, "-communities", "3", p)
+	if code != 0 {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+	if strings.Count(out, "community ") != 2 {
+		t.Fatalf("communities out = %q", out)
+	}
+	if code, _, _ := runCmd(t, "-communities", "1", p); code != 1 {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestLabelsFlag(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "named.txt")
+	content := "alice bob\nbob carol\nalice carol\n"
+	if err := writeFile(p, content); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCmd(t, "-labels", p)
+	if code != 0 || !strings.Contains(out, "alice") {
+		t.Fatalf("labels out = %q", out)
+	}
+}
+
+func TestPartitionDirInput(t *testing.T) {
+	g := mce.GenerateSocialNetwork(120, 4, 0.6, 3)
+	dir := filepath.Join(t.TempDir(), "parts")
+	if err := mce.SavePartitioned(dir, g, 3); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errs := runCmd(t, "-count", dir)
+	if code != 0 {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(out))
+	if err != nil || n <= 0 {
+		t.Fatalf("count out = %q", out)
+	}
+}
+
+func TestDistributedFlag(t *testing.T) {
+	addrs, stop, err := mce.StartLocalWorkers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	p := writeTriangleTail(t)
+	code, out, errs := runCmd(t, "-count", "-workers", strings.Join(addrs, ","), p)
+	if code != 0 || strings.TrimSpace(out) != "2" {
+		t.Fatalf("code=%d out=%q errs=%q", code, out, errs)
+	}
+	if code, _, _ := runCmd(t, "-count", "-workers", "127.0.0.1:1", p); code != 1 {
+		t.Fatal("unreachable worker accepted")
+	}
+}
+
+func writeFile(p, content string) error {
+	return os.WriteFile(p, []byte(content), 0o644)
+}
+
+func TestStreamAndFormats(t *testing.T) {
+	p := writeTriangleTail(t)
+	code, out, errs := runCmd(t, "-stream", "-stats", p)
+	if code != 0 {
+		t.Fatalf("stream: code=%d errs=%q", code, errs)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 2 {
+		t.Fatalf("stream out = %q", out)
+	}
+	if !strings.Contains(errs, "streamed 2 cliques") {
+		t.Fatalf("stream stats = %q", errs)
+	}
+
+	code, out, _ = runCmd(t, "-format", "jsonl", p)
+	if code != 0 || !strings.Contains(out, `["0","1","2"]`) {
+		t.Fatalf("jsonl out = %q", out)
+	}
+	code, out, _ = runCmd(t, "-stream", "-format", "jsonl", p)
+	if code != 0 || !strings.Contains(out, `["2","3"]`) {
+		t.Fatalf("stream jsonl out = %q", out)
+	}
+
+	if code, _, _ := runCmd(t, "-format", "xml", p); code != 2 {
+		t.Fatal("unknown format accepted")
+	}
+	if code, _, _ := runCmd(t, "-stream", "-count", p); code != 2 {
+		t.Fatal("stream+count accepted")
+	}
+	if code, _, _ := runCmd(t, "-stream", "-communities", "3", p); code != 2 {
+		t.Fatal("stream+communities accepted")
+	}
+}
+
+func TestDiskGraphInput(t *testing.T) {
+	g := mce.FromEdges(4, []mce.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}})
+	p := filepath.Join(t.TempDir(), "g.mceg")
+	if err := mce.SaveDiskGraph(p, g); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errs := runCmd(t, "-count", "-stats", p)
+	if code != 0 || strings.TrimSpace(out) != "2" {
+		t.Fatalf("mceg count: code=%d out=%q errs=%q", code, out, errs)
+	}
+	if !strings.Contains(errs, "out-of-core") {
+		t.Fatalf("mceg stats = %q", errs)
+	}
+	code, out, _ = runCmd(t, "-format", "jsonl", p)
+	if code != 0 || !strings.Contains(out, `["0","1","2"]`) {
+		t.Fatalf("mceg jsonl out = %q", out)
+	}
+	if code, _, _ := runCmd(t, filepath.Join(t.TempDir(), "absent.mceg")); code != 1 {
+		t.Fatal("missing disk graph accepted")
+	}
+}

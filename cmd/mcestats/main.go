@@ -1,0 +1,103 @@
+// Command mcestats prints the sparsity profile of a network: the metrics
+// the paper's machinery is driven by — degeneracy (Theorem 1's termination
+// measure), d* (the decision-tree feature of §4), the degree distribution
+// (Figure 6) and the feasible/hub split for a range of block sizes.
+//
+// Usage:
+//
+//	mcestats [-ratios 0.9,0.5,0.1] <graph-file>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mce"
+	"mce/internal/experiments"
+	"mce/internal/quality"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcestats", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	ratios := fs.String("ratios", "0.9,0.7,0.5,0.3,0.1", "m/d ratios for the feasible/hub split")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: mcestats [flags] <graph-file>")
+		fs.Usage()
+		return 2
+	}
+
+	g, _, err := mce.Load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "mcestats:", err)
+		return 1
+	}
+
+	s := mce.GraphMetrics(g)
+	fmt.Fprintf(stdout, "nodes        %d\n", s.Nodes)
+	fmt.Fprintf(stdout, "edges        %d\n", s.Edges)
+	fmt.Fprintf(stdout, "max degree   %d\n", s.MaxDegree)
+	fmt.Fprintf(stdout, "density      %.6f\n", s.Density)
+	fmt.Fprintf(stdout, "degeneracy   %d\n", s.Degeneracy)
+	fmt.Fprintf(stdout, "d*           %d\n", s.DStar)
+	fmt.Fprintf(stdout, "clustering   %.4f\n", quality.GlobalClustering(g))
+	if alpha, tail := experiments.PowerLawAlpha(g, 0); tail > 0 {
+		fmt.Fprintf(stdout, "alpha (MLE)  %.2f (tail of %d nodes)\n", alpha, tail)
+	}
+
+	// Truncated degree distribution, Figure 6 style.
+	degs := mce.Degrees(g)
+	counts := make([]int, 22)
+	low := 0
+	for _, d := range degs {
+		switch {
+		case d <= 20:
+			counts[d]++
+			if d >= 1 {
+				low++
+			}
+		default:
+			counts[21]++
+		}
+	}
+	fmt.Fprintf(stdout, "degree histogram (0..20, >20): %v\n", counts)
+	if s.Nodes > 0 {
+		fmt.Fprintf(stdout, "low-degree share (1..20): %.1f%%\n", 100*float64(low)/float64(s.Nodes))
+	}
+
+	// Feasible/hub split per requested block ratio.
+	fmt.Fprintf(stdout, "\n%-8s %8s %10s %10s %9s\n", "m/d", "m", "feasible", "hubs", "hub%")
+	for _, tok := range strings.Split(*ratios, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil || r <= 0 || r > 1 {
+			fmt.Fprintf(stderr, "mcestats: bad ratio %q\n", tok)
+			return 2
+		}
+		m := int(r*float64(s.MaxDegree) + 0.999)
+		if m < 2 {
+			m = 2
+		}
+		feasible, hubs := 0, 0
+		for _, d := range degs {
+			if d < m {
+				feasible++
+			} else {
+				hubs++
+			}
+		}
+		fmt.Fprintf(stdout, "%-8.2f %8d %10d %10d %8.2f%%\n",
+			r, m, feasible, hubs, 100*float64(hubs)/float64(s.Nodes))
+	}
+	return 0
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mce"
+)
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeGraph(t *testing.T) string {
+	t.Helper()
+	g := mce.GenerateSocialNetwork(200, 4, 0.6, 7)
+	p := filepath.Join(t.TempDir(), "g.txt")
+	if err := mce.Save(p, g); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestUsage(t *testing.T) {
+	if code, _, _ := runCmd(t); code != 2 {
+		t.Fatal("no args accepted")
+	}
+	if code, _, _ := runCmd(t, "-nope"); code != 2 {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestMissingFile(t *testing.T) {
+	if code, _, _ := runCmd(t, filepath.Join(t.TempDir(), "nope")); code != 1 {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestStatsOutput(t *testing.T) {
+	p := writeGraph(t)
+	code, out, errs := runCmd(t, p)
+	if code != 0 {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+	for _, want := range []string{"nodes", "degeneracy", "d*", "clustering", "alpha", "degree histogram", "m/d", "hub%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output misses %q:\n%s", want, out)
+		}
+	}
+	// Default ratios → 5 split rows.
+	if got := strings.Count(out, "0."); got < 5 {
+		t.Fatalf("expected ratio rows, out=\n%s", out)
+	}
+}
+
+func TestCustomRatios(t *testing.T) {
+	p := writeGraph(t)
+	code, out, _ := runCmd(t, "-ratios", "0.5", p)
+	if code != 0 || !strings.Contains(out, "0.50") {
+		t.Fatalf("custom ratio output: %q", out)
+	}
+}
+
+func TestBadRatio(t *testing.T) {
+	p := writeGraph(t)
+	if code, _, _ := runCmd(t, "-ratios", "2.0", p); code != 2 {
+		t.Fatal("ratio > 1 accepted")
+	}
+	if code, _, _ := runCmd(t, "-ratios", "abc", p); code != 2 {
+		t.Fatal("non-numeric ratio accepted")
+	}
+}

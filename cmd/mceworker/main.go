@@ -1,0 +1,48 @@
+// Command mceworker is a block-analysis worker: it listens on a TCP address
+// and serves BLOCK-ANALYSIS tasks for coordinators (mcefind -workers, or the
+// mce library's WithWorkers option). Workers are stateless; run one per
+// machine, as the paper does with its 10-node OpenMPI cluster.
+//
+// Usage:
+//
+//	mceworker -listen :9876
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"mce/internal/cluster"
+)
+
+func main() {
+	listen := flag.String("listen", ":9876", "TCP address to listen on")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mceworker:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mceworker: serving block analysis on %s\n", ln.Addr())
+	w := &cluster.Worker{}
+
+	// Stop accepting on SIGINT/SIGTERM; in-flight connections finish their
+	// current task before the process exits.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Printf("mceworker: %v received, shutting down\n", s)
+		w.Close()
+	}()
+
+	if err := w.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "mceworker:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,77 @@
+// Algorithm tour: run every algorithm/data-structure combination of the
+// paper's per-block framework (§4) on graphs with different shapes and see
+// why no single combination wins everywhere — the motivation for the
+// decision tree.
+//
+// Run with:
+//
+//	go run ./examples/algorithmtour
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mce"
+)
+
+func main() {
+	graphs := []struct {
+		name string
+		g    *mce.Graph
+	}{
+		{"sparse social (Holme-Kim n=2000)", mce.GenerateSocialNetwork(2000, 4, 0.6, 3)},
+		{"dense random  (G(250, 0.3))", mce.GenerateErdosRenyi(250, 0.3, 3)},
+		{"scale-free    (Barabasi-Albert n=3000)", mce.GenerateBarabasiAlbert(3000, 5, 3)},
+	}
+	algorithms := []string{"BKPivot", "Tomita", "Eppstein", "XPivot"}
+	structures := []string{"Matrix", "Lists", "BitSets"}
+
+	for _, entry := range graphs {
+		fmt.Printf("\n%s: %d nodes, %d edges\n", entry.name, entry.g.N(), entry.g.M())
+		type timing struct {
+			combo   string
+			elapsed time.Duration
+			cliques int
+		}
+		var best, worst *timing
+		for _, alg := range algorithms {
+			for _, st := range structures {
+				t0 := time.Now()
+				res, err := mce.Enumerate(entry.g, mce.WithAlgorithm(alg, st))
+				if err != nil {
+					log.Fatal(err)
+				}
+				tm := &timing{
+					combo:   fmt.Sprintf("[%s/%s]", st, alg),
+					elapsed: time.Since(t0),
+					cliques: res.Stats.TotalCliques,
+				}
+				if best == nil || tm.elapsed < best.elapsed {
+					best = tm
+				}
+				if worst == nil || tm.elapsed > worst.elapsed {
+					worst = tm
+				}
+			}
+		}
+		// And the decision tree (the library default).
+		t0 := time.Now()
+		res, err := mce.Enumerate(entry.g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		treeTime := time.Since(t0)
+
+		fmt.Printf("  %d maximal cliques\n", res.Stats.TotalCliques)
+		fmt.Printf("  fastest combo: %-20s %v\n", best.combo, best.elapsed.Round(time.Microsecond))
+		fmt.Printf("  slowest combo: %-20s %v (%.1fx slower)\n",
+			worst.combo, worst.elapsed.Round(time.Microsecond),
+			float64(worst.elapsed)/float64(best.elapsed))
+		fmt.Printf("  decision tree (default):      %v\n", treeTime.Round(time.Microsecond))
+		if best.cliques != res.Stats.TotalCliques {
+			log.Fatalf("combos disagree on the clique count!")
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Evolving network: maintain the maximal cliques of a social network as
+// friendships are formed and dissolved, without re-running the full
+// enumeration — the incremental scenario of the paper's future work (§8).
+//
+// Run with:
+//
+//	go run ./examples/evolving
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"mce"
+)
+
+func main() {
+	// Start from a snapshot of a social network…
+	g := mce.GenerateSocialNetwork(3000, 5, 0.7, 17)
+	t0 := time.Now()
+	tracker, err := mce.NewTracker(g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bootstrap: %d nodes, %d edges, %d maximal cliques (%v)\n",
+		tracker.N(), tracker.M(), tracker.Len(), time.Since(t0).Round(time.Millisecond))
+
+	// …then play a day of churn: new friendships (biased towards closing
+	// triangles, as real networks do) and a few dissolved ones.
+	rng := rand.New(rand.NewSource(99))
+	var adds, removes, newCliques, deadCliques int
+	t0 = time.Now()
+	for i := 0; i < 2000; i++ {
+		u := int32(rng.Intn(tracker.N()))
+		v := int32(rng.Intn(tracker.N()))
+		if rng.Intn(5) == 0 {
+			// Dissolve an actual friendship of u: pick one from a clique
+			// through u so the deletion always hits an existing edge.
+			cliques := tracker.CliquesOf(u)
+			c := cliques[rng.Intn(len(cliques))]
+			w := int32(-1)
+			for _, x := range c {
+				if x != u {
+					w = x
+					break
+				}
+			}
+			if w < 0 {
+				continue // u is isolated
+			}
+			_, removed, err := tracker.RemoveEdge(u, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			removes++
+			deadCliques += len(removed)
+			continue
+		}
+		added, removed, err := tracker.AddEdge(u, v)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if added != nil || removed != nil {
+			adds++
+			newCliques += len(added)
+			deadCliques += len(removed)
+		}
+	}
+	elapsed := time.Since(t0)
+	fmt.Printf("churn: %d insertions, %d deletions in %v (%.0f updates/sec)\n",
+		adds, removes, elapsed.Round(time.Millisecond),
+		float64(adds+removes)/elapsed.Seconds())
+	fmt.Printf("clique set now %d (saw %d born, %d die)\n",
+		tracker.Len(), newCliques, deadCliques)
+
+	// Sanity: the maintained set matches a from-scratch enumeration.
+	b := mce.NewBuilder(tracker.N())
+	for v := int32(0); v < int32(tracker.N()); v++ {
+		for _, c := range tracker.CliquesOf(v) {
+			for i := range c {
+				for j := i + 1; j < len(c); j++ {
+					b.AddEdge(c[i], c[j])
+				}
+			}
+		}
+	}
+	res, err := mce.Enumerate(b.Build())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(res.Cliques) == tracker.Len() {
+		fmt.Println("incremental clique set matches a full re-enumeration ✓")
+	} else {
+		log.Fatalf("MISMATCH: tracker %d vs full run %d", tracker.Len(), len(res.Cliques))
+	}
+}

@@ -1,0 +1,62 @@
+// Quickstart: build a small friendship network, enumerate its maximal
+// cliques, and inspect the run statistics.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mce"
+)
+
+func main() {
+	// The network of the paper's Figure 1: three overlapping communities
+	// around the high-degree nodes D, S and E.
+	names := []string{"A", "J", "H", "D", "E", "F", "G", "S", "X", "L", "Z", "R", "P", "Y", "W", "U"}
+	id := map[string]int32{}
+	for i, n := range names {
+		id[n] = int32(i)
+	}
+	edges := [][2]string{
+		{"A", "J"}, {"A", "H"}, {"J", "H"}, // community 1
+		{"H", "F"}, {"H", "D"}, {"F", "D"}, // community 2
+		{"D", "S"}, {"D", "E"}, {"S", "E"}, // the hub triangle
+		{"L", "S"}, {"G", "E"}, {"U", "S"}, {"X", "E"},
+		{"R", "D"}, {"P", "D"}, {"Z", "D"}, {"Y", "E"}, {"W", "S"},
+	}
+
+	b := mce.NewBuilder(len(names))
+	for _, e := range edges {
+		b.AddEdge(id[e[0]], id[e[1]])
+	}
+	g := b.Build()
+
+	// With a small block size the high-degree nodes D, S and E become
+	// hubs, exactly the situation the two-level decomposition handles.
+	res, err := mce.Enumerate(g, mce.WithBlockSize(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%d nodes, %d edges, block size m=%d\n", g.N(), g.M(), res.Stats.BlockSize)
+	fmt.Printf("found %d maximal cliques (%d made of hub nodes only):\n",
+		res.Stats.TotalCliques, res.Stats.HubCliques)
+	for i, clique := range res.Cliques {
+		fmt.Print("  {")
+		for j, v := range clique {
+			if j > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Print(names[v])
+		}
+		fmt.Print("}")
+		if res.Level[i] >= 1 {
+			fmt.Print("   <- hub-only: found by the recursive call")
+		}
+		fmt.Println()
+	}
+}

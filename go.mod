@@ -1,0 +1,3 @@
+module mce
+
+go 1.22

@@ -1,0 +1,373 @@
+package bitset
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if !s.Empty() {
+		t.Fatalf("new set not empty")
+	}
+	if s.Count() != 0 {
+		t.Fatalf("Count = %d, want 0", s.Count())
+	}
+	if s.Cap() != 100 {
+		t.Fatalf("Cap = %d, want 100", s.Cap())
+	}
+}
+
+func TestNewNegativeCapacity(t *testing.T) {
+	s := New(-5)
+	if s.Cap() != 0 {
+		t.Fatalf("Cap = %d, want 0", s.Cap())
+	}
+	if !s.Empty() {
+		t.Fatalf("negative-capacity set should be empty")
+	}
+}
+
+func TestAddHasRemove(t *testing.T) {
+	s := New(200)
+	vals := []int32{0, 1, 63, 64, 65, 127, 128, 199}
+	for _, v := range vals {
+		s.Add(v)
+	}
+	for _, v := range vals {
+		if !s.Has(v) {
+			t.Errorf("Has(%d) = false after Add", v)
+		}
+	}
+	if s.Has(2) || s.Has(66) || s.Has(198) {
+		t.Errorf("Has reports values never added")
+	}
+	if s.Count() != len(vals) {
+		t.Errorf("Count = %d, want %d", s.Count(), len(vals))
+	}
+	s.Remove(63)
+	s.Remove(64)
+	if s.Has(63) || s.Has(64) {
+		t.Errorf("values still present after Remove")
+	}
+	if s.Count() != len(vals)-2 {
+		t.Errorf("Count = %d after removals, want %d", s.Count(), len(vals)-2)
+	}
+	// Removing an absent value is a no-op.
+	s.Remove(63)
+	if s.Count() != len(vals)-2 {
+		t.Errorf("Remove of absent value changed Count")
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	s := New(10)
+	s.Add(5)
+	s.Add(5)
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d after double Add, want 1", s.Count())
+	}
+}
+
+func TestFromSliceIgnoresOutOfRange(t *testing.T) {
+	s := FromSlice(8, []int32{-3, 0, 3, 7, 8, 100})
+	want := []int32{0, 3, 7}
+	got := s.Slice()
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestClear(t *testing.T) {
+	s := FromSlice(128, []int32{1, 64, 127})
+	s.Clear()
+	if !s.Empty() {
+		t.Fatalf("set not empty after Clear")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := FromSlice(70, []int32{1, 2, 69})
+	c := s.Clone()
+	c.Add(10)
+	s.Remove(1)
+	if s.Has(10) {
+		t.Errorf("mutating clone affected original")
+	}
+	if !c.Has(1) {
+		t.Errorf("mutating original affected clone")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	a := FromSlice(70, []int32{3, 65})
+	b := New(70)
+	b.Add(7)
+	b.CopyFrom(a)
+	if !b.Equal(a) {
+		t.Fatalf("CopyFrom: b = %v, want %v", b, a)
+	}
+}
+
+func TestSetOperations(t *testing.T) {
+	n := 130
+	a := FromSlice(n, []int32{1, 2, 3, 64, 65, 129})
+	b := FromSlice(n, []int32{2, 3, 4, 65, 128})
+
+	and := a.Clone()
+	and.And(b)
+	assertElems(t, "And", and, []int32{2, 3, 65})
+
+	or := a.Clone()
+	or.Or(b)
+	assertElems(t, "Or", or, []int32{1, 2, 3, 4, 64, 65, 128, 129})
+
+	diff := a.Clone()
+	diff.AndNot(b)
+	assertElems(t, "AndNot", diff, []int32{1, 64, 129})
+
+	into := New(n)
+	into.AndInto(a, b)
+	assertElems(t, "AndInto", into, []int32{2, 3, 65})
+
+	into.AndNotInto(a, b)
+	assertElems(t, "AndNotInto", into, []int32{1, 64, 129})
+
+	if got := a.AndCount(b); got != 3 {
+		t.Errorf("AndCount = %d, want 3", got)
+	}
+	if !a.Intersects(b) {
+		t.Errorf("Intersects = false, want true")
+	}
+	c := FromSlice(n, []int32{100})
+	if a.Intersects(c) {
+		t.Errorf("Intersects with disjoint set = true")
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	n := 100
+	a := FromSlice(n, []int32{1, 64})
+	b := FromSlice(n, []int32{1, 2, 64, 65})
+	if !a.SubsetOf(b) {
+		t.Errorf("a ⊆ b should hold")
+	}
+	if b.SubsetOf(a) {
+		t.Errorf("b ⊆ a should not hold")
+	}
+	if !a.SubsetOf(a) {
+		t.Errorf("a ⊆ a should hold")
+	}
+	empty := New(n)
+	if !empty.SubsetOf(a) {
+		t.Errorf("∅ ⊆ a should hold")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice(80, []int32{5, 70})
+	b := FromSlice(80, []int32{5, 70})
+	c := FromSlice(80, []int32{5})
+	d := FromSlice(160, []int32{5, 70})
+	if !a.Equal(b) {
+		t.Errorf("identical sets not Equal")
+	}
+	if a.Equal(c) {
+		t.Errorf("different sets Equal")
+	}
+	if a.Equal(d) {
+		t.Errorf("different-capacity sets Equal")
+	}
+}
+
+func TestNextIteration(t *testing.T) {
+	vals := []int32{0, 5, 63, 64, 100, 191}
+	s := FromSlice(192, vals)
+	var got []int32
+	for v := s.Next(0); v >= 0; v = s.Next(v + 1) {
+		got = append(got, v)
+	}
+	assertSlices(t, "Next iteration", got, vals)
+
+	if v := s.Next(192); v != -1 {
+		t.Errorf("Next past capacity = %d, want -1", v)
+	}
+	if v := s.Next(-10); v != 0 {
+		t.Errorf("Next(-10) = %d, want 0", v)
+	}
+	if v := s.Next(101); v != 191 {
+		t.Errorf("Next(101) = %d, want 191", v)
+	}
+	empty := New(64)
+	if v := empty.Next(0); v != -1 {
+		t.Errorf("Next on empty = %d, want -1", v)
+	}
+}
+
+func TestForEachAscending(t *testing.T) {
+	s := FromSlice(300, []int32{299, 0, 128, 64})
+	var got []int32
+	s.ForEach(func(v int32) { got = append(got, v) })
+	assertSlices(t, "ForEach", got, []int32{0, 64, 128, 299})
+}
+
+func TestAppendTo(t *testing.T) {
+	s := FromSlice(10, []int32{2, 4})
+	got := s.AppendTo([]int32{9})
+	assertSlices(t, "AppendTo", got, []int32{9, 2, 4})
+}
+
+func TestString(t *testing.T) {
+	if got := FromSlice(10, []int32{1, 3}).String(); got != "{1, 3}" {
+		t.Errorf("String = %q, want {1, 3}", got)
+	}
+	if got := New(10).String(); got != "{}" {
+		t.Errorf("String of empty = %q, want {}", got)
+	}
+}
+
+// Property: a Set behaves exactly like a map[int32]bool under a random
+// sequence of Add/Remove operations.
+func TestQuickSetMatchesMap(t *testing.T) {
+	f := func(ops []int16) bool {
+		const n = 256
+		s := New(n)
+		ref := map[int32]bool{}
+		for _, op := range ops {
+			v := int32(op) & (n - 1)
+			if op < 0 {
+				s.Remove(v)
+				delete(ref, v)
+			} else {
+				s.Add(v)
+				ref[v] = true
+			}
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for v := range ref {
+			if !s.Has(v) {
+				return false
+			}
+		}
+		got := s.Slice()
+		if len(got) != len(ref) {
+			return false
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: And/Or/AndNot agree with the corresponding map-set operations.
+func TestQuickBooleanAlgebra(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		const n = 256
+		a := New(n)
+		b := New(n)
+		am := map[int32]bool{}
+		bm := map[int32]bool{}
+		for _, v := range av {
+			a.Add(int32(v))
+			am[int32(v)] = true
+		}
+		for _, v := range bv {
+			b.Add(int32(v))
+			bm[int32(v)] = true
+		}
+		and := a.Clone()
+		and.And(b)
+		or := a.Clone()
+		or.Or(b)
+		diff := a.Clone()
+		diff.AndNot(b)
+		for v := int32(0); v < n; v++ {
+			if and.Has(v) != (am[v] && bm[v]) {
+				return false
+			}
+			if or.Has(v) != (am[v] || bm[v]) {
+				return false
+			}
+			if diff.Has(v) != (am[v] && !bm[v]) {
+				return false
+			}
+		}
+		return a.AndCount(b) == and.Count() &&
+			a.Intersects(b) == !and.Empty() &&
+			and.SubsetOf(a) && and.SubsetOf(b) && a.SubsetOf(or)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Next-based iteration visits exactly the members, ascending.
+func TestQuickNextCoversAll(t *testing.T) {
+	f := func(vals []uint8) bool {
+		const n = 256
+		s := New(n)
+		ref := map[int32]bool{}
+		for _, v := range vals {
+			s.Add(int32(v))
+			ref[int32(v)] = true
+		}
+		seen := 0
+		prev := int32(-1)
+		for v := s.Next(0); v >= 0; v = s.Next(v + 1) {
+			if v <= prev || !ref[v] {
+				return false
+			}
+			prev = v
+			seen++
+		}
+		return seen == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAndCount(b *testing.B) {
+	const n = 4096
+	rng := rand.New(rand.NewSource(1))
+	x := New(n)
+	y := New(n)
+	for i := 0; i < n/4; i++ {
+		x.Add(int32(rng.Intn(n)))
+		y.Add(int32(rng.Intn(n)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.AndCount(y)
+	}
+}
+
+func assertElems(t *testing.T, what string, s *Set, want []int32) {
+	t.Helper()
+	assertSlices(t, what, s.Slice(), want)
+}
+
+func assertSlices(t *testing.T, what string, got, want []int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s = %v, want %v", what, got, want)
+		}
+	}
+}

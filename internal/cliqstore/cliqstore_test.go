@@ -1,0 +1,225 @@
+package cliqstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"mce/internal/core"
+	"mce/internal/gen"
+)
+
+func roundTrip(t *testing.T, cliques [][]int32) [][]int32 {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cliques {
+		if err := w.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != int64(len(cliques)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(cliques))
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]int32
+	if err := r.ForEach(func(c []int32) error {
+		cp := make([]int32, len(c))
+		copy(cp, c)
+		out = append(out, cp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	in := [][]int32{{0, 1, 2}, {5}, {3, 1000000, 2000000000}, {}}
+	out := roundTrip(t, in)
+	if len(out) != len(in) {
+		t.Fatalf("got %d cliques, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if len(out[i]) != len(in[i]) {
+			t.Fatalf("clique %d: %v vs %v", i, out[i], in[i])
+		}
+		for j := range in[i] {
+			if out[i][j] != in[i][j] {
+				t.Fatalf("clique %d: %v vs %v", i, out[i], in[i])
+			}
+		}
+	}
+}
+
+func TestWriterRejectsUnsorted(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write([]int32{3, 1}); err == nil {
+		t.Fatal("descending clique accepted")
+	}
+	if err := w.Write([]int32{1, 1}); err == nil {
+		t.Fatal("duplicate member accepted — writer should stay failed")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("failed writer flushed cleanly")
+	}
+	w2, _ := NewWriter(&buf)
+	if err := w2.Write([]int32{-1}); err == nil {
+		t.Fatal("negative member accepted")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	// Truncated clique body.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write([]int32{1, 2, 3})
+	w.Flush()
+	data := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(data[:len(data)-1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated clique accepted")
+	}
+}
+
+func TestEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("empty store Next = %v, want EOF", err)
+	}
+}
+
+func TestStreamEngineToStore(t *testing.T) {
+	// End to end: stream an enumeration to disk format and read it back.
+	g := gen.HolmeKim(400, 5, 0.7, 3)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.Stream(g, core.Options{}, func(c []int32, _ int) {
+		if err := w.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := 0
+	if err := r.ForEach(func(c []int32) error {
+		read++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if read != stats.TotalCliques {
+		t.Fatalf("store holds %d cliques, engine emitted %d", read, stats.TotalCliques)
+	}
+	// The encoding should beat a naive int32 dump.
+	naive := 0
+	res, err := core.FindMaxCliques(g, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cliques {
+		naive += 4*len(c) + 4
+	}
+	if buf.Len() >= naive {
+		t.Fatalf("store %d bytes not smaller than naive %d", buf.Len(), naive)
+	}
+}
+
+// Property: arbitrary ascending cliques survive the round trip bit-exact.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw [][]uint16) bool {
+		var in [][]int32
+		for _, rc := range raw {
+			seen := map[int32]bool{}
+			var c []int32
+			for _, v := range rc {
+				if !seen[int32(v)] {
+					seen[int32(v)] = true
+					c = append(c, int32(v))
+				}
+			}
+			// Ascending order required.
+			for i := 1; i < len(c); i++ {
+				for j := i; j > 0 && c[j] < c[j-1]; j-- {
+					c[j], c[j-1] = c[j-1], c[j]
+				}
+			}
+			in = append(in, c)
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for _, c := range in {
+			if err := w.Write(c); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		i := 0
+		err = r.ForEach(func(c []int32) error {
+			if len(c) != len(in[i]) {
+				return errors.New("length mismatch")
+			}
+			for j := range c {
+				if c[j] != in[i][j] {
+					return errors.New("member mismatch")
+				}
+			}
+			i++
+			return nil
+		})
+		return err == nil && i == len(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package cliqstore
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the store reader: the invariant is a
+// clean error or valid cliques — never a panic or unbounded allocation.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid store and some corruptions.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write([]int32{1, 2, 3})
+	w.Write([]int32{100000})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("MCE1"))
+	f.Add([]byte("MCE1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			c, err := r.Next()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				return
+			}
+			for j := 1; j < len(c); j++ {
+				if c[j] <= c[j-1] {
+					t.Fatal("reader produced non-ascending clique")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"compress/flate"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mce/internal/decomp"
+	"mce/internal/mcealg"
+)
+
+// ClientOptions tunes the coordinator side of the cluster.
+type ClientOptions struct {
+	// DialTimeout bounds each worker connection attempt; 0 means 5s.
+	DialTimeout time.Duration
+	// Latency is an artificial per-message delay injected before every
+	// task send, simulating cluster interconnect round trips. It lets the
+	// single-machine reproduction exhibit the communication overhead the
+	// paper observes when many small blocks are shipped (§6.3).
+	Latency time.Duration
+	// BandwidthBytesPerSec throttles message payloads; 0 disables
+	// throttling.
+	BandwidthBytesPerSec int64
+	// ConnectionsPerWorker opens this many parallel streams to each
+	// worker address, letting one multi-core worker process several blocks
+	// concurrently (the worker serves every connection on its own
+	// goroutine). 0 means 1.
+	ConnectionsPerWorker int
+	// Compress negotiates DEFLATE on every stream after the handshake,
+	// trading CPU for bandwidth on slow interconnects.
+	Compress bool
+}
+
+// Client is a coordinator attached to a fixed set of workers. It implements
+// the core.Executor interface, so it can be plugged directly into
+// FindMaxCliques.
+type Client struct {
+	opts  ClientOptions
+	mu    sync.Mutex
+	conns []*workerConn
+}
+
+// workerConn serialises access to one worker connection.
+type workerConn struct {
+	addr  string
+	conn  net.Conn
+	enc   *gob.Encoder
+	dec   *gob.Decoder
+	flush func() error // non-nil when the stream is compressed
+	dead  bool
+	tasks int
+	busy  time.Duration
+}
+
+// WorkerStats describes one worker's share of the computation — the load
+// skew the distributed MCE literature worries about ([38] in the paper).
+type WorkerStats struct {
+	Addr string
+	// Tasks is the number of blocks this worker completed.
+	Tasks int
+	// Busy is the total round-trip time spent on this worker, including
+	// the simulated link costs.
+	Busy time.Duration
+	// Dead reports that the connection has been retired after a failure.
+	Dead bool
+}
+
+// Stats returns a snapshot of per-worker load, ordered as dialled.
+func (c *Client) Stats() []WorkerStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]WorkerStats, 0, len(c.conns))
+	for _, wc := range c.conns {
+		out = append(out, WorkerStats{Addr: wc.addr, Tasks: wc.tasks, Busy: wc.busy, Dead: wc.dead})
+	}
+	return out
+}
+
+// Dial connects to every worker address. It fails unless at least one
+// worker is reachable; unreachable workers are reported in the error.
+func Dial(addrs []string, opts ClientOptions) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("cluster: no worker addresses")
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	conns := opts.ConnectionsPerWorker
+	if conns < 1 {
+		conns = 1
+	}
+	c := &Client{opts: opts}
+	var dialErrs []error
+	for _, addr := range addrs {
+		for i := 0; i < conns; i++ {
+			wc, err := dialWorker(addr, opts.DialTimeout, opts.Compress)
+			if err != nil {
+				dialErrs = append(dialErrs, err)
+				break // the address is down; skip its remaining streams
+			}
+			c.conns = append(c.conns, wc)
+		}
+	}
+	if len(c.conns) == 0 {
+		return nil, fmt.Errorf("cluster: no workers reachable: %v", errors.Join(dialErrs...))
+	}
+	return c, nil
+}
+
+func dialWorker(addr string, timeout time.Duration, compress bool) (*workerConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	wc := &workerConn{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+	if err := wc.enc.Encode(hello{Version: protocolVersion, Compress: compress}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: handshake with %s: %w", addr, err)
+	}
+	var ack helloAck
+	if err := wc.dec.Decode(&ack); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: handshake ack from %s: %w", addr, err)
+	}
+	if ack.Version != protocolVersion {
+		conn.Close()
+		return nil, fmt.Errorf("cluster: worker %s speaks version %d, want %d", addr, ack.Version, protocolVersion)
+	}
+	if compress {
+		if !ack.Compress {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: worker %s refused compression", addr)
+		}
+		fr := flate.NewReader(conn)
+		fw, err := flate.NewWriter(conn, flate.BestSpeed)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("cluster: compression: %w", err)
+		}
+		wc.enc = gob.NewEncoder(fw)
+		wc.dec = gob.NewDecoder(fr)
+		wc.flush = fw.Flush
+	}
+	return wc, nil
+}
+
+// Reconnect re-dials every dead connection, restoring capacity after
+// worker restarts. It returns how many connections are alive afterwards;
+// per-address failures are reported in the error while surviving
+// connections keep working.
+func (c *Client) Reconnect() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var errs []error
+	for i, wc := range c.conns {
+		if !wc.dead {
+			continue
+		}
+		fresh, err := dialWorker(wc.addr, c.opts.DialTimeout, c.opts.Compress)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		// Preserve the accumulated load accounting for the address.
+		fresh.tasks = wc.tasks
+		fresh.busy = wc.busy
+		c.conns[i] = fresh
+	}
+	alive := 0
+	for _, wc := range c.conns {
+		if !wc.dead {
+			alive++
+		}
+	}
+	return alive, errors.Join(errs...)
+}
+
+// Workers reports how many worker connections are still alive.
+func (c *Client) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	alive := 0
+	for _, wc := range c.conns {
+		if !wc.dead {
+			alive++
+		}
+	}
+	return alive
+}
+
+// Close hangs up every worker connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, wc := range c.conns {
+		if err := wc.conn.Close(); err != nil && first == nil {
+			first = err
+		}
+		wc.dead = true
+	}
+	return first
+}
+
+// AnalyzeBlocks ships every block to some worker and gathers the cliques,
+// indexed like blocks. A worker that fails mid-flight has its task requeued
+// to the surviving workers; the call fails only when a task is rejected by
+// the application (deterministic failure) or when every worker has died.
+// It implements core.Executor.
+func (c *Client) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error) {
+	if len(blocks) != len(combos) {
+		return nil, fmt.Errorf("cluster: %d blocks but %d combos", len(blocks), len(combos))
+	}
+	out := make([][][]int32, len(blocks))
+	if len(blocks) == 0 {
+		return out, nil
+	}
+	c.mu.Lock()
+	var alive []*workerConn
+	for _, wc := range c.conns {
+		if !wc.dead {
+			alive = append(alive, wc)
+		}
+	}
+	c.mu.Unlock()
+	if len(alive) == 0 {
+		return nil, errors.New("cluster: all workers are dead")
+	}
+
+	// Task queue with room for one in-flight requeue per worker.
+	tasks := make(chan int, len(blocks)+len(alive))
+	for i := range blocks {
+		tasks <- i
+	}
+	var (
+		completed  int64
+		aliveCount = int64(len(alive))
+		done       = make(chan struct{})
+		closeOnce  sync.Once
+		errMu      sync.Mutex
+		fatal      error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if fatal == nil {
+			fatal = err
+		}
+		errMu.Unlock()
+		closeOnce.Do(func() { close(done) })
+	}
+
+	var wg sync.WaitGroup
+	for _, wc := range alive {
+		wg.Add(1)
+		go func(wc *workerConn) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				case i := <-tasks:
+					t0 := time.Now()
+					cliques, err := c.roundTrip(wc, i, &blocks[i], combos[i])
+					if err == nil {
+						c.mu.Lock()
+						wc.tasks++
+						wc.busy += time.Since(t0)
+						c.mu.Unlock()
+					}
+					if err != nil {
+						var appErr *applicationError
+						if errors.As(err, &appErr) {
+							fail(err) // deterministic; retrying is pointless
+							return
+						}
+						// Transport failure: requeue and retire this worker.
+						c.mu.Lock()
+						wc.dead = true
+						c.mu.Unlock()
+						tasks <- i
+						if atomic.AddInt64(&aliveCount, -1) == 0 {
+							fail(fmt.Errorf("cluster: all workers failed, last error from %s: %w", wc.addr, err))
+						}
+						return
+					}
+					out[i] = cliques
+					if atomic.AddInt64(&completed, 1) == int64(len(blocks)) {
+						closeOnce.Do(func() { close(done) })
+					}
+				}
+			}
+		}(wc)
+	}
+	wg.Wait()
+	errMu.Lock()
+	defer errMu.Unlock()
+	if fatal != nil {
+		return nil, fatal
+	}
+	return out, nil
+}
+
+// applicationError marks worker-reported BLOCK-ANALYSIS failures.
+type applicationError struct{ msg string }
+
+func (e *applicationError) Error() string { return e.msg }
+
+// roundTrip sends one task and waits for its result, applying the simulated
+// link costs.
+func (c *Client) roundTrip(wc *workerConn, id int, b *decomp.Block, combo mcealg.Combo) ([][]int32, error) {
+	t := taskFromBlock(id, b, combo)
+	c.simulateLink(t.wireSize())
+	if err := wc.enc.Encode(&t); err != nil {
+		return nil, fmt.Errorf("cluster: send to %s: %w", wc.addr, err)
+	}
+	if wc.flush != nil {
+		if err := wc.flush(); err != nil {
+			return nil, fmt.Errorf("cluster: flush to %s: %w", wc.addr, err)
+		}
+	}
+	var res blockResult
+	if err := wc.dec.Decode(&res); err != nil {
+		return nil, fmt.Errorf("cluster: receive from %s: %w", wc.addr, err)
+	}
+	if res.ID != id {
+		return nil, fmt.Errorf("cluster: worker %s answered task %d, want %d", wc.addr, res.ID, id)
+	}
+	if res.Err != "" {
+		return nil, &applicationError{msg: fmt.Sprintf("cluster: worker %s: %s", wc.addr, res.Err)}
+	}
+	c.simulateLink(res.wireSize())
+	return res.Cliques, nil
+}
+
+// simulateLink sleeps for the configured latency plus the transfer time of
+// size bytes at the configured bandwidth.
+func (c *Client) simulateLink(size int64) {
+	d := c.opts.Latency
+	if c.opts.BandwidthBytesPerSec > 0 {
+		d += time.Duration(float64(size) / float64(c.opts.BandwidthBytesPerSec) * float64(time.Second))
+	}
+	if d > 0 {
+		time.Sleep(d)
+	}
+}

@@ -1,0 +1,125 @@
+// Package cluster is the distributed substrate of the reproduction: the
+// paper ran block analysis on a 10-node OpenMPI cluster (§6.1); here a
+// coordinator (Client) ships blocks to worker processes over TCP using
+// encoding/gob, collects their cliques, requeues work from failed workers,
+// and can simulate link latency and bandwidth so that the communication
+// overhead trends of Figures 7–8 are exercised on a single machine.
+//
+// The protocol is a plain request/response stream per connection: the
+// coordinator sends blockTask messages and the worker answers one
+// blockResult per task, in order. Workers are stateless, so any task can be
+// re-sent to any worker — that is what makes the failure handling trivial
+// and matches the paper's "blocks are processed independently" design.
+package cluster
+
+import (
+	"fmt"
+
+	"mce/internal/decomp"
+	"mce/internal/graph"
+	"mce/internal/mcealg"
+)
+
+// protocolVersion guards against mismatched coordinator/worker builds.
+const protocolVersion = 1
+
+// hello is the first message on every connection, sent by the coordinator.
+type hello struct {
+	Version int
+	// Compress asks the worker to switch the remainder of the stream to
+	// DEFLATE in both directions after the handshake. Block tasks are
+	// mostly small integers, so compression trades CPU for the 3–5×
+	// bandwidth reduction that matters on the slow links the latency
+	// simulation models.
+	Compress bool
+}
+
+// helloAck is the worker's reply to hello.
+type helloAck struct {
+	Version  int
+	Compress bool
+}
+
+// blockTask carries one second-level block and the combo to run on it.
+type blockTask struct {
+	// ID echoes back in the matching blockResult.
+	ID int
+	// Nodes is the block-local node count; Edges lists block-local
+	// undirected edges.
+	Nodes int32
+	Edges [][2]int32
+	// Kernel, Border and Visited are block-local node classes.
+	Kernel, Border, Visited []int32
+	// Orig maps block-local IDs to the coordinator's global IDs; cliques
+	// come back in global IDs.
+	Orig []int32
+	// Alg and Struct encode the mcealg.Combo chosen by the coordinator's
+	// decision tree.
+	Alg, Struct uint8
+}
+
+// blockResult is the worker's answer to one blockTask.
+type blockResult struct {
+	ID int
+	// Cliques holds the block's maximal cliques in global node IDs.
+	Cliques [][]int32
+	// Err is a non-empty string when BLOCK-ANALYSIS failed; such failures
+	// are deterministic (e.g. an oversized Matrix request), so the
+	// coordinator does not retry them.
+	Err string
+}
+
+// taskFromBlock flattens a decomp.Block for the wire.
+func taskFromBlock(id int, b *decomp.Block, combo mcealg.Combo) blockTask {
+	edges := b.Graph.Edges()
+	wire := make([][2]int32, len(edges))
+	for i, e := range edges {
+		wire[i] = [2]int32{e.U, e.V}
+	}
+	return blockTask{
+		ID:      id,
+		Nodes:   int32(b.Graph.N()),
+		Edges:   wire,
+		Kernel:  b.Kernel,
+		Border:  b.Border,
+		Visited: b.Visited,
+		Orig:    b.Orig,
+		Alg:     uint8(combo.Alg),
+		Struct:  uint8(combo.Struct),
+	}
+}
+
+// blockFromTask reconstructs the block and combo on the worker side.
+func blockFromTask(t *blockTask) (*decomp.Block, mcealg.Combo, error) {
+	if t.Nodes < 0 || len(t.Orig) != int(t.Nodes) {
+		return nil, mcealg.Combo{}, fmt.Errorf("cluster: malformed task %d: %d nodes, %d orig entries", t.ID, t.Nodes, len(t.Orig))
+	}
+	gb := graph.NewBuilder(int(t.Nodes))
+	for _, e := range t.Edges {
+		gb.AddEdge(e[0], e[1])
+	}
+	b := &decomp.Block{
+		Graph:   gb.Build(),
+		Orig:    t.Orig,
+		Kernel:  t.Kernel,
+		Border:  t.Border,
+		Visited: t.Visited,
+	}
+	combo := mcealg.Combo{Alg: mcealg.Algorithm(t.Alg), Struct: mcealg.Structure(t.Struct)}
+	return b, combo, nil
+}
+
+// wireSize estimates the task's on-wire footprint in bytes for the
+// bandwidth simulation: 8 bytes per edge plus 4 per node-class entry.
+func (t *blockTask) wireSize() int64 {
+	return int64(8*len(t.Edges) + 4*(len(t.Kernel)+len(t.Border)+len(t.Visited)+len(t.Orig)) + 32)
+}
+
+// wireSize estimates the result's on-wire footprint in bytes.
+func (r *blockResult) wireSize() int64 {
+	total := int64(16)
+	for _, c := range r.Cliques {
+		total += int64(4*len(c) + 8)
+	}
+	return total
+}

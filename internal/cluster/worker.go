@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"compress/flate"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mce/internal/decomp"
+)
+
+// Worker processes block-analysis tasks for coordinators. The zero value is
+// ready to serve.
+type Worker struct {
+	mu     sync.Mutex
+	ln     net.Listener
+	closed bool
+}
+
+// Serve accepts coordinator connections on ln until Close is called or the
+// listener fails. Each connection is served on its own goroutine, so one
+// worker process can serve several coordinators (the paper's time-shared
+// cluster).
+func (w *Worker) Serve(ln net.Listener) error {
+	w.mu.Lock()
+	w.ln = ln
+	closed := w.closed
+	w.mu.Unlock()
+	if closed {
+		ln.Close()
+		return errors.New("cluster: worker already closed")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("cluster: accept: %w", err)
+		}
+		go func() {
+			defer conn.Close()
+			_ = ServeConn(conn)
+		}()
+	}
+}
+
+// Close stops the accept loop.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed = true
+	if w.ln != nil {
+		return w.ln.Close()
+	}
+	return nil
+}
+
+// ServeConn answers one coordinator connection: a handshake followed by a
+// stream of blockTask messages, each answered with a blockResult. It
+// returns nil when the coordinator hangs up.
+func ServeConn(conn net.Conn) error {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+
+	var h hello
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("cluster: handshake: %w", err)
+	}
+	if err := enc.Encode(helloAck{Version: protocolVersion, Compress: h.Compress}); err != nil {
+		return fmt.Errorf("cluster: handshake ack: %w", err)
+	}
+	if h.Version != protocolVersion {
+		return fmt.Errorf("cluster: coordinator speaks version %d, worker %d", h.Version, protocolVersion)
+	}
+	var flush func() error
+	if h.Compress {
+		// The handshake stays plain; everything after it is DEFLATE both
+		// ways.
+		fr := flate.NewReader(conn)
+		fw, err := flate.NewWriter(conn, flate.BestSpeed)
+		if err != nil {
+			return fmt.Errorf("cluster: compression: %w", err)
+		}
+		defer fw.Close()
+		dec = gob.NewDecoder(fr)
+		enc = gob.NewEncoder(fw)
+		flush = fw.Flush
+	}
+
+	for {
+		var t blockTask
+		if err := dec.Decode(&t); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("cluster: decode task: %w", err)
+		}
+		res := runTask(&t)
+		if err := enc.Encode(&res); err != nil {
+			return fmt.Errorf("cluster: encode result: %w", err)
+		}
+		if flush != nil {
+			if err := flush(); err != nil {
+				return fmt.Errorf("cluster: flush result: %w", err)
+			}
+		}
+	}
+}
+
+// runTask executes BLOCK-ANALYSIS for one task, capturing errors in-band.
+func runTask(t *blockTask) blockResult {
+	res := blockResult{ID: t.ID}
+	b, combo, err := blockFromTask(t)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	err = decomp.AnalyzeBlock(b, combo, func(c []int32) {
+		cp := make([]int32, len(c))
+		copy(cp, c)
+		res.Cliques = append(res.Cliques, cp)
+	})
+	if err != nil {
+		res.Err = err.Error()
+		res.Cliques = nil
+	}
+	return res
+}
+
+// StartLocal launches n workers on ephemeral localhost ports and returns
+// their addresses plus a stop function. It is the one-command stand-in for
+// the paper's 10-machine deployment, used by tests, examples and benches.
+func StartLocal(n int) (addrs []string, stop func(), err error) {
+	var workers []*Worker
+	var listeners []net.Listener
+	stop = func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("cluster: start local worker %d: %w", i, err)
+		}
+		w := &Worker{}
+		workers = append(workers, w)
+		listeners = append(listeners, ln)
+		addrs = append(addrs, ln.Addr().String())
+		go func() { _ = w.Serve(ln) }()
+	}
+	_ = listeners
+	return addrs, stop, nil
+}

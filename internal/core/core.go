@@ -1,0 +1,440 @@
+// Package core orchestrates FIND-MAX-CLIQUES (paper Algorithm 1), the
+// recursive two-level decomposition that enumerates every maximal clique of
+// a network while keeping each unit of work inside a block of at most m
+// nodes:
+//
+//  1. CUT splits the nodes into feasible and hub nodes (first level);
+//  2. BLOCKS partitions the feasible nodes into dense blocks (second level);
+//  3. BLOCK-ANALYSIS enumerates each block's cliques with the combo chosen
+//     by the decision tree, in parallel or on a remote cluster (Executor);
+//  4. the whole procedure recurses on the subgraph induced by the hubs;
+//  5. hub-side cliques contained in feasible-side cliques are filtered out
+//     (Lemma 1), making the union exactly the maximal cliques of the input.
+//
+// Theorem 1 guarantees the recursion empties whenever m exceeds the
+// network's degeneracy; for smaller m the recursion can stall on the
+// (m+1)-core, in which case the engine enumerates that terminal core
+// directly (recorded in Stats.CoreFallback) so completeness is never lost.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mce/internal/bitset"
+	"mce/internal/decomp"
+	"mce/internal/dtree"
+	"mce/internal/filter"
+	"mce/internal/graph"
+	"mce/internal/kcore"
+	"mce/internal/mcealg"
+)
+
+// Executor runs BLOCK-ANALYSIS for a batch of blocks. combos[i] is the
+// data-structure/algorithm combination chosen for blocks[i]; the return
+// value holds the cliques of each block (global node IDs), indexed like
+// blocks. Implementations: LocalExecutor (in-process pool) and
+// cluster.Client (TCP workers).
+type Executor interface {
+	AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error)
+}
+
+// Options configures FindMaxCliques.
+type Options struct {
+	// BlockSize is m, the maximum number of nodes per block. If 0, it is
+	// derived from BlockRatio.
+	BlockSize int
+	// BlockRatio sets m = ceil(ratio × max degree) when BlockSize is 0,
+	// matching the m/d parameterisation of the paper's experiments
+	// (§6.2 uses ratios 0.9 … 0.1). If both are 0, ratio 0.5 is used —
+	// the saddle point the paper identifies in Figure 8.
+	BlockRatio float64
+	// Tree is the algorithm-selection decision tree; nil means the
+	// reconstruction of the paper's Figure 3 (dtree.Published).
+	Tree *dtree.Tree
+	// FixedCombo, when non-nil, bypasses the decision tree and uses one
+	// combo everywhere (the paper's fixed-combination baselines, Figure 4).
+	FixedCombo *mcealg.Combo
+	// Block tunes the greedy second-level decomposition.
+	Block decomp.Options
+	// Executor runs block batches; nil means a LocalExecutor with
+	// Parallelism workers.
+	Executor Executor
+	// Parallelism is the local worker count when Executor is nil;
+	// 0 means GOMAXPROCS.
+	Parallelism int
+	// MaxLevels caps the recursion depth as a safety net; 0 means no cap.
+	// The cap triggers the same direct-core fallback as a stalled
+	// recursion, so results stay complete.
+	MaxLevels int
+	// UseExtensionFilter swaps the Lemma 1 containment filter (the paper's
+	// filter(Ch, Cf), which needs only the clique families) for the
+	// equivalent extension test against the graph: a hub clique is dropped
+	// iff some feasible node neighbours all its members. Output is
+	// identical; the extension test is usually faster when Cf is large.
+	UseExtensionFilter bool
+	// Schedule orders the blocks before dispatch; see the Schedule
+	// constants. Results are identical either way.
+	Schedule Schedule
+	// OnLevel, when non-nil, is invoked after each recursion level's block
+	// analysis completes, with that level's statistics — a progress hook
+	// for long runs. It must not block for long and must not call back
+	// into the engine.
+	OnLevel func(LevelStats)
+}
+
+// Schedule selects the block dispatch order handed to the Executor.
+type Schedule uint8
+
+const (
+	// ScheduleFIFO dispatches blocks in construction order.
+	ScheduleFIFO Schedule = iota
+	// ScheduleLPT dispatches the estimated-heaviest blocks first
+	// (longest-processing-time), so a skewed block cannot strand a lone
+	// worker at the end of the batch — the parallel-skew issue the
+	// distributed MCE literature highlights ([38] in the paper).
+	ScheduleLPT
+)
+
+// LevelStats records one recursion level of the first-level decomposition.
+type LevelStats struct {
+	// Nodes and Edges describe the graph at this level.
+	Nodes, Edges int
+	// Feasible and Hubs count the CUT partition at this level.
+	Feasible, Hubs int
+	// Blocks is the number of second-level blocks.
+	Blocks int
+	// Cliques counts the cliques found from this level's blocks (before
+	// higher levels' results are filtered against lower ones).
+	Cliques int
+	// Decomp and Analysis measure the wall time of the two phases.
+	Decomp, Analysis time.Duration
+}
+
+// Stats aggregates a FindMaxCliques run.
+type Stats struct {
+	// BlockSize is the m actually used.
+	BlockSize int
+	// MaxDegree is the input graph's maximum degree (the d of m/d).
+	MaxDegree int
+	// Levels holds one entry per recursion level, outermost first. Its
+	// length is the paper's "number of iterations of the first-level
+	// decomposition".
+	Levels []LevelStats
+	// FilterTime is the total time spent in the Lemma 1 filter.
+	FilterTime time.Duration
+	// CoreFallback reports that the recursion stopped making progress (or
+	// hit MaxLevels) and the terminal core was enumerated directly.
+	CoreFallback bool
+	// TotalCliques is the number of maximal cliques returned.
+	TotalCliques int
+	// HubCliques is the number of returned cliques that were discovered at
+	// recursion level ≥ 1, i.e. cliques made of hub nodes only — the
+	// cliques a hub-neglecting decomposition would lose (Figures 9–11).
+	HubCliques int
+}
+
+// Result is the outcome of FindMaxCliques.
+type Result struct {
+	// Cliques holds every maximal clique of the input graph, each sorted
+	// ascending, in deterministic order.
+	Cliques [][]int32
+	// Level[i] is the recursion depth at which Cliques[i] was found:
+	// 0 for cliques containing a feasible node of the original graph,
+	// k ≥ 1 for cliques found k levels into the hub recursion (all their
+	// nodes are hubs at levels 0..k-1).
+	Level []int
+	// Stats describes the run.
+	Stats Stats
+}
+
+// LocalExecutor runs block analyses on a bounded in-process worker pool.
+type LocalExecutor struct {
+	// Parallelism is the worker count; 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// AnalyzeBlocks implements Executor.
+func (e *LocalExecutor) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error) {
+	if len(blocks) != len(combos) {
+		return nil, fmt.Errorf("core: %d blocks but %d combos", len(blocks), len(combos))
+	}
+	workers := e.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	out := make([][][]int32, len(blocks))
+	if len(blocks) == 0 {
+		return out, nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				var cliques [][]int32
+				err := decomp.AnalyzeBlock(&blocks[i], combos[i], func(c []int32) {
+					cp := make([]int32, len(c))
+					copy(cp, c)
+					cliques = append(cliques, cp)
+				})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				out[i] = cliques
+			}
+		}()
+	}
+	for i := range blocks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ErrNoNodes is returned for a graph with no nodes at all; the empty graph
+// has no maximal cliques, but asking is almost always a caller bug.
+var ErrNoNodes = errors.New("core: graph has no nodes")
+
+// FindMaxCliques enumerates every maximal clique of g — Algorithm 1.
+func FindMaxCliques(g *graph.Graph, opts Options) (*Result, error) {
+	if g.N() == 0 {
+		return nil, ErrNoNodes
+	}
+	maxDeg := g.MaxDegree()
+	m := opts.BlockSize
+	if m <= 0 {
+		ratio := opts.BlockRatio
+		if ratio <= 0 {
+			ratio = 0.5
+		}
+		m = int(ratio*float64(maxDeg) + 0.999)
+	}
+	if m < 2 {
+		m = 2
+	}
+	sel := selector(opts)
+	exec := opts.Executor
+	if exec == nil {
+		exec = &LocalExecutor{Parallelism: opts.Parallelism}
+	}
+
+	res := &Result{Stats: Stats{BlockSize: m, MaxDegree: maxDeg}}
+	if err := findRecursive(g, m, sel, exec, opts, res, 0); err != nil {
+		return nil, err
+	}
+	res.Stats.TotalCliques = len(res.Cliques)
+	for _, lvl := range res.Level {
+		if lvl >= 1 {
+			res.Stats.HubCliques++
+		}
+	}
+	return res, nil
+}
+
+// selector builds the per-block combo chooser from the options.
+func selector(opts Options) func(*decomp.Block) mcealg.Combo {
+	if opts.FixedCombo != nil {
+		c := *opts.FixedCombo
+		return func(b *decomp.Block) mcealg.Combo {
+			if c.Struct == mcealg.Matrix && b.Graph.N() > mcealg.MatrixMaxNodes {
+				return mcealg.Combo{Alg: c.Alg, Struct: mcealg.BitSets}
+			}
+			return c
+		}
+	}
+	tree := opts.Tree
+	if tree == nil {
+		tree = dtree.Published()
+	}
+	return func(b *decomp.Block) mcealg.Combo {
+		return dtree.SafePredict(tree, kcore.Measure(b.Graph))
+	}
+}
+
+// findRecursive appends the maximal cliques of g (in the ID space of g,
+// translated by the caller) and their discovery levels to res. It implements
+// the body of Algorithm 1 at recursion depth level.
+func findRecursive(g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo, exec Executor, opts Options, res *Result, level int) error {
+	start := time.Now()
+	feasible, hubs := decomp.Cut(g, m)
+
+	// Stalled recursion (Theorem 1 precondition violated: every remaining
+	// node is a hub, so the induced subgraph equals g) or depth cap: the
+	// remaining graph is the terminal (m+1)-core. Enumerate it directly —
+	// Lemma 1 still applies with C2 = all maximal cliques of this subgraph.
+	if len(feasible) == 0 || (opts.MaxLevels > 0 && level >= opts.MaxLevels && len(hubs) > 0) {
+		return enumerateCore(g, sel, res, level, start)
+	}
+
+	blocks := decomp.Blocks(g, feasible, m, opts.Block)
+	combos := make([]mcealg.Combo, len(blocks))
+	for i := range blocks {
+		combos[i] = sel(&blocks[i])
+	}
+	decompTime := time.Since(start)
+
+	start = time.Now()
+	perBlock, err := analyzeScheduled(exec, blocks, combos, opts.Schedule)
+	if err != nil {
+		return err
+	}
+	cfStart := len(res.Cliques)
+	for _, cliques := range perBlock {
+		for _, c := range cliques {
+			res.Cliques = append(res.Cliques, c)
+			res.Level = append(res.Level, level)
+		}
+	}
+	analysisTime := time.Since(start)
+
+	res.Stats.Levels = append(res.Stats.Levels, LevelStats{
+		Nodes: g.N(), Edges: g.M(),
+		Feasible: len(feasible), Hubs: len(hubs),
+		Blocks:  len(blocks),
+		Cliques: len(res.Cliques) - cfStart,
+		Decomp:  decompTime, Analysis: analysisTime,
+	})
+	if opts.OnLevel != nil {
+		opts.OnLevel(res.Stats.Levels[len(res.Stats.Levels)-1])
+	}
+
+	if len(hubs) == 0 {
+		return nil
+	}
+
+	// Recursive call on the hub-induced subgraph (Algorithm 1, line 6).
+	sub, orig := graph.Induced(g, hubs)
+	subRes := &Result{}
+	if err := findRecursive(sub, m, sel, exec, opts, subRes, level+1); err != nil {
+		return err
+	}
+	res.Stats.Levels = append(res.Stats.Levels, subRes.Stats.Levels...)
+	res.Stats.CoreFallback = res.Stats.CoreFallback || subRes.Stats.CoreFallback
+	res.Stats.FilterTime += subRes.Stats.FilterTime
+
+	// Translate hub-side cliques to this level's IDs, then filter against
+	// this level's feasible-side cliques (Algorithm 1, line 7; Lemma 1).
+	ch := make([][]int32, len(subRes.Cliques))
+	for i, c := range subRes.Cliques {
+		t := make([]int32, len(c))
+		for j, v := range c {
+			t[j] = orig[v]
+		}
+		ch[i] = t // already ascending: orig is ascending and c is ascending
+	}
+	start = time.Now()
+	var drop func(c []int32) bool
+	if opts.UseExtensionFilter {
+		feasSet := bitset.FromSlice(g.N(), feasible)
+		isFeasible := func(v int32) bool { return feasSet.Has(v) }
+		drop = func(c []int32) bool { return filter.Extensible(g, c, isFeasible) }
+	} else {
+		ix := filter.NewIndex(res.Cliques[cfStart:])
+		drop = ix.ContainedIn
+	}
+	for i, c := range ch {
+		if !drop(c) {
+			res.Cliques = append(res.Cliques, c)
+			// subRes was built with level+1, so its Level entries are
+			// already absolute recursion depths.
+			res.Level = append(res.Level, subRes.Level[i])
+		}
+	}
+	res.Stats.FilterTime += time.Since(start)
+	return nil
+}
+
+// analyzeScheduled dispatches the blocks in the configured order and
+// returns the results in the original block order, so scheduling never
+// changes the output.
+func analyzeScheduled(exec Executor, blocks []decomp.Block, combos []mcealg.Combo, sched Schedule) ([][][]int32, error) {
+	if sched != ScheduleLPT || len(blocks) < 2 {
+		return exec.AnalyzeBlocks(blocks, combos)
+	}
+	perm := make([]int, len(blocks))
+	for i := range perm {
+		perm[i] = i
+	}
+	// Cost estimate: block analysis is roughly linear in the per-kernel
+	// neighbourhood work, which edges × kernels tracks well enough for
+	// ordering purposes.
+	cost := func(b *decomp.Block) int64 {
+		return int64(b.Graph.M()+1) * int64(len(b.Kernel)+1)
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		return cost(&blocks[perm[a]]) > cost(&blocks[perm[b]])
+	})
+	ordered := make([]decomp.Block, len(blocks))
+	orderedCombos := make([]mcealg.Combo, len(blocks))
+	for pos, idx := range perm {
+		ordered[pos] = blocks[idx]
+		orderedCombos[pos] = combos[idx]
+	}
+	permuted, err := exec.AnalyzeBlocks(ordered, orderedCombos)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]int32, len(blocks))
+	for pos, idx := range perm {
+		out[idx] = permuted[pos]
+	}
+	return out, nil
+}
+
+// enumerateCore handles the terminal core directly with a single MCE run.
+func enumerateCore(g *graph.Graph, sel func(*decomp.Block) mcealg.Combo, res *Result, level int, start time.Time) error {
+	blk := wholeGraphBlock(g)
+	combo := sel(blk)
+	n := 0
+	err := mcealg.Enumerate(g, combo, func(c []int32) {
+		cp := make([]int32, len(c))
+		copy(cp, c)
+		res.Cliques = append(res.Cliques, cp)
+		res.Level = append(res.Level, level)
+		n++
+	})
+	if err != nil {
+		return err
+	}
+	res.Stats.CoreFallback = true
+	res.Stats.Levels = append(res.Stats.Levels, LevelStats{
+		Nodes: g.N(), Edges: g.M(), Hubs: g.N(),
+		Cliques: n, Analysis: time.Since(start),
+	})
+	return nil
+}
+
+// wholeGraphBlock wraps g as a single all-kernel block so combo selectors
+// can inspect it uniformly.
+func wholeGraphBlock(g *graph.Graph) *decomp.Block {
+	kernel := make([]int32, g.N())
+	orig := make([]int32, g.N())
+	for v := int32(0); v < int32(g.N()); v++ {
+		kernel[v] = v
+		orig[v] = v
+	}
+	return &decomp.Block{Graph: g, Orig: orig, Kernel: kernel}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"time"
+
+	"mce/internal/bitset"
+	"mce/internal/decomp"
+	"mce/internal/filter"
+	"mce/internal/graph"
+	"mce/internal/mcealg"
+)
+
+// Stream enumerates every maximal clique of g like FindMaxCliques but hands
+// each clique to emit as soon as its block batch completes, instead of
+// accumulating the full result. Memory stays bounded by the largest block
+// batch plus the (small) hub-side recursion — the regime the paper targets,
+// where the clique family can dwarf main memory.
+//
+// emit receives the clique (ascending node IDs; the slice must not be
+// retained) and the recursion level it was found at. Cliques arrive in the
+// same deterministic order FindMaxCliques returns.
+//
+// Streaming uses the Lemma 1 extension filter unconditionally: the
+// containment filter would need every feasible-side clique of a level kept
+// in memory, which is exactly what streaming avoids. Options.Executor and
+// all decomposition options are honoured.
+func Stream(g *graph.Graph, opts Options, emit func(clique []int32, level int)) (*Stats, error) {
+	if g.N() == 0 {
+		return nil, ErrNoNodes
+	}
+	maxDeg := g.MaxDegree()
+	m := opts.BlockSize
+	if m <= 0 {
+		ratio := opts.BlockRatio
+		if ratio <= 0 {
+			ratio = 0.5
+		}
+		m = int(ratio*float64(maxDeg) + 0.999)
+	}
+	if m < 2 {
+		m = 2
+	}
+	sel := selector(opts)
+	exec := opts.Executor
+	if exec == nil {
+		exec = &LocalExecutor{Parallelism: opts.Parallelism}
+	}
+	stats := &Stats{BlockSize: m, MaxDegree: maxDeg}
+	if err := streamRecursive(g, m, sel, exec, opts, stats, 0, emit); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+func streamRecursive(g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo, exec Executor, opts Options, stats *Stats, level int, emit func([]int32, int)) error {
+	start := time.Now()
+	feasible, hubs := decomp.Cut(g, m)
+
+	if len(feasible) == 0 || (opts.MaxLevels > 0 && level >= opts.MaxLevels && len(hubs) > 0) {
+		blk := wholeGraphBlock(g)
+		combo := sel(blk)
+		n := 0
+		err := mcealg.Enumerate(g, combo, func(c []int32) {
+			emit(c, level)
+			n++
+		})
+		if err != nil {
+			return err
+		}
+		stats.CoreFallback = true
+		stats.TotalCliques += n
+		stats.Levels = append(stats.Levels, LevelStats{
+			Nodes: g.N(), Edges: g.M(), Hubs: g.N(),
+			Cliques: n, Analysis: time.Since(start),
+		})
+		return nil
+	}
+
+	blocks := decomp.Blocks(g, feasible, m, opts.Block)
+	combos := make([]mcealg.Combo, len(blocks))
+	for i := range blocks {
+		combos[i] = sel(&blocks[i])
+	}
+	decompTime := time.Since(start)
+
+	start = time.Now()
+	perBlock, err := analyzeScheduled(exec, blocks, combos, opts.Schedule)
+	if err != nil {
+		return err
+	}
+	levelCliques := 0
+	for _, cliques := range perBlock {
+		for _, c := range cliques {
+			emit(c, level)
+			levelCliques++
+		}
+	}
+	analysisTime := time.Since(start)
+	stats.TotalCliques += levelCliques
+	stats.Levels = append(stats.Levels, LevelStats{
+		Nodes: g.N(), Edges: g.M(),
+		Feasible: len(feasible), Hubs: len(hubs),
+		Blocks:  len(blocks),
+		Cliques: levelCliques,
+		Decomp:  decompTime, Analysis: analysisTime,
+	})
+	if opts.OnLevel != nil {
+		opts.OnLevel(stats.Levels[len(stats.Levels)-1])
+	}
+
+	if len(hubs) == 0 {
+		return nil
+	}
+
+	// Recurse on the hub-induced subgraph, filtering survivors by the
+	// extension test before emitting — no Cf retention required.
+	sub, orig := graph.Induced(g, hubs)
+	feasSet := bitset.FromSlice(g.N(), feasible)
+	isFeasible := func(v int32) bool { return feasSet.Has(v) }
+	translated := make([]int32, 0, 64)
+	inner := func(c []int32, subLevel int) {
+		translated = translated[:0]
+		for _, v := range c {
+			translated = append(translated, orig[v])
+		}
+		start := time.Now()
+		keep := !filter.Extensible(g, translated, isFeasible)
+		stats.FilterTime += time.Since(start)
+		if keep {
+			emit(translated, level+1+subLevel)
+			stats.TotalCliques++
+			stats.HubCliques++
+		}
+	}
+	subStats := &Stats{}
+	if err := streamRecursive(sub, m, sel, exec, opts, subStats, 0, inner); err != nil {
+		return err
+	}
+	stats.Levels = append(stats.Levels, subStats.Levels...)
+	stats.CoreFallback = stats.CoreFallback || subStats.CoreFallback
+	stats.FilterTime += subStats.FilterTime
+	return nil
+}

@@ -1,0 +1,463 @@
+package decomp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mce/internal/bitset"
+	"mce/internal/gen"
+	"mce/internal/graph"
+	"mce/internal/mcealg"
+)
+
+func key(c []int32) string {
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestCutClassification(t *testing.T) {
+	// Star: centre degree 5, leaves degree 1.
+	b := graph.NewBuilder(6)
+	for v := int32(1); v < 6; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.Build()
+	feasible, hubs := Cut(g, 3)
+	if len(hubs) != 1 || hubs[0] != 0 {
+		t.Fatalf("hubs = %v, want [0]", hubs)
+	}
+	if len(feasible) != 5 {
+		t.Fatalf("feasible = %v", feasible)
+	}
+	// m larger than every degree: no hubs.
+	feasible, hubs = Cut(g, 6)
+	if len(hubs) != 0 || len(feasible) != 6 {
+		t.Fatalf("m=6: feasible=%d hubs=%d", len(feasible), len(hubs))
+	}
+	// Boundary: degree == m means hub (closed neighbourhood m+1 > m).
+	_, hubs = Cut(g, 5)
+	if len(hubs) != 1 {
+		t.Fatalf("m=5: hubs = %v, want the degree-5 centre", hubs)
+	}
+}
+
+func TestCutEmptyGraph(t *testing.T) {
+	f, h := Cut(graph.Empty(0), 4)
+	if len(f) != 0 || len(h) != 0 {
+		t.Fatalf("empty graph: f=%v h=%v", f, h)
+	}
+}
+
+func TestIsFeasible(t *testing.T) {
+	g := graph.Complete(4) // every degree 3
+	if IsFeasible(g, 0, 3) {
+		t.Fatalf("degree 3 with m=3 should be hub")
+	}
+	if !IsFeasible(g, 0, 4) {
+		t.Fatalf("degree 3 with m=4 should be feasible")
+	}
+}
+
+// checkBlockInvariants verifies the structural promises of Algorithm 3.
+func checkBlockInvariants(t *testing.T, g *graph.Graph, feasible []int32, m int, blocks []Block) {
+	t.Helper()
+	feasSet := bitset.FromSlice(g.N(), feasible)
+	kernelOwner := make(map[int32]int)
+	for bi, b := range blocks {
+		if b.Graph.N() != len(b.Orig) {
+			t.Fatalf("block %d: size mismatch", bi)
+		}
+		if b.Graph.N() > m {
+			t.Fatalf("block %d: %d nodes exceed m=%d", bi, b.Graph.N(), m)
+		}
+		if len(b.Kernel) == 0 {
+			t.Fatalf("block %d has no kernels", bi)
+		}
+		classified := 0
+		for _, sets := range [][]int32{b.Kernel, b.Border, b.Visited} {
+			classified += len(sets)
+		}
+		if classified != b.Graph.N() {
+			t.Fatalf("block %d: %d classified of %d nodes", bi, classified, b.Graph.N())
+		}
+		for _, k := range b.Kernel {
+			gk := b.Orig[k]
+			if !feasSet.Has(gk) {
+				t.Fatalf("block %d: kernel %d is not feasible", bi, gk)
+			}
+			if owner, dup := kernelOwner[gk]; dup {
+				t.Fatalf("node %d kernel in blocks %d and %d", gk, owner, bi)
+			}
+			kernelOwner[gk] = bi
+			// The kernel's full neighbourhood is inside the block.
+			inBlock := map[int32]bool{}
+			for _, o := range b.Orig {
+				inBlock[o] = true
+			}
+			for _, u := range g.Neighbors(gk) {
+				if !inBlock[u] {
+					t.Fatalf("block %d: kernel %d misses neighbour %d", bi, gk, u)
+				}
+			}
+		}
+		// Induced subgraph edges match the original graph.
+		for u := int32(0); u < int32(b.Graph.N()); u++ {
+			for _, v := range b.Graph.Neighbors(u) {
+				if !g.HasEdge(b.Orig[u], b.Orig[v]) {
+					t.Fatalf("block %d: phantom edge %d-%d", bi, b.Orig[u], b.Orig[v])
+				}
+			}
+		}
+	}
+	// Kernel sets partition the feasible nodes.
+	if len(kernelOwner) != len(feasible) {
+		t.Fatalf("kernels cover %d of %d feasible nodes", len(kernelOwner), len(feasible))
+	}
+}
+
+func TestBlocksPartitionFeasible(t *testing.T) {
+	g := gen.HolmeKim(400, 5, 0.6, 3)
+	m := g.MaxDegree() / 2
+	if m < 8 {
+		m = 8
+	}
+	feasible, _ := Cut(g, m)
+	blocks := Blocks(g, feasible, m, Options{})
+	checkBlockInvariants(t, g, feasible, m, blocks)
+}
+
+func TestBlocksIsolatedNodes(t *testing.T) {
+	g := graph.Empty(5)
+	feasible, hubs := Cut(g, 3)
+	if len(hubs) != 0 {
+		t.Fatalf("isolated nodes classified as hubs")
+	}
+	blocks := Blocks(g, feasible, 3, Options{})
+	if len(blocks) != 5 {
+		t.Fatalf("got %d blocks, want 5 singletons", len(blocks))
+	}
+	for _, b := range blocks {
+		if b.Graph.N() != 1 || len(b.Kernel) != 1 {
+			t.Fatalf("singleton block malformed: %+v", b)
+		}
+	}
+}
+
+func TestBlocksDenseNeighborsShareBlock(t *testing.T) {
+	// Two K4s joined by one edge; m=8 fits a whole K4 plus its one
+	// external neighbour, so each K4's kernels land in the same block.
+	b := graph.NewBuilder(8)
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v)
+			b.AddEdge(u+4, v+4)
+		}
+	}
+	b.AddEdge(3, 4)
+	g := b.Build()
+	feasible, _ := Cut(g, 8)
+	blocks := Blocks(g, feasible, 8, Options{})
+	checkBlockInvariants(t, g, feasible, 8, blocks)
+	// Each clique {0..3} and {4..7} must appear inside some single block.
+	for _, want := range [][]int32{{0, 1, 2, 3}, {4, 5, 6, 7}} {
+		found := false
+		for _, blk := range blocks {
+			have := map[int32]bool{}
+			for _, o := range blk.Orig {
+				have[o] = true
+			}
+			all := true
+			for _, v := range want {
+				if !have[v] {
+					all = false
+					break
+				}
+			}
+			if all {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("clique %v split across blocks", want)
+		}
+	}
+}
+
+func collectBlockCliques(t *testing.T, blocks []Block, combo mcealg.Combo) [][]int32 {
+	t.Helper()
+	var out [][]int32
+	for i := range blocks {
+		err := AnalyzeBlock(&blocks[i], combo, func(c []int32) {
+			cp := make([]int32, len(c))
+			copy(cp, c)
+			out = append(out, cp)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestAnalyzeBlocksFindAllFeasibleCliquesOnce(t *testing.T) {
+	// With m above the max degree there are no hubs, so block analysis
+	// alone must produce every maximal clique of the graph exactly once.
+	g := gen.HolmeKim(250, 4, 0.7, 11)
+	m := g.MaxDegree() + 1
+	feasible, hubs := Cut(g, m)
+	if len(hubs) != 0 {
+		t.Fatalf("unexpected hubs with m > maxdeg")
+	}
+	blocks := Blocks(g, feasible, m, Options{})
+	checkBlockInvariants(t, g, feasible, m, blocks)
+
+	got := collectBlockCliques(t, blocks, mcealg.Combo{Alg: mcealg.Tomita, Struct: mcealg.BitSets})
+	want := mcealg.ReferenceCollect(g)
+
+	gs := map[string]int{}
+	for _, c := range got {
+		gs[key(c)]++
+	}
+	for k, cnt := range gs {
+		if cnt > 1 {
+			t.Fatalf("clique {%s} emitted %d times", k, cnt)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d cliques, want %d", len(got), len(want))
+	}
+	for _, c := range want {
+		if gs[key(c)] != 1 {
+			t.Fatalf("clique {%s} missing", key(c))
+		}
+	}
+}
+
+func TestAnalyzeBlockRespectsVisited(t *testing.T) {
+	// Triangle 0-1-2. Build a block where 2 is visited: only cliques
+	// avoiding 2 and not extensible by 2 qualify — none, since {0,1}
+	// extends by 2. So nothing is emitted.
+	g := graph.Complete(3)
+	sub, orig := graph.Induced(g, []int32{0, 1, 2})
+	b := Block{Graph: sub, Orig: orig, Kernel: []int32{0, 1}, Visited: []int32{2}}
+	var got [][]int32
+	err := AnalyzeBlock(&b, mcealg.Combo{Alg: mcealg.Tomita, Struct: mcealg.Lists}, func(c []int32) {
+		cp := make([]int32, len(c))
+		copy(cp, c)
+		got = append(got, cp)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("emitted %v despite visited node", got)
+	}
+}
+
+func TestAnalyzeBlockKernelOnly(t *testing.T) {
+	// Same triangle with all three nodes kernels: exactly one clique.
+	g := graph.Complete(3)
+	sub, orig := graph.Induced(g, []int32{0, 1, 2})
+	b := Block{Graph: sub, Orig: orig, Kernel: []int32{0, 1, 2}}
+	var got [][]int32
+	err := AnalyzeBlock(&b, mcealg.Combo{Alg: mcealg.BKPivot, Struct: mcealg.Matrix}, func(c []int32) {
+		cp := make([]int32, len(c))
+		copy(cp, c)
+		got = append(got, cp)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || key(got[0]) != "0,1,2" {
+		t.Fatalf("got %v, want [{0,1,2}]", got)
+	}
+}
+
+func TestMinAdjacencyOption(t *testing.T) {
+	// A long path with MinAdjacency 2 yields smaller blocks than with 1,
+	// because path nodes never have 2 edges into the kernel set.
+	b := graph.NewBuilder(30)
+	for v := int32(0); v < 29; v++ {
+		b.AddEdge(v, v+1)
+	}
+	g := b.Build()
+	feasible, _ := Cut(g, 10)
+	loose := Blocks(g, feasible, 10, Options{MinAdjacency: 1})
+	strict := Blocks(g, feasible, 10, Options{MinAdjacency: 2})
+	if len(strict) <= len(loose) {
+		t.Fatalf("MinAdjacency=2 gave %d blocks, expected more than %d", len(strict), len(loose))
+	}
+	checkBlockInvariants(t, g, feasible, 10, strict)
+}
+
+// Property: on random graphs with no hubs, decomposition + block analysis
+// equals the reference enumeration exactly (count and content), for several
+// combos.
+func TestQuickDecompositionComplete(t *testing.T) {
+	combos := []mcealg.Combo{
+		{Alg: mcealg.Tomita, Struct: mcealg.BitSets},
+		{Alg: mcealg.Eppstein, Struct: mcealg.Lists},
+		{Alg: mcealg.XPivot, Struct: mcealg.Matrix},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60) + 5
+		g := gen.ErdosRenyi(n, 0.15+rng.Float64()*0.2, seed)
+		m := g.MaxDegree() + 1 + rng.Intn(5)
+		feasible, hubs := Cut(g, m)
+		if len(hubs) != 0 {
+			return false
+		}
+		blocks := Blocks(g, feasible, m, Options{})
+		want := map[string]bool{}
+		for _, c := range mcealg.ReferenceCollect(g) {
+			want[key(c)] = true
+		}
+		for _, combo := range combos {
+			got := map[string]int{}
+			for i := range blocks {
+				err := AnalyzeBlock(&blocks[i], combo, func(c []int32) {
+					got[key(c)]++
+				})
+				if err != nil {
+					return false
+				}
+			}
+			if len(got) != len(want) {
+				return false
+			}
+			for k, cnt := range got {
+				if cnt != 1 || !want[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with hubs present, block analysis finds exactly the reference
+// cliques that contain at least one feasible node.
+func TestQuickBlocksFindFeasibleSideCliques(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(50) + 10
+		g := gen.BarabasiAlbert(n, 3, seed)
+		m := g.MaxDegree()/2 + 2 // guarantees some hubs on BA graphs usually
+		feasible, _ := Cut(g, m)
+		feasSet := map[int32]bool{}
+		for _, v := range feasible {
+			feasSet[v] = true
+		}
+		want := map[string]bool{}
+		for _, c := range mcealg.ReferenceCollect(g) {
+			hasFeasible := false
+			for _, v := range c {
+				if feasSet[v] {
+					hasFeasible = true
+					break
+				}
+			}
+			if hasFeasible {
+				want[key(c)] = true
+			}
+		}
+		blocks := Blocks(g, feasible, m, Options{})
+		got := map[string]int{}
+		for i := range blocks {
+			err := AnalyzeBlock(&blocks[i], mcealg.Combo{Alg: mcealg.Tomita, Struct: mcealg.BitSets},
+				func(c []int32) { got[key(c)]++ })
+			if err != nil {
+				return false
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, cnt := range got {
+			if cnt != 1 || !want[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedOrders(t *testing.T) {
+	g := gen.BarabasiAlbert(200, 3, 5)
+	m := g.MaxDegree() + 1
+	feasible, _ := Cut(g, m)
+	for _, opts := range []Options{
+		{Order: OrderDegreeAsc},
+		{Order: OrderID},
+		{Order: OrderRandom, Seed: 7},
+	} {
+		blocks := Blocks(g, feasible, m, opts)
+		checkBlockInvariants(t, g, feasible, m, blocks)
+	}
+}
+
+func TestOrderRandomDeterministicPerSeed(t *testing.T) {
+	g := gen.HolmeKim(150, 4, 0.6, 9)
+	m := g.MaxDegree()/2 + 2
+	feasible, _ := Cut(g, m)
+	a := Blocks(g, feasible, m, Options{Order: OrderRandom, Seed: 3})
+	b := Blocks(g, feasible, m, Options{Order: OrderRandom, Seed: 3})
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different block counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Graph.N() != b[i].Graph.N() || len(a[i].Kernel) != len(b[i].Kernel) {
+			t.Fatalf("same seed, block %d differs", i)
+		}
+	}
+	c := Blocks(g, feasible, m, Options{Order: OrderRandom, Seed: 4})
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Graph.N() != c[i].Graph.N() {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Log("different seeds produced identical decompositions (possible but unlikely)")
+	}
+}
+
+func TestDenseOrderingYieldsDenserBlocks(t *testing.T) {
+	// On a clustered graph, degree-ascending greedy growth should produce
+	// blocks at least as dense on average as random seeding — §7's point
+	// against hash partitioning.
+	g := gen.HolmeKim(800, 5, 0.75, 13)
+	m := g.MaxDegree() / 2
+	feasible, _ := Cut(g, m)
+	avgDensity := func(blocks []Block) float64 {
+		total, n := 0.0, 0
+		for _, b := range blocks {
+			if b.Graph.N() >= 2 {
+				total += b.Graph.Density()
+				n++
+			}
+		}
+		return total / float64(n)
+	}
+	greedy := avgDensity(Blocks(g, feasible, m, Options{Order: OrderDegreeAsc}))
+	random := avgDensity(Blocks(g, feasible, m, Options{Order: OrderRandom, Seed: 1}))
+	if greedy < random*0.8 {
+		t.Fatalf("greedy blocks much sparser than random: %.4f vs %.4f", greedy, random)
+	}
+}

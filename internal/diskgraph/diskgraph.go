@@ -1,0 +1,259 @@
+// Package diskgraph stores a graph's adjacency on disk and serves
+// neighbourhood reads on demand, keeping only the degree/offset arrays in
+// memory (O(N), not O(N+M)). It is the substrate for out-of-core maximal
+// clique enumeration (package extmce): the paper's premise is that "the
+// size of the input network often exceeds the available memory" (§7), and
+// the external-memory line of work it builds on (ExtMCE [8], EmMCE [10])
+// processes exactly such graphs block by block.
+//
+// On-disk layout (little endian):
+//
+//	magic "MCEG"            4 bytes
+//	n                       int64
+//	offsets[n+1]            int64 each (byte offsets into the list section)
+//	neighbour lists         int32 each, node 0 first, each list ascending
+package diskgraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"sync/atomic"
+
+	"mce/internal/graph"
+)
+
+var magic = [4]byte{'M', 'C', 'E', 'G'}
+
+// Write serialises g to path in the disk-graph format.
+func Write(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("diskgraph: %w", err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+
+	if _, err := w.Write(magic[:]); err != nil {
+		return fmt.Errorf("diskgraph: %w", err)
+	}
+	n := int64(g.N())
+	if err := binary.Write(w, binary.LittleEndian, n); err != nil {
+		return fmt.Errorf("diskgraph: %w", err)
+	}
+	// Offsets are byte positions relative to the start of the list
+	// section.
+	pos := int64(0)
+	for v := int64(0); v <= n; v++ {
+		if err := binary.Write(w, binary.LittleEndian, pos); err != nil {
+			return fmt.Errorf("diskgraph: %w", err)
+		}
+		if v < n {
+			pos += 4 * int64(g.Degree(int32(v)))
+		}
+	}
+	for v := int32(0); v < int32(n); v++ {
+		for _, u := range g.Neighbors(v) {
+			if err := binary.Write(w, binary.LittleEndian, u); err != nil {
+				return fmt.Errorf("diskgraph: %w", err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("diskgraph: %w", err)
+	}
+	return f.Close()
+}
+
+// Graph is a read-only disk-resident graph. It is safe for concurrent
+// readers. Close it when done.
+type Graph struct {
+	f        *os.File
+	n        int
+	offsets  []int64 // byte offsets into the list section, len n+1
+	listBase int64   // file offset where the list section starts
+	// reads counts ReadNeighbors calls, for I/O accounting in tests and
+	// experiments.
+	reads int64
+}
+
+// Open maps a disk graph for reading; the offset table is loaded eagerly
+// (O(N) memory), neighbour lists stay on disk.
+func Open(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("diskgraph: %w", err)
+	}
+	r := bufio.NewReader(f)
+	var got [4]byte
+	if _, err := io.ReadFull(r, got[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskgraph: header: %w", err)
+	}
+	if got != magic {
+		f.Close()
+		return nil, errors.New("diskgraph: not a disk graph (bad magic)")
+	}
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskgraph: header: %w", err)
+	}
+	if n < 0 || n > 1<<31 {
+		f.Close()
+		return nil, fmt.Errorf("diskgraph: implausible node count %d", n)
+	}
+	offsets := make([]int64, n+1)
+	if err := binary.Read(r, binary.LittleEndian, offsets); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("diskgraph: offsets: %w", err)
+	}
+	return &Graph{
+		f:        f,
+		n:        int(n),
+		offsets:  offsets,
+		listBase: int64(4 + 8 + 8*(n+1)),
+	}, nil
+}
+
+// Close releases the underlying file.
+func (g *Graph) Close() error { return g.f.Close() }
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int {
+	return int(g.offsets[g.n] / 8) // bytes / 4 per endpoint / 2 per edge
+}
+
+// Degree returns deg(v) without touching the disk.
+func (g *Graph) Degree(v int32) int {
+	return int((g.offsets[v+1] - g.offsets[v]) / 4)
+}
+
+// Degrees returns the whole degree sequence without disk reads.
+func (g *Graph) Degrees() []int {
+	out := make([]int, g.n)
+	for v := 0; v < g.n; v++ {
+		out[v] = g.Degree(int32(v))
+	}
+	return out
+}
+
+// ReadNeighbors fetches v's adjacency list from disk into buf (reused when
+// large enough) and returns it, ascending.
+func (g *Graph) ReadNeighbors(v int32, buf []int32) ([]int32, error) {
+	deg := g.Degree(v)
+	if cap(buf) < deg {
+		buf = make([]int32, deg)
+	}
+	buf = buf[:deg]
+	if deg == 0 {
+		return buf, nil
+	}
+	raw := make([]byte, 4*deg)
+	if _, err := g.f.ReadAt(raw, g.listBase+g.offsets[v]); err != nil {
+		return nil, fmt.Errorf("diskgraph: reading node %d: %w", v, err)
+	}
+	for i := range buf {
+		buf[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	atomic.AddInt64(&g.reads, 1)
+	return buf, nil
+}
+
+// Reads reports how many neighbourhood fetches have hit the disk.
+func (g *Graph) Reads() int64 { return atomic.LoadInt64(&g.reads) }
+
+// LoadClosedNeighborhood materialises the subgraph induced by the kernels
+// and all their neighbours as an in-memory graph (plus the local→global
+// mapping and the local IDs of the kernels), reading only the adjacency
+// lists of the involved nodes. This is the unit of I/O of the out-of-core
+// pipeline: one block's worth of network.
+func (g *Graph) LoadClosedNeighborhood(kernels []int32) (*graph.Graph, []int32, []int32, error) {
+	inSet := map[int32]int32{}
+	var orig []int32
+	add := func(v int32) {
+		if _, ok := inSet[v]; !ok {
+			inSet[v] = int32(len(orig))
+			orig = append(orig, v)
+		}
+	}
+	var buf []int32
+	var err error
+	adj := make(map[int32][]int32, len(kernels))
+	for _, k := range kernels {
+		add(k)
+		buf, err = g.ReadNeighbors(k, buf)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		cp := make([]int32, len(buf))
+		copy(cp, buf)
+		adj[k] = cp
+		for _, u := range cp {
+			add(u)
+		}
+	}
+	// Edges among the selected nodes: kernel adjacencies are known; the
+	// border–border edges require reading the border nodes' lists too
+	// (they are needed for induced completeness, exactly as the in-memory
+	// BLOCKS does).
+	b := graph.NewBuilder(len(orig))
+	for _, v := range orig {
+		list, ok := adj[v]
+		if !ok {
+			buf, err = g.ReadNeighbors(v, buf)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			list = buf
+		}
+		lv := inSet[v]
+		for _, u := range list {
+			if lu, ok := inSet[u]; ok && lv < lu {
+				b.AddEdge(lv, lu)
+			}
+		}
+	}
+	kernelLocal := make([]int32, len(kernels))
+	for i, k := range kernels {
+		kernelLocal[i] = inSet[k]
+	}
+	return b.Build(), orig, kernelLocal, nil
+}
+
+// LoadInduced materialises the subgraph induced by nodes (used for the hub
+// recursion, whose node set is small).
+func (g *Graph) LoadInduced(nodes []int32) (*graph.Graph, []int32, error) {
+	idx := make(map[int32]int32, len(nodes))
+	orig := make([]int32, 0, len(nodes))
+	for _, v := range nodes {
+		if _, dup := idx[v]; dup {
+			continue
+		}
+		idx[v] = int32(len(orig))
+		orig = append(orig, v)
+	}
+	b := graph.NewBuilder(len(orig))
+	var buf []int32
+	var err error
+	for _, v := range orig {
+		buf, err = g.ReadNeighbors(v, buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		lv := idx[v]
+		for _, u := range buf {
+			if lu, ok := idx[u]; ok && lv < lu {
+				b.AddEdge(lv, lu)
+			}
+		}
+	}
+	return b.Build(), orig, nil
+}

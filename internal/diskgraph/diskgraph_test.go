@@ -1,0 +1,187 @@
+package diskgraph
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"mce/internal/gen"
+	"mce/internal/graph"
+)
+
+func roundTrip(t *testing.T, g *graph.Graph) *Graph {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "g.mceg")
+	if err := Write(p, g); err != nil {
+		t.Fatal(err)
+	}
+	dg, err := Open(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dg.Close() })
+	return dg
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	g := gen.ErdosRenyi(200, 0.1, 3)
+	dg := roundTrip(t, g)
+	if dg.N() != g.N() || dg.M() != g.M() {
+		t.Fatalf("n=%d m=%d, want n=%d m=%d", dg.N(), dg.M(), g.N(), g.M())
+	}
+	var buf []int32
+	var err error
+	for v := int32(0); v < int32(g.N()); v++ {
+		buf, err = dg.ReadNeighbors(v, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := g.Neighbors(v)
+		if len(buf) != len(want) {
+			t.Fatalf("deg(%d) = %d, want %d", v, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("neighbors(%d)[%d] = %d, want %d", v, i, buf[i], want[i])
+			}
+		}
+	}
+}
+
+func TestEmptyAndIsolated(t *testing.T) {
+	dg := roundTrip(t, graph.Empty(5))
+	if dg.N() != 5 || dg.M() != 0 {
+		t.Fatalf("empty graph: n=%d m=%d", dg.N(), dg.M())
+	}
+	nbrs, err := dg.ReadNeighbors(3, nil)
+	if err != nil || len(nbrs) != 0 {
+		t.Fatalf("isolated node neighbours = %v, %v", nbrs, err)
+	}
+	degs := dg.Degrees()
+	for v, d := range degs {
+		if d != 0 {
+			t.Fatalf("degree(%d) = %d", v, d)
+		}
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("not a graph at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	short := filepath.Join(dir, "short")
+	if err := os.WriteFile(short, []byte("MC"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(short); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestLoadInducedMatchesGraph(t *testing.T) {
+	g := gen.HolmeKim(150, 4, 0.6, 9)
+	dg := roundTrip(t, g)
+	nodes := []int32{3, 17, 42, 99, 3} // duplicate collapses
+	sub, orig, err := dg.LoadInduced(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 4 || len(orig) != 4 {
+		t.Fatalf("induced n=%d orig=%v", sub.N(), orig)
+	}
+	for a := int32(0); a < int32(sub.N()); a++ {
+		for b := a + 1; b < int32(sub.N()); b++ {
+			if sub.HasEdge(a, b) != g.HasEdge(orig[a], orig[b]) {
+				t.Fatalf("induced edge %d-%d mismatch", orig[a], orig[b])
+			}
+		}
+	}
+}
+
+func TestLoadClosedNeighborhood(t *testing.T) {
+	g := gen.HolmeKim(150, 4, 0.6, 11)
+	dg := roundTrip(t, g)
+	kernels := []int32{5, 6}
+	sub, orig, kernelLocal, err := dg.LoadClosedNeighborhood(kernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kernelLocal) != 2 {
+		t.Fatalf("kernelLocal = %v", kernelLocal)
+	}
+	// Every kernel neighbour is present, and the induced edges are exact.
+	have := map[int32]bool{}
+	for _, v := range orig {
+		have[v] = true
+	}
+	for _, k := range kernels {
+		if !have[k] {
+			t.Fatalf("kernel %d missing from block", k)
+		}
+		for _, u := range g.Neighbors(k) {
+			if !have[u] {
+				t.Fatalf("kernel %d neighbour %d missing", k, u)
+			}
+		}
+	}
+	for a := int32(0); a < int32(sub.N()); a++ {
+		for b := a + 1; b < int32(sub.N()); b++ {
+			if sub.HasEdge(a, b) != g.HasEdge(orig[a], orig[b]) {
+				t.Fatalf("block edge %d-%d mismatch", orig[a], orig[b])
+			}
+		}
+	}
+}
+
+// Property: the disk format preserves random graphs exactly.
+func TestQuickFormatFidelity(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(int(seed%50)+5, 0.25, seed)
+		dir, err := os.MkdirTemp("", "mcedg")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		p := filepath.Join(dir, "g.mceg")
+		if err := Write(p, g); err != nil {
+			return false
+		}
+		dg, err := Open(p)
+		if err != nil {
+			return false
+		}
+		defer dg.Close()
+		if dg.N() != g.N() || dg.M() != g.M() {
+			return false
+		}
+		var buf []int32
+		for v := int32(0); v < int32(g.N()); v++ {
+			buf, err = dg.ReadNeighbors(v, buf)
+			if err != nil {
+				return false
+			}
+			want := g.Neighbors(v)
+			if len(buf) != len(want) {
+				return false
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package dtree
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mce/internal/mcealg"
+)
+
+// wireNode is the JSON form of a tree node. Exactly one of Split or Leaf is
+// set.
+type wireNode struct {
+	Split *wireSplit `json:"split,omitempty"`
+	Leaf  *wireLeaf  `json:"leaf,omitempty"`
+}
+
+type wireSplit struct {
+	Feature   string    `json:"feature"`
+	Threshold float64   `json:"threshold"`
+	True      *wireNode `json:"true"`
+	False     *wireNode `json:"false"`
+}
+
+type wireLeaf struct {
+	Algorithm string `json:"algorithm"`
+	Structure string `json:"structure"`
+	Samples   int    `json:"samples,omitempty"`
+}
+
+// MarshalJSON encodes the tree so a trained selector can be stored next to
+// a deployment and reloaded without retraining.
+func (t *Tree) MarshalJSON() ([]byte, error) {
+	return json.Marshal(toWire(t.root))
+}
+
+// UnmarshalJSON decodes a tree produced by MarshalJSON.
+func (t *Tree) UnmarshalJSON(data []byte) error {
+	var w wireNode
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("dtree: %w", err)
+	}
+	root, err := fromWire(&w)
+	if err != nil {
+		return err
+	}
+	t.root = root
+	return nil
+}
+
+func toWire(n *node) *wireNode {
+	if n.leaf {
+		return &wireNode{Leaf: &wireLeaf{
+			Algorithm: n.combo.Alg.String(),
+			Structure: n.combo.Struct.String(),
+			Samples:   n.samples,
+		}}
+	}
+	return &wireNode{Split: &wireSplit{
+		Feature:   n.feat.String(),
+		Threshold: n.threshold,
+		True:      toWire(n.left),
+		False:     toWire(n.right),
+	}}
+}
+
+func fromWire(w *wireNode) (*node, error) {
+	switch {
+	case w == nil:
+		return nil, fmt.Errorf("dtree: missing node")
+	case w.Leaf != nil && w.Split != nil:
+		return nil, fmt.Errorf("dtree: node is both leaf and split")
+	case w.Leaf != nil:
+		combo, err := parseCombo(w.Leaf.Algorithm, w.Leaf.Structure)
+		if err != nil {
+			return nil, err
+		}
+		return &node{leaf: true, combo: combo, samples: w.Leaf.Samples}, nil
+	case w.Split != nil:
+		feat, err := parseFeature(w.Split.Feature)
+		if err != nil {
+			return nil, err
+		}
+		left, err := fromWire(w.Split.True)
+		if err != nil {
+			return nil, err
+		}
+		right, err := fromWire(w.Split.False)
+		if err != nil {
+			return nil, err
+		}
+		return &node{feat: feat, threshold: w.Split.Threshold, left: left, right: right}, nil
+	default:
+		return nil, fmt.Errorf("dtree: node is neither leaf nor split")
+	}
+}
+
+func parseFeature(name string) (Feature, error) {
+	for f := Feature(0); f < numFeatures; f++ {
+		if f.String() == name {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("dtree: unknown feature %q", name)
+}
+
+func parseCombo(alg, st string) (mcealg.Combo, error) {
+	var c mcealg.Combo
+	switch alg {
+	case "BKPivot":
+		c.Alg = mcealg.BKPivot
+	case "Tomita":
+		c.Alg = mcealg.Tomita
+	case "Eppstein":
+		c.Alg = mcealg.Eppstein
+	case "XPivot":
+		c.Alg = mcealg.XPivot
+	default:
+		return c, fmt.Errorf("dtree: unknown algorithm %q", alg)
+	}
+	switch st {
+	case "Matrix":
+		c.Struct = mcealg.Matrix
+	case "Lists":
+		c.Struct = mcealg.Lists
+	case "BitSets":
+		c.Struct = mcealg.BitSets
+	default:
+		return c, fmt.Errorf("dtree: unknown structure %q", st)
+	}
+	return c, nil
+}

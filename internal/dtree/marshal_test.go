@@ -1,0 +1,96 @@
+package dtree
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mce/internal/kcore"
+	"mce/internal/mcealg"
+)
+
+func TestMarshalRoundTripPublished(t *testing.T) {
+	orig := Published()
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Leaves() != orig.Leaves() || back.Depth() != orig.Depth() {
+		t.Fatalf("shape changed: %d/%d leaves, %d/%d depth",
+			back.Leaves(), orig.Leaves(), back.Depth(), orig.Depth())
+	}
+	if back.String() != orig.String() {
+		t.Fatalf("rendering changed:\n%s\nvs\n%s", back.String(), orig.String())
+	}
+}
+
+func TestMarshalRoundTripTrained(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	combos := []mcealg.Combo{
+		{Alg: mcealg.Tomita, Struct: mcealg.BitSets},
+		{Alg: mcealg.Eppstein, Struct: mcealg.Lists},
+		{Alg: mcealg.XPivot, Struct: mcealg.Matrix},
+	}
+	var samples []Sample
+	for i := 0; i < 80; i++ {
+		samples = append(samples, Sample{
+			F: kcore.Features{
+				Nodes: rng.Intn(2000), Edges: rng.Intn(20000),
+				Density: rng.Float64(), Degeneracy: rng.Intn(80), DStar: rng.Intn(120),
+			},
+			Best: combos[rng.Intn(len(combos))],
+		})
+	}
+	orig := Train(samples, Options{})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Tree
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	// Same predictions on random inputs.
+	f := func(nodes, edges uint16, density float64, deg, dstar uint8) bool {
+		feat := kcore.Features{
+			Nodes: int(nodes), Edges: int(edges), Density: density,
+			Degeneracy: int(deg), DStar: int(dstar),
+		}
+		return orig.Predict(feat) == back.Predict(feat)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"leaf":{"algorithm":"NoSuch","structure":"Lists"}}`,
+		`{"leaf":{"algorithm":"Tomita","structure":"NoSuch"}}`,
+		`{"split":{"feature":"unknown","threshold":1,"true":{"leaf":{"algorithm":"Tomita","structure":"Lists"}},"false":{"leaf":{"algorithm":"Tomita","structure":"Lists"}}}}`,
+		`{"split":{"feature":"#nodes","threshold":1,"true":null,"false":null}}`,
+		`{}`,
+		`{"leaf":{"algorithm":"Tomita","structure":"Lists"},"split":{"feature":"#nodes","threshold":1}}`,
+		`not json`,
+	}
+	for i, c := range cases {
+		var tr Tree
+		if err := json.Unmarshal([]byte(c), &tr); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestParseFeatureAll(t *testing.T) {
+	for f := Feature(0); f < numFeatures; f++ {
+		got, err := parseFeature(f.String())
+		if err != nil || got != f {
+			t.Errorf("parseFeature(%q) = %v, %v", f.String(), got, err)
+		}
+	}
+}

@@ -1,0 +1,464 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 and §6) on the synthetic corpus and the dataset surrogates:
+//
+//	Table 1    — how often each algorithm/structure combo is fastest
+//	Table 2    — parameter ranges of the measurement corpus
+//	Table 3    — dataset statistics
+//	Figure 3   — the trained algorithm-selection decision tree
+//	Figure 4   — total test-set time: decision tree vs fixed combos
+//	Figure 6   — truncated degree distributions
+//	Figure 7   — decomposition time vs m/d (plus iteration counts)
+//	Figure 8   — clique computation time vs m/d
+//	Figures 9/10 — clique counts and average sizes, feasible vs hub-only
+//	Figure 11  — hub-only share of the 200 largest cliques
+//
+// plus two experiments implied by the paper's claims: the hub-neglecting
+// baseline (cliques missed/erroneously reported without the two-level
+// scheme) and the Theorem 1 hard chain (Ω(n) first-level iterations).
+//
+// Functions return plain data; rendering is left to cmd/mcebench and the
+// benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"mce/internal/core"
+	"mce/internal/dtree"
+	"mce/internal/gen"
+	"mce/internal/graph"
+	"mce/internal/kcore"
+	"mce/internal/mcealg"
+)
+
+// PaperRatios are the m/d values of the paper's sweeps (§6.2).
+func PaperRatios() []float64 { return []float64{0.9, 0.7, 0.5, 0.3, 0.1} }
+
+// CorpusMeasurement is one corpus graph with its features and the measured
+// enumeration time of every combo.
+type CorpusMeasurement struct {
+	Name     string
+	Features kcore.Features
+	Times    map[mcealg.Combo]time.Duration
+	Cliques  int
+	Best     mcealg.Combo
+}
+
+// MeasureCorpus times all 12 combos on every corpus graph — the measurement
+// underlying Table 1, Table 2 and Figures 3–4. Results are deterministic in
+// content (clique counts, features); timings naturally vary run to run.
+func MeasureCorpus(corpus []gen.CorpusGraph) ([]CorpusMeasurement, error) {
+	out := make([]CorpusMeasurement, 0, len(corpus))
+	for _, cg := range corpus {
+		m := CorpusMeasurement{
+			Name:     cg.Name,
+			Features: kcore.Measure(cg.Graph),
+			Times:    make(map[mcealg.Combo]time.Duration, 12),
+		}
+		best := time.Duration(-1)
+		for _, combo := range mcealg.AllCombos() {
+			t0 := time.Now()
+			n, err := mcealg.Count(cg.Graph, combo)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s with %v: %w", cg.Name, combo, err)
+			}
+			d := time.Since(t0)
+			m.Times[combo] = d
+			m.Cliques = n
+			if best < 0 || d < best {
+				best = d
+				m.Best = combo
+			}
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Table1Row reports how many corpus graphs a combo won (was fastest on).
+type Table1Row struct {
+	Combo mcealg.Combo
+	Wins  int
+}
+
+// Table1 aggregates the win counts of the combos (paper Table 1).
+func Table1(ms []CorpusMeasurement) []Table1Row {
+	wins := map[mcealg.Combo]int{}
+	for _, m := range ms {
+		wins[m.Best]++
+	}
+	rows := make([]Table1Row, 0, len(mcealg.AllCombos()))
+	for _, c := range mcealg.AllCombos() {
+		rows = append(rows, Table1Row{Combo: c, Wins: wins[c]})
+	}
+	return rows
+}
+
+// Table2Row is one metric's observed range over the corpus (paper Table 2).
+type Table2Row struct {
+	Metric   string
+	Min, Max float64
+}
+
+// Table2 computes the corpus parameter ranges (paper Table 2).
+func Table2(ms []CorpusMeasurement) []Table2Row {
+	get := []struct {
+		name string
+		f    func(kcore.Features) float64
+	}{
+		{"nodes", func(f kcore.Features) float64 { return float64(f.Nodes) }},
+		{"edges", func(f kcore.Features) float64 { return float64(f.Edges) }},
+		{"density", func(f kcore.Features) float64 { return f.Density }},
+		{"degeneracy", func(f kcore.Features) float64 { return float64(f.Degeneracy) }},
+		{"d*", func(f kcore.Features) float64 { return float64(f.DStar) }},
+	}
+	rows := make([]Table2Row, 0, len(get))
+	for _, g := range get {
+		row := Table2Row{Metric: g.name}
+		for i, m := range ms {
+			v := g.f(m.Features)
+			if i == 0 || v < row.Min {
+				row.Min = v
+			}
+			if i == 0 || v > row.Max {
+				row.Max = v
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// Table3Row pairs a surrogate's statistics with what the paper's Table 3
+// reports for the original dataset.
+type Table3Row struct {
+	Name                                   string
+	Nodes, Edges, MaxDegree                int
+	PaperNodes, PaperEdges, PaperMaxDegree int
+}
+
+// Table3 builds every dataset surrogate and reports its statistics next to
+// the paper's (paper Table 3).
+func Table3() ([]Table3Row, map[string]*graph.Graph) {
+	rows := make([]Table3Row, 0, 5)
+	graphs := make(map[string]*graph.Graph, 5)
+	for _, spec := range gen.Datasets() {
+		g := spec.Build()
+		graphs[spec.Name] = g
+		rows = append(rows, Table3Row{
+			Name:  spec.Name,
+			Nodes: g.N(), Edges: g.M(), MaxDegree: g.MaxDegree(),
+			PaperNodes: spec.PaperNodes, PaperEdges: spec.PaperEdges,
+			PaperMaxDegree: spec.PaperMaxDegree,
+		})
+	}
+	return rows, graphs
+}
+
+// TreeEval is the outcome of the Figure 3 / Figure 4 experiment.
+type TreeEval struct {
+	// Tree is the decision tree trained on the 80% split (Figure 3).
+	Tree *dtree.Tree
+	// TrainGraphs and TestGraphs are the split sizes.
+	TrainGraphs, TestGraphs int
+	// TreeTime is the total time the tree-selected combos took on the test
+	// set (reusing the corpus measurements, as the paper does).
+	TreeTime time.Duration
+	// FixedTimes is every combo's total time on the test set, ascending,
+	// so FixedTimes[:5] are the paper's "five best performing
+	// combinations" bars of Figure 4.
+	FixedTimes []FixedTime
+	// TestAccuracy is the fraction of test graphs where the tree picked
+	// the measured-best combo exactly.
+	TestAccuracy float64
+}
+
+// FixedTime is one fixed-combo bar of Figure 4.
+type FixedTime struct {
+	Combo mcealg.Combo
+	Total time.Duration
+}
+
+// Figures3And4 trains the decision tree on an 80/20 split of the corpus
+// measurements (§4) and evaluates it against every fixed combo on the test
+// split. The split is deterministic: every fifth graph is a test graph.
+func Figures3And4(ms []CorpusMeasurement) TreeEval {
+	var train []dtree.Sample
+	var test []CorpusMeasurement
+	for i, m := range ms {
+		if (i+1)%5 == 0 {
+			test = append(test, m)
+		} else {
+			train = append(train, dtree.Sample{F: m.Features, Best: m.Best})
+		}
+	}
+	tree := dtree.Train(train, dtree.Options{MaxDepth: 4, MinLeaf: 2})
+	eval := TreeEval{Tree: tree, TrainGraphs: len(train), TestGraphs: len(test)}
+
+	totals := map[mcealg.Combo]time.Duration{}
+	hits := 0
+	for _, m := range test {
+		pick := dtree.SafePredict(tree, m.Features)
+		eval.TreeTime += m.Times[pick]
+		if pick == m.Best {
+			hits++
+		}
+		for c, d := range m.Times {
+			totals[c] += d
+		}
+	}
+	if len(test) > 0 {
+		eval.TestAccuracy = float64(hits) / float64(len(test))
+	}
+	for _, c := range mcealg.AllCombos() {
+		eval.FixedTimes = append(eval.FixedTimes, FixedTime{Combo: c, Total: totals[c]})
+	}
+	sort.Slice(eval.FixedTimes, func(i, j int) bool {
+		return eval.FixedTimes[i].Total < eval.FixedTimes[j].Total
+	})
+	return eval
+}
+
+// DegreeRow is one dataset's truncated degree distribution (Figure 6).
+type DegreeRow struct {
+	Name string
+	// Counts[d] is the number of nodes with degree d, for d in [0, 20];
+	// Counts[21] aggregates everything above (the figure truncates at 20).
+	Counts []int
+	// LowDegreeShare is the fraction of nodes with degree in [1, 20]; the
+	// paper reports ~91% on average.
+	LowDegreeShare float64
+	// Alpha is the MLE power-law exponent of the degree tail; social
+	// networks typically land in (2, 3.5] — the scale-free property §1
+	// builds on.
+	Alpha float64
+	// TailNodes is the number of nodes the exponent was fitted on.
+	TailNodes int
+}
+
+// Figure6 computes the truncated degree distributions of the surrogates.
+func Figure6(graphs map[string]*graph.Graph) []DegreeRow {
+	names := sortedNames(graphs)
+	rows := make([]DegreeRow, 0, len(graphs))
+	for _, name := range names {
+		g := graphs[name]
+		counts := g.DegreeHistogram(21, true)
+		low := 0
+		for d := 1; d <= 20; d++ {
+			low += counts[d]
+		}
+		alpha, tail := PowerLawAlpha(g, 0)
+		rows = append(rows, DegreeRow{
+			Name:           name,
+			Counts:         counts,
+			LowDegreeShare: float64(low) / float64(g.N()),
+			Alpha:          alpha,
+			TailNodes:      tail,
+		})
+	}
+	return rows
+}
+
+// PowerLawAlpha estimates the exponent of a power-law degree tail with the
+// discrete maximum-likelihood estimator of Clauset, Shalizi and Newman:
+// α ≈ 1 + n / Σ ln(d_i / (dmin − ½)) over the nodes with degree ≥ dmin.
+// dmin ≤ 0 selects twice the mean degree, a robust default for the
+// generators used here. The second result is the tail size the fit used;
+// α is 0 when the tail is empty.
+func PowerLawAlpha(g *graph.Graph, dmin int) (float64, int) {
+	if dmin <= 0 {
+		if g.N() > 0 {
+			dmin = int(2*float64(2*g.M())/float64(g.N())) + 1
+		}
+		if dmin < 2 {
+			dmin = 2
+		}
+	}
+	sum := 0.0
+	tail := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		d := g.Degree(v)
+		if d >= dmin {
+			sum += math.Log(float64(d) / (float64(dmin) - 0.5))
+			tail++
+		}
+	}
+	if tail == 0 || sum == 0 {
+		return 0, tail
+	}
+	return 1 + float64(tail)/sum, tail
+}
+
+// RatioResult is one point of the m/d sweeps behind Figures 7–11.
+type RatioResult struct {
+	Ratio float64
+	// M is the derived block size.
+	M int
+	// Iterations counts the first-level decomposition rounds (paper: 2 for
+	// m/d ∈ {0.5, 0.9}, 3 for {0.1, 0.3}).
+	Iterations int
+	// Decomp, Analysis and Filter are the phase times (Figures 7 and 8).
+	Decomp, Analysis, Filter time.Duration
+	// Blocks is the total number of second-level blocks over all levels.
+	Blocks int
+	// FeasibleCliques and HubCliques split the output as in the white/gray
+	// bars of Figures 9 and 10 (hub = found at recursion level ≥ 1).
+	FeasibleCliques, HubCliques int
+	// AvgSizeFeasible and AvgSizeHub are the mean clique sizes of the two
+	// classes (Figures 9(b), 10(b)).
+	AvgSizeFeasible, AvgSizeHub float64
+	// MaxCliqueSize is the size of the largest maximal clique.
+	MaxCliqueSize int
+	// Top200HubShare is the fraction of the 200 largest cliques that are
+	// hub-only (Figure 11).
+	Top200HubShare float64
+	// CoreFallback reports that the stalled-recursion guard fired.
+	CoreFallback bool
+}
+
+// RunRatioSweep runs FindMaxCliques on g for every ratio and summarises the
+// statistics that Figures 7–11 plot.
+func RunRatioSweep(g *graph.Graph, ratios []float64) ([]RatioResult, error) {
+	out := make([]RatioResult, 0, len(ratios))
+	for _, r := range ratios {
+		res, err := core.FindMaxCliques(g, core.Options{BlockRatio: r})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep ratio %v: %w", r, err)
+		}
+		out = append(out, summarise(r, res))
+	}
+	return out, nil
+}
+
+func summarise(ratio float64, res *core.Result) RatioResult {
+	rr := RatioResult{
+		Ratio:        ratio,
+		M:            res.Stats.BlockSize,
+		Iterations:   len(res.Stats.Levels),
+		Filter:       res.Stats.FilterTime,
+		CoreFallback: res.Stats.CoreFallback,
+	}
+	for _, lvl := range res.Stats.Levels {
+		rr.Decomp += lvl.Decomp
+		rr.Analysis += lvl.Analysis
+		rr.Blocks += lvl.Blocks
+	}
+	var feasSize, hubSize int
+	sizes := make([]sizeLevel, 0, len(res.Cliques))
+	for i, c := range res.Cliques {
+		hub := res.Level[i] >= 1
+		if hub {
+			rr.HubCliques++
+			hubSize += len(c)
+		} else {
+			rr.FeasibleCliques++
+			feasSize += len(c)
+		}
+		if len(c) > rr.MaxCliqueSize {
+			rr.MaxCliqueSize = len(c)
+		}
+		sizes = append(sizes, sizeLevel{size: len(c), hub: hub})
+	}
+	if rr.FeasibleCliques > 0 {
+		rr.AvgSizeFeasible = float64(feasSize) / float64(rr.FeasibleCliques)
+	}
+	if rr.HubCliques > 0 {
+		rr.AvgSizeHub = float64(hubSize) / float64(rr.HubCliques)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i].size > sizes[j].size })
+	top := sizes
+	if len(top) > 200 {
+		top = top[:200]
+	}
+	hubTop := 0
+	for _, s := range top {
+		if s.hub {
+			hubTop++
+		}
+	}
+	if len(top) > 0 {
+		rr.Top200HubShare = float64(hubTop) / float64(len(top))
+	}
+	return rr
+}
+
+type sizeLevel struct {
+	size int
+	hub  bool
+}
+
+// OverheadPoint is one m/d point of the communication-overhead experiment:
+// the same enumeration run locally and over a latency-laden cluster.
+type OverheadPoint struct {
+	Ratio  float64
+	Blocks int
+	// Local is the wall time with the in-process executor; Distributed
+	// with the TCP workers (including the simulated per-message latency).
+	Local, Distributed time.Duration
+}
+
+// CommunicationOverhead reruns the ratio sweep with an Executor (typically
+// a cluster.Client with simulated link latency) and compares wall times
+// against local execution. As m shrinks, the number of blocks grows, so
+// per-block shipping costs dominate — the effect the paper reports for
+// m/d ∈ {0.1, 0.3} (§6.3).
+func CommunicationOverhead(g *graph.Graph, ratios []float64, exec core.Executor) ([]OverheadPoint, error) {
+	out := make([]OverheadPoint, 0, len(ratios))
+	for _, r := range ratios {
+		t0 := time.Now()
+		local, err := core.FindMaxCliques(g, core.Options{BlockRatio: r})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: overhead local ratio %v: %w", r, err)
+		}
+		localTime := time.Since(t0)
+
+		t0 = time.Now()
+		dist, err := core.FindMaxCliques(g, core.Options{BlockRatio: r, Executor: exec})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: overhead distributed ratio %v: %w", r, err)
+		}
+		distTime := time.Since(t0)
+		if len(dist.Cliques) != len(local.Cliques) {
+			return nil, fmt.Errorf("experiments: distributed run found %d cliques, local %d", len(dist.Cliques), len(local.Cliques))
+		}
+		blocks := 0
+		for _, lvl := range local.Stats.Levels {
+			blocks += lvl.Blocks
+		}
+		out = append(out, OverheadPoint{Ratio: r, Blocks: blocks, Local: localTime, Distributed: distTime})
+	}
+	return out, nil
+}
+
+// HardChainPoint is one size of the Theorem 1 experiment.
+type HardChainPoint struct {
+	N, M       int
+	Iterations int
+}
+
+// HardChainRounds measures how many first-level iterations the Theorem 1
+// construction forces for each n — the Ω(n) lower bound of Statement 2.
+func HardChainRounds(ns []int, m int) ([]HardChainPoint, error) {
+	out := make([]HardChainPoint, 0, len(ns))
+	for _, n := range ns {
+		g := gen.HardChain(n, m, 0)
+		res, err := core.FindMaxCliques(g, core.Options{BlockSize: m + 1})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hard chain n=%d: %w", n, err)
+		}
+		out = append(out, HardChainPoint{N: n, M: m, Iterations: len(res.Stats.Levels)})
+	}
+	return out, nil
+}
+
+func sortedNames(graphs map[string]*graph.Graph) []string {
+	names := make([]string, 0, len(graphs))
+	for name := range graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

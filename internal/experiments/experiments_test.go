@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"mce/internal/gen"
+	"mce/internal/graph"
+	"mce/internal/mcealg"
+)
+
+// miniCorpus keeps unit tests fast; the full 50-graph corpus is exercised
+// by the benchmarks and cmd/mcebench.
+func miniCorpus(t *testing.T) []gen.CorpusGraph {
+	t.Helper()
+	full := gen.Corpus(1)
+	var mini []gen.CorpusGraph
+	for _, c := range full {
+		if c.Graph.N() <= 300 {
+			mini = append(mini, c)
+		}
+		if len(mini) == 15 {
+			break
+		}
+	}
+	if len(mini) < 10 {
+		t.Fatalf("mini corpus too small: %d", len(mini))
+	}
+	return mini
+}
+
+func TestMeasureCorpusAndTable1(t *testing.T) {
+	ms, err := MeasureCorpus(miniCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range ms {
+		if len(m.Times) != 12 {
+			t.Fatalf("%s: %d combo timings, want 12", m.Name, len(m.Times))
+		}
+		if m.Cliques <= 0 {
+			t.Fatalf("%s: %d cliques", m.Name, m.Cliques)
+		}
+		if m.Times[m.Best] <= 0 {
+			t.Fatalf("%s: best combo has no timing", m.Name)
+		}
+	}
+	rows := Table1(ms)
+	if len(rows) != 12 {
+		t.Fatalf("Table1 rows = %d, want 12", len(rows))
+	}
+	total := 0
+	for _, r := range rows {
+		total += r.Wins
+	}
+	if total != len(ms) {
+		t.Fatalf("wins sum to %d, want %d", total, len(ms))
+	}
+}
+
+func TestTable2Ranges(t *testing.T) {
+	ms, err := MeasureCorpus(miniCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := Table2(ms)
+	if len(rows) != 5 {
+		t.Fatalf("Table2 rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		if r.Min > r.Max {
+			t.Fatalf("%s: min %v > max %v", r.Metric, r.Min, r.Max)
+		}
+	}
+	if rows[0].Metric != "nodes" || rows[0].Min < 1 {
+		t.Fatalf("nodes range wrong: %+v", rows[0])
+	}
+	// The corpus is heterogeneous: ranges must actually spread.
+	if rows[0].Max < 2*rows[0].Min {
+		t.Fatalf("corpus sizes not heterogeneous: %+v", rows[0])
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows, graphs := Table3()
+	if len(rows) != 5 || len(graphs) != 5 {
+		t.Fatalf("Table3: %d rows, %d graphs", len(rows), len(graphs))
+	}
+	for _, r := range rows {
+		g := graphs[r.Name]
+		if g == nil {
+			t.Fatalf("graph %s missing", r.Name)
+		}
+		if r.Nodes != g.N() || r.Edges != g.M() || r.MaxDegree != g.MaxDegree() {
+			t.Fatalf("%s: row stats do not match graph", r.Name)
+		}
+		if r.PaperNodes <= r.Nodes {
+			t.Fatalf("%s: surrogate larger than the original?", r.Name)
+		}
+	}
+}
+
+func TestFigures3And4(t *testing.T) {
+	ms, err := MeasureCorpus(miniCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval := Figures3And4(ms)
+	if eval.Tree == nil {
+		t.Fatal("no tree trained")
+	}
+	if eval.TrainGraphs+eval.TestGraphs != len(ms) {
+		t.Fatalf("split %d+%d != %d", eval.TrainGraphs, eval.TestGraphs, len(ms))
+	}
+	if eval.TestGraphs == 0 {
+		t.Fatal("empty test split")
+	}
+	if eval.TreeTime <= 0 {
+		t.Fatalf("TreeTime = %v", eval.TreeTime)
+	}
+	if len(eval.FixedTimes) != 12 {
+		t.Fatalf("FixedTimes = %d rows", len(eval.FixedTimes))
+	}
+	for i := 1; i < len(eval.FixedTimes); i++ {
+		if eval.FixedTimes[i-1].Total > eval.FixedTimes[i].Total {
+			t.Fatalf("FixedTimes not ascending")
+		}
+	}
+	if eval.TestAccuracy < 0 || eval.TestAccuracy > 1 {
+		t.Fatalf("accuracy = %v", eval.TestAccuracy)
+	}
+	// The tree never does worse than the worst fixed combo (it can only
+	// pick combos that exist).
+	worst := eval.FixedTimes[len(eval.FixedTimes)-1].Total
+	if eval.TreeTime > worst {
+		t.Fatalf("tree %v slower than worst fixed combo %v", eval.TreeTime, worst)
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	_, graphs := Table3()
+	rows := Figure6(graphs)
+	if len(rows) != 5 {
+		t.Fatalf("Figure6 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Counts) != 22 {
+			t.Fatalf("%s: %d bins, want 22", r.Name, len(r.Counts))
+		}
+		sum := 0
+		for _, c := range r.Counts {
+			sum += c
+		}
+		if sum != graphs[r.Name].N() {
+			t.Fatalf("%s: histogram sums to %d, want %d", r.Name, sum, graphs[r.Name].N())
+		}
+		if r.LowDegreeShare < 0.5 || r.LowDegreeShare > 1 {
+			t.Fatalf("%s: low-degree share %v not power-law-like", r.Name, r.LowDegreeShare)
+		}
+	}
+}
+
+func TestRunRatioSweepCompleteAtEveryRatio(t *testing.T) {
+	g := gen.HolmeKim(500, 5, 0.7, 31)
+	want, err := mcealg.Count(g, mcealg.Combo{Alg: mcealg.Eppstein, Struct: mcealg.Lists})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := RunRatioSweep(g, PaperRatios())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+	for _, r := range results {
+		if r.FeasibleCliques+r.HubCliques != want {
+			t.Fatalf("ratio %v: %d+%d cliques, want %d", r.Ratio, r.FeasibleCliques, r.HubCliques, want)
+		}
+		if r.Iterations < 1 {
+			t.Fatalf("ratio %v: %d iterations", r.Ratio, r.Iterations)
+		}
+		if r.Top200HubShare < 0 || r.Top200HubShare > 1 {
+			t.Fatalf("ratio %v: hub share %v", r.Ratio, r.Top200HubShare)
+		}
+		if r.M <= 0 || r.Blocks <= 0 {
+			t.Fatalf("ratio %v: m=%d blocks=%d", r.Ratio, r.M, r.Blocks)
+		}
+		if r.MaxCliqueSize < 2 {
+			t.Fatalf("ratio %v: max clique size %d", r.Ratio, r.MaxCliqueSize)
+		}
+	}
+	// Smaller blocks make more hubs, so hub-only cliques must not shrink
+	// from ratio 0.9 to 0.1 (paper Figures 9–11 trend).
+	if results[4].HubCliques < results[0].HubCliques {
+		t.Fatalf("hub cliques at 0.1 (%d) below 0.9 (%d)", results[4].HubCliques, results[0].HubCliques)
+	}
+}
+
+func TestNeglectHubsCompleteWithoutHubs(t *testing.T) {
+	g := gen.ErdosRenyi(80, 0.15, 9)
+	m := g.MaxDegree() + 1
+	found, err := NeglectHubs(g, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := map[string]bool{}
+	mcealg.ReferenceEnumerate(g, func(c []int32) { truth[cliqueKey(c)] = true })
+	if len(found) != len(truth) {
+		t.Fatalf("no-hub baseline found %d cliques, want %d", len(found), len(truth))
+	}
+	for _, c := range found {
+		if !truth[cliqueKey(c)] {
+			t.Fatalf("no-hub baseline invented clique %v", c)
+		}
+	}
+}
+
+func TestNeglectHubsMissesHubClique(t *testing.T) {
+	// K6 hub core, each core node with 20 pendant leaves: with small m the
+	// baseline must miss the core clique {0..5}.
+	b := graph.NewBuilder(6 + 6*20)
+	for u := int32(0); u < 6; u++ {
+		for v := u + 1; v < 6; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	next := int32(6)
+	for u := int32(0); u < 6; u++ {
+		for i := 0; i < 20; i++ {
+			b.AddEdge(u, next)
+			next++
+		}
+	}
+	g := b.Build()
+	results, err := HubNeglectBaseline(g, []float64{0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Missed == 0 {
+		t.Fatalf("baseline missed nothing despite hub clique: %+v", r)
+	}
+	if r.MaxMissedSize < 6 {
+		t.Fatalf("largest missed clique has size %d, want ≥ 6", r.MaxMissedSize)
+	}
+	if r.Truth != r.Found-r.Spurious+r.Missed {
+		t.Fatalf("accounting identity violated: %+v", r)
+	}
+}
+
+func TestHubNeglectBaselineOnSurrogate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("surrogate baseline is slow")
+	}
+	g := gen.HolmeKim(1500, 6, 0.7, 77)
+	results, err := HubNeglectBaseline(g, []float64{0.9, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking m must not reduce what goes wrong.
+	if results[1].Missed < results[0].Missed {
+		t.Fatalf("missed at 0.1 (%d) below 0.9 (%d)", results[1].Missed, results[0].Missed)
+	}
+}
+
+func TestHardChainRounds(t *testing.T) {
+	points, err := HardChainRounds([]int{20, 40}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Iterations < p.N-8 {
+			t.Fatalf("n=%d: %d iterations, expected Ω(n)", p.N, p.Iterations)
+		}
+	}
+	if points[1].Iterations <= points[0].Iterations {
+		t.Fatalf("iterations do not grow with n: %+v", points)
+	}
+}
+
+func TestPaperRatios(t *testing.T) {
+	rs := PaperRatios()
+	if len(rs) != 5 || rs[0] != 0.9 || rs[4] != 0.1 {
+		t.Fatalf("PaperRatios = %v", rs)
+	}
+}
+
+func TestSummariseEmptyHubs(t *testing.T) {
+	// A graph with no hubs at ratio 0.9 still summarises sanely.
+	g := gen.ErdosRenyi(50, 0.1, 3)
+	results, err := RunRatioSweep(g, []float64{0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.HubCliques != 0 && r.AvgSizeHub <= 0 {
+		t.Fatalf("inconsistent hub stats: %+v", r)
+	}
+	if r.FeasibleCliques > 0 && r.AvgSizeFeasible <= 0 {
+		t.Fatalf("inconsistent feasible stats: %+v", r)
+	}
+	_ = time.Duration(0)
+}
+
+func TestPowerLawAlpha(t *testing.T) {
+	// Barabási–Albert theory: exponent 3; the MLE on a finite sample lands
+	// in a band around it.
+	ba := gen.BarabasiAlbert(8000, 4, 9)
+	alpha, tail := PowerLawAlpha(ba, 0)
+	if tail < 100 {
+		t.Fatalf("tail too small: %d", tail)
+	}
+	if alpha < 2 || alpha > 4.5 {
+		t.Fatalf("BA alpha = %.2f, want within (2, 4.5)", alpha)
+	}
+	// Degenerate input.
+	if a, n := PowerLawAlpha(graph.Empty(5), 0); a != 0 || n != 0 {
+		t.Fatalf("empty graph alpha = %v, tail %d", a, n)
+	}
+	// Explicit dmin is honoured.
+	_, tailLow := PowerLawAlpha(ba, 2)
+	_, tailHigh := PowerLawAlpha(ba, 50)
+	if tailHigh >= tailLow {
+		t.Fatalf("raising dmin did not shrink the tail: %d vs %d", tailHigh, tailLow)
+	}
+}
+
+func TestFigure6ReportsAlpha(t *testing.T) {
+	_, graphs := Table3()
+	for _, r := range Figure6(graphs) {
+		if r.Alpha < 1.5 || r.Alpha > 6 {
+			t.Fatalf("%s: implausible alpha %.2f", r.Name, r.Alpha)
+		}
+		if r.TailNodes <= 0 {
+			t.Fatalf("%s: empty tail", r.Name)
+		}
+	}
+}
+
+func TestPowerLawAlphaRecoversExponent(t *testing.T) {
+	// Generator and estimator cross-validate: a configuration-model graph
+	// with exponent 2.5 should be estimated near 2.5.
+	g := gen.PowerLawConfiguration(30000, 2.5, 3, 500, 13)
+	alpha, tail := PowerLawAlpha(g, 3)
+	if tail < 500 {
+		t.Fatalf("tail too small: %d", tail)
+	}
+	if alpha < 2.1 || alpha > 2.9 {
+		t.Fatalf("estimated alpha = %.2f for true 2.5", alpha)
+	}
+}

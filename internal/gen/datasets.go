@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+
+	"mce/internal/graph"
+)
+
+// DatasetSpec describes a deterministic surrogate of one of the paper's five
+// evaluation networks (Table 3). The real datasets — three Twitter follower
+// crawls, the Facebook wall graph, and Google+ circles, 2.9M–17M nodes — are
+// not redistributable and far exceed a single-machine test budget, so each is
+// replaced by a scaled-down scale-free graph with the same qualitative shape:
+// power-law degree distribution (Figure 6), a small share of very-high-degree
+// hubs, and dense communities that produce large maximal cliques, some of
+// them entirely among hubs (the paper's effectiveness scenario, Figures 9–11).
+type DatasetSpec struct {
+	Name string
+	// N is the surrogate node count.
+	N int
+	// K is the attachment parameter (≈ half the mean degree).
+	K int
+	// TriadP is the Holme–Kim triad-formation probability; higher values
+	// mean more clustering and larger cliques.
+	TriadP float64
+	// PlantedCliques/PlantedMin/PlantedMax overlay dense communities.
+	PlantedCliques, PlantedMin, PlantedMax int
+	// Seed makes the surrogate reproducible.
+	Seed int64
+	// PaperNodes/PaperEdges/PaperMaxDegree record what Table 3 reports for
+	// the original network, for documentation and scale comparisons.
+	PaperNodes, PaperEdges, PaperMaxDegree int
+}
+
+// Build materialises the surrogate graph.
+func (s DatasetSpec) Build() *graph.Graph {
+	g := HolmeKim(s.N, s.K, s.TriadP, s.Seed)
+	if s.PlantedCliques > 0 {
+		g = PlantCliques(g, s.PlantedCliques, s.PlantedMin, s.PlantedMax, s.Seed+1)
+	}
+	return g
+}
+
+// Datasets returns the five surrogate specs in the paper's Table 3 order:
+// twitter1, twitter2, twitter3, facebook, google+.
+func Datasets() []DatasetSpec {
+	return []DatasetSpec{
+		{
+			Name: "twitter1", N: 6000, K: 4, TriadP: 0.55,
+			PlantedCliques: 40, PlantedMin: 8, PlantedMax: 18, Seed: 101,
+			PaperNodes: 2919613, PaperEdges: 12887063, PaperMaxDegree: 39753,
+		},
+		{
+			Name: "twitter2", N: 9000, K: 9, TriadP: 0.6,
+			PlantedCliques: 60, PlantedMin: 10, PlantedMax: 22, Seed: 202,
+			PaperNodes: 6072441, PaperEdges: 117185083, PaperMaxDegree: 338313,
+		},
+		{
+			Name: "twitter3", N: 14000, K: 12, TriadP: 0.6,
+			PlantedCliques: 80, PlantedMin: 10, PlantedMax: 24, Seed: 303,
+			PaperNodes: 17069982, PaperEdges: 476553560, PaperMaxDegree: 2081112,
+		},
+		{
+			Name: "facebook", N: 11000, K: 8, TriadP: 0.75,
+			PlantedCliques: 50, PlantedMin: 8, PlantedMax: 15, Seed: 404,
+			PaperNodes: 4601952, PaperEdges: 87610993, PaperMaxDegree: 2621960,
+		},
+		{
+			Name: "google+", N: 9000, K: 6, TriadP: 0.7,
+			PlantedCliques: 45, PlantedMin: 7, PlantedMax: 13, Seed: 505,
+			PaperNodes: 6308731, PaperEdges: 81700035, PaperMaxDegree: 1098000,
+		},
+	}
+}
+
+// Dataset returns the spec with the given name.
+func Dataset(name string) (DatasetSpec, error) {
+	for _, s := range Datasets() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, 0, 5)
+	for _, s := range Datasets() {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return DatasetSpec{}, fmt.Errorf("gen: unknown dataset %q (have %v)", name, names)
+}
+
+// CorpusGraph identifies one member of the 50-graph decision-tree corpus.
+type CorpusGraph struct {
+	Name  string
+	Model string // "er", "ba", "ws", or "hk"
+	Graph *graph.Graph
+}
+
+// Corpus generates the heterogeneous graph collection of §4 used to train
+// and test the algorithm-selection decision tree: a mix of Erdős–Rényi,
+// Barabási–Albert and Watts–Strogatz graphs (the three models the paper
+// cites) plus clique-rich Holme–Kim graphs standing in for the paper's
+// real-world SNAP samples. Sizes and densities span a wide range so the
+// corpus exhibits the heterogeneity of the paper's Table 2.
+func Corpus(seed int64) []CorpusGraph {
+	var out []CorpusGraph
+	add := func(name, model string, g *graph.Graph) {
+		out = append(out, CorpusGraph{Name: name, Model: model, Graph: g})
+	}
+	// 14 Erdős–Rényi graphs across a density sweep. The dense variant is
+	// capped in size: G(n, 0.3) for large n has tens of millions of
+	// maximal cliques, which would dominate the corpus measurement without
+	// adding heterogeneity.
+	erN := []int{50, 80, 120, 200, 300, 500, 800}
+	for i, n := range erN {
+		add(fmt.Sprintf("er-%d-sparse", n), "er", ErdosRenyi(n, 4/float64(n), seed+int64(i)))
+		p := 0.3
+		if n > 300 {
+			p = 0.04
+		}
+		add(fmt.Sprintf("er-%d-dense", n), "er", ErdosRenyi(n, p, seed+100+int64(i)))
+	}
+	// 12 Barabási–Albert graphs.
+	baN := []int{100, 200, 400, 700, 1000, 1500}
+	for i, n := range baN {
+		add(fmt.Sprintf("ba-%d-k3", n), "ba", BarabasiAlbert(n, 3, seed+200+int64(i)))
+		add(fmt.Sprintf("ba-%d-k8", n), "ba", BarabasiAlbert(n, 8, seed+300+int64(i)))
+	}
+	// 12 Watts–Strogatz graphs.
+	wsN := []int{100, 250, 500, 900, 1400, 2000}
+	for i, n := range wsN {
+		add(fmt.Sprintf("ws-%d-low", n), "ws", WattsStrogatz(n, 8, 0.05, seed+400+int64(i)))
+		add(fmt.Sprintf("ws-%d-high", n), "ws", WattsStrogatz(n, 12, 0.3, seed+500+int64(i)))
+	}
+	// 12 Holme–Kim graphs (real-world stand-ins), some with planted cliques.
+	hkN := []int{150, 300, 600, 1000, 1600, 2400}
+	for i, n := range hkN {
+		g := HolmeKim(n, 5, 0.7, seed+600+int64(i))
+		add(fmt.Sprintf("hk-%d", n), "hk", g)
+		gp := PlantCliques(HolmeKim(n, 7, 0.6, seed+700+int64(i)), n/100+2, 6, 14, seed+800+int64(i))
+		add(fmt.Sprintf("hk-%d-planted", n), "hk", gp)
+	}
+	return out
+}

@@ -1,0 +1,397 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mce/internal/graph"
+	"mce/internal/kcore"
+)
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	g := ErdosRenyi(20, 0, 1)
+	if g.M() != 0 {
+		t.Errorf("p=0: M = %d, want 0", g.M())
+	}
+	g = ErdosRenyi(20, 1, 1)
+	if g.M() != 190 {
+		t.Errorf("p=1: M = %d, want 190", g.M())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a := ErdosRenyi(100, 0.1, 42)
+	b := ErdosRenyi(100, 0.1, 42)
+	if a.M() != b.M() {
+		t.Fatalf("same seed produced different graphs: %d vs %d edges", a.M(), b.M())
+	}
+	c := ErdosRenyi(100, 0.1, 43)
+	if a.M() == c.M() && edgesEqual(a, c) {
+		t.Fatalf("different seeds produced identical graphs")
+	}
+}
+
+func edgesEqual(a, b *graph.Graph) bool {
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		return false
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestErdosRenyiEdgeCountNearExpectation(t *testing.T) {
+	n, p := 200, 0.2
+	g := ErdosRenyi(n, p, 7)
+	want := p * float64(n*(n-1)) / 2
+	if math.Abs(float64(g.M())-want) > 0.15*want {
+		t.Fatalf("M = %d, expected about %.0f", g.M(), want)
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	n, k := 2000, 4
+	g := BarabasiAlbert(n, k, 11)
+	if g.N() != n {
+		t.Fatalf("N = %d, want %d", g.N(), n)
+	}
+	// Each of the n-k-1 later nodes adds k edges; the seed clique adds
+	// k(k+1)/2.
+	wantM := k*(k+1)/2 + (n-k-1)*k
+	if g.M() != wantM {
+		t.Fatalf("M = %d, want %d", g.M(), wantM)
+	}
+	// Scale-free: the max degree should far exceed the mean degree.
+	mean := 2 * float64(g.M()) / float64(n)
+	if float64(g.MaxDegree()) < 4*mean {
+		t.Fatalf("max degree %d not hub-like (mean %.1f)", g.MaxDegree(), mean)
+	}
+}
+
+func TestBarabasiAlbertSmallN(t *testing.T) {
+	g := BarabasiAlbert(2, 3, 1) // n clamped up to k+1
+	if g.N() != 4 || g.M() != 6 {
+		t.Fatalf("clamped BA: n=%d m=%d, want complete K4", g.N(), g.M())
+	}
+	g = BarabasiAlbert(10, 0, 1) // k clamped up to 1
+	if g.N() != 10 {
+		t.Fatalf("k clamp: N = %d", g.N())
+	}
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: pure ring lattice with k=4 → every node degree 4.
+	g := WattsStrogatz(20, 4, 0, 5)
+	for v := int32(0); v < 20; v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("degree(%d) = %d, want 4", v, g.Degree(v))
+		}
+	}
+}
+
+func TestWattsStrogatzRewired(t *testing.T) {
+	g := WattsStrogatz(500, 6, 0.5, 9)
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Rewiring may drop duplicates but edge count stays close to n*k/2.
+	if g.M() < 1200 || g.M() > 1500 {
+		t.Fatalf("M = %d, expected near 1500", g.M())
+	}
+}
+
+func TestWattsStrogatzTiny(t *testing.T) {
+	g := WattsStrogatz(2, 4, 0.1, 1)
+	if g.N() != 2 || g.M() != 1 {
+		t.Fatalf("tiny WS: n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestHolmeKimClustering(t *testing.T) {
+	// Triad formation should produce far more triangles than plain BA at
+	// the same size.
+	hk := HolmeKim(1500, 5, 0.8, 13)
+	ba := BarabasiAlbert(1500, 5, 13)
+	thk, tba := triangles(hk), triangles(ba)
+	if thk <= tba {
+		t.Fatalf("Holme–Kim triangles %d not above BA %d", thk, tba)
+	}
+}
+
+func triangles(g *graph.Graph) int {
+	count := 0
+	for u := int32(0); u < int32(g.N()); u++ {
+		adj := g.Neighbors(u)
+		for i, v := range adj {
+			if v < u {
+				continue
+			}
+			for _, w := range adj[i+1:] {
+				if w > v && g.HasEdge(v, w) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestPlantCliques(t *testing.T) {
+	base := ErdosRenyi(200, 0.02, 17)
+	planted := PlantCliques(base, 3, 10, 10, 18)
+	if planted.N() != base.N() {
+		t.Fatalf("planting changed node count")
+	}
+	if planted.M() <= base.M() {
+		t.Fatalf("planting added no edges")
+	}
+	// Every original edge survives.
+	for _, e := range base.Edges() {
+		if !planted.HasEdge(e.U, e.V) {
+			t.Fatalf("edge %v lost while planting", e)
+		}
+	}
+	// A 10-clique raises the degeneracy to at least 9.
+	if d := kcore.Degeneracy(planted); d < 9 {
+		t.Fatalf("degeneracy = %d after planting 10-cliques, want >= 9", d)
+	}
+}
+
+func TestPlantCliquesZeroCount(t *testing.T) {
+	base := ErdosRenyi(50, 0.1, 3)
+	same := PlantCliques(base, 0, 5, 5, 4)
+	if same.M() != base.M() {
+		t.Fatalf("count=0 changed the graph")
+	}
+}
+
+func TestHardChainPeelsOneNodePerRound(t *testing.T) {
+	m := 4
+	n := 40
+	g := HardChain(n, m, 0)
+	// Theorem 1: degeneracy < m+1, and iteratively removing all nodes of
+	// degree ≤ m removes exactly one node per round in the chain regime.
+	if d := kcore.Degeneracy(g); d > m {
+		t.Fatalf("degeneracy = %d, want <= %d", d, m)
+	}
+	rounds := 0
+	cur := g
+	for cur.N() > 0 {
+		var keep []int32
+		for v := int32(0); v < int32(cur.N()); v++ {
+			if cur.Degree(v) > m {
+				keep = append(keep, v)
+			}
+		}
+		if len(keep) == cur.N() {
+			t.Fatalf("peeling stuck with %d nodes", cur.N())
+		}
+		cur, _ = graph.Induced(cur, keep)
+		rounds++
+	}
+	// The proof gives Ω(n) rounds; concretely the chain loses one node per
+	// round until the core clique dissolves, so expect at least n - (m+3).
+	if rounds < n-(m+3) {
+		t.Fatalf("rounds = %d, want at least %d (Ω(n))", rounds, n-(m+3))
+	}
+}
+
+func TestHardChainClamps(t *testing.T) {
+	g := HardChain(2, 0, 0)
+	if g.N() < 3 {
+		t.Fatalf("HardChain did not clamp n: %d", g.N())
+	}
+}
+
+func TestDatasets(t *testing.T) {
+	specs := Datasets()
+	if len(specs) != 5 {
+		t.Fatalf("want 5 datasets, got %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.Name] = true
+		if s.PaperNodes == 0 || s.PaperEdges == 0 || s.PaperMaxDegree == 0 {
+			t.Errorf("%s: missing paper reference numbers", s.Name)
+		}
+	}
+	for _, want := range []string{"twitter1", "twitter2", "twitter3", "facebook", "google+"} {
+		if !names[want] {
+			t.Errorf("dataset %s missing", want)
+		}
+	}
+}
+
+func TestDatasetLookup(t *testing.T) {
+	s, err := Dataset("facebook")
+	if err != nil || s.Name != "facebook" {
+		t.Fatalf("Dataset(facebook) = %v, %v", s.Name, err)
+	}
+	if _, err := Dataset("orkut"); err == nil {
+		t.Fatalf("unknown dataset accepted")
+	}
+}
+
+func TestDatasetSurrogateIsScaleFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("surrogate build is slow")
+	}
+	s, _ := Dataset("twitter1")
+	g := s.Build()
+	if g.N() != s.N {
+		t.Fatalf("N = %d, want %d", g.N(), s.N)
+	}
+	// Figure 6's shape: the vast majority of nodes have low degree, while
+	// the max degree is far above the mean.
+	mean := 2 * float64(g.M()) / float64(g.N())
+	if float64(g.MaxDegree()) < 8*mean {
+		t.Errorf("max degree %d vs mean %.1f: not scale-free enough", g.MaxDegree(), mean)
+	}
+	low := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if g.Degree(v) <= 20 {
+			low++
+		}
+	}
+	if frac := float64(low) / float64(g.N()); frac < 0.6 {
+		t.Errorf("only %.0f%% of nodes have degree <= 20; paper reports ~91%%", 100*frac)
+	}
+}
+
+func TestCorpusSizeAndVariety(t *testing.T) {
+	corpus := Corpus(1)
+	if len(corpus) != 50 {
+		t.Fatalf("corpus size = %d, want 50", len(corpus))
+	}
+	models := map[string]int{}
+	for _, c := range corpus {
+		models[c.Model]++
+		if c.Graph.N() == 0 {
+			t.Errorf("%s: empty graph", c.Name)
+		}
+	}
+	for _, m := range []string{"er", "ba", "ws", "hk"} {
+		if models[m] == 0 {
+			t.Errorf("model %s missing from corpus", m)
+		}
+	}
+}
+
+// Property: all generators produce simple graphs (no self loops or duplicate
+// edges survive the builder) with the requested node count for sane inputs.
+func TestQuickGeneratorsSimple(t *testing.T) {
+	f := func(seed int64, rawN, rawK uint8) bool {
+		n := int(rawN%60) + 10
+		k := int(rawK%5) + 1
+		for _, g := range []*graph.Graph{
+			ErdosRenyi(n, 0.2, seed),
+			BarabasiAlbert(n, k, seed),
+			WattsStrogatz(n, 2*k, 0.2, seed),
+			HolmeKim(n, k, 0.5, seed),
+		} {
+			if g.N() != n {
+				return false
+			}
+			for v := int32(0); v < int32(n); v++ {
+				adj := g.Neighbors(v)
+				for i, u := range adj {
+					if u == v {
+						return false // self loop
+					}
+					if i > 0 && adj[i-1] >= u {
+						return false // duplicate or unsorted
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlantedPartition(t *testing.T) {
+	g, truth := PlantedPartition(PlantedPartitionSpec{
+		Communities: 3, Size: 10, PIn: 0.9, POut: 0.02, Seed: 5,
+	})
+	if g.N() != 30 || len(truth) != 3 {
+		t.Fatalf("n=%d groups=%d", g.N(), len(truth))
+	}
+	// Within-group edges should dominate massively.
+	within, across := 0, 0
+	for _, e := range g.Edges() {
+		if int(e.U)/10 == int(e.V)/10 {
+			within++
+		} else {
+			across++
+		}
+	}
+	if within <= 5*across {
+		t.Fatalf("within=%d across=%d: partition not planted strongly", within, across)
+	}
+	for gi, members := range truth {
+		if len(members) != 10 || members[0] != int32(gi*10) {
+			t.Fatalf("truth group %d = %v", gi, members)
+		}
+	}
+}
+
+func TestPlantedPartitionClamps(t *testing.T) {
+	g, truth := PlantedPartition(PlantedPartitionSpec{Communities: 0, Size: 0, PIn: 1})
+	if g.N() != 1 || len(truth) != 1 {
+		t.Fatalf("clamped spec: n=%d groups=%d", g.N(), len(truth))
+	}
+}
+
+func TestPowerLawConfiguration(t *testing.T) {
+	g := PowerLawConfiguration(5000, 2.5, 2, 200, 7)
+	if g.N() != 5000 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.M() == 0 {
+		t.Fatal("no edges generated")
+	}
+	// Heavy tail: max degree far above the mean.
+	mean := 2 * float64(g.M()) / float64(g.N())
+	if float64(g.MaxDegree()) < 5*mean {
+		t.Fatalf("max degree %d vs mean %.1f: tail too thin", g.MaxDegree(), mean)
+	}
+	// Same seed reproduces, different seed varies.
+	h := PowerLawConfiguration(5000, 2.5, 2, 200, 7)
+	if h.M() != g.M() {
+		t.Fatalf("same seed, different graphs")
+	}
+}
+
+func TestPowerLawConfigurationClamps(t *testing.T) {
+	g := PowerLawConfiguration(0, 2.5, 0, -1, 1)
+	if g.N() != 1 {
+		t.Fatalf("clamped N = %d", g.N())
+	}
+	g = PowerLawConfiguration(10, 3, 5, 100, 2) // dmax clamped to n-1
+	if g.MaxDegree() > 9 {
+		t.Fatalf("degree exceeds n-1: %d", g.MaxDegree())
+	}
+}
+
+func TestMoonMoser(t *testing.T) {
+	g := MoonMoser(3)
+	if g.N() != 9 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Each node is adjacent to all but its two partners: degree 6.
+	for v := int32(0); v < 9; v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("degree(%d) = %d, want 6", v, g.Degree(v))
+		}
+	}
+	if g2 := MoonMoser(0); g2.N() != 3 {
+		t.Fatalf("clamped MoonMoser N = %d", g2.N())
+	}
+}

@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"math/rand"
+
+	"mce/internal/graph"
+)
+
+// PlantedPartitionSpec parameterises the planted-partition (stochastic
+// block) model used to validate community detection: nodes are split into
+// equal-size groups; within-group pairs are connected with probability PIn,
+// across-group pairs with POut « PIn.
+type PlantedPartitionSpec struct {
+	// Communities is the number of planted groups.
+	Communities int
+	// Size is the number of nodes per group.
+	Size int
+	// PIn and POut are the within/across edge probabilities.
+	PIn, POut float64
+	// Seed drives the randomness.
+	Seed int64
+}
+
+// PlantedPartition builds the graph and returns the ground-truth
+// communities (each a sorted slice of node IDs). Group g owns the ID range
+// [g*Size, (g+1)*Size).
+func PlantedPartition(spec PlantedPartitionSpec) (*graph.Graph, [][]int32) {
+	if spec.Communities < 1 {
+		spec.Communities = 1
+	}
+	if spec.Size < 1 {
+		spec.Size = 1
+	}
+	n := spec.Communities * spec.Size
+	rng := rand.New(rand.NewSource(spec.Seed))
+	b := graph.NewBuilder(n)
+	groupOf := func(v int) int { return v / spec.Size }
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := spec.POut
+			if groupOf(u) == groupOf(v) {
+				p = spec.PIn
+			}
+			if rng.Float64() < p {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	truth := make([][]int32, spec.Communities)
+	for g := 0; g < spec.Communities; g++ {
+		members := make([]int32, spec.Size)
+		for i := range members {
+			members[i] = int32(g*spec.Size + i)
+		}
+		truth[g] = members
+	}
+	return b.Build(), truth
+}

@@ -1,0 +1,101 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mce/internal/graph"
+)
+
+// LoadFileBounded reads an edge-list or triple file like LoadFile but in
+// two passes with a graph.StreamBuilder, so the intermediate edge buffer —
+// the biggest allocation of the one-pass loader — is never materialised.
+// Use it when the input pushes against main memory, the setting the
+// external-memory MCE line of work ([8], [10]) addresses.
+func LoadFileBounded(path string) (*graph.Graph, *LabelMap, error) {
+	triples := strings.HasSuffix(path, ".triples")
+
+	// Pass 1: label discovery and incidence counting.
+	m := NewLabelMap()
+	var deg []int32
+	var edges int64
+	err := scanPairs(path, triples, func(a, b string) {
+		u, v := m.ID(a), m.ID(b)
+		for int(u) >= len(deg) || int(v) >= len(deg) {
+			deg = append(deg, 0)
+		}
+		if u == v {
+			return
+		}
+		deg[u]++
+		deg[v]++
+		edges++
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for len(deg) < m.Len() {
+		deg = append(deg, 0)
+	}
+
+	// Pass 2: fill the final adjacency directly.
+	sb := graph.NewStreamBuilderFromDegrees(deg, edges)
+	err = scanPairs(path, triples, func(a, b string) {
+		u, ok1 := m.Lookup(a)
+		v, ok2 := m.Lookup(b)
+		if ok1 && ok2 {
+			sb.FillEdge(u, v)
+		}
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	g, err := sb.Build()
+	if err != nil {
+		return nil, nil, fmt.Errorf("gio: input changed between passes: %w", err)
+	}
+	return g, m, nil
+}
+
+// scanPairs streams the node-label pairs of an edge-list or triple file.
+func scanPairs(path string, triples bool, fn func(a, b string)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("gio: %w", err)
+	}
+	defer f.Close()
+	return scanPairsFrom(f, triples, fn)
+}
+
+func scanPairsFrom(r io.Reader, triples bool, fn func(a, b string)) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case triples:
+			if len(fields) != 3 {
+				return fmt.Errorf("gio: line %d: triple format wants 3 fields, got %d", lineNo, len(fields))
+			}
+			fn(fields[0], fields[2])
+		default:
+			if len(fields) < 2 {
+				return fmt.Errorf("gio: line %d: want at least 2 fields, got %q", lineNo, line)
+			}
+			fn(fields[0], fields[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("gio: reading %w", err)
+	}
+	return nil
+}

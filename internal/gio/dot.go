@@ -1,0 +1,54 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"mce/internal/graph"
+)
+
+// WriteDOT renders g in Graphviz DOT format for visual inspection of small
+// networks and their communities. groups optionally assigns nodes to
+// clusters (e.g. the communities found by clique percolation): nodes of
+// groups[i] share fill colour i, nodes in several groups get the "overlap"
+// style, and ungrouped nodes stay plain. labelOf supplies node labels; nil
+// uses the decimal IDs.
+func WriteDOT(w io.Writer, g *graph.Graph, groups [][]int32, labelOf func(int32) string) error {
+	if labelOf == nil {
+		labelOf = func(v int32) string { return fmt.Sprint(v) }
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "graph mce {")
+	fmt.Fprintln(bw, "  node [shape=circle fontsize=10];")
+
+	// palette cycles through Graphviz colour-scheme names.
+	palette := []string{
+		"lightblue", "lightgoldenrod", "lightpink", "lightseagreen",
+		"lightsalmon", "lightskyblue", "plum", "palegreen",
+	}
+	membership := map[int32][]int{}
+	for gi, members := range groups {
+		for _, v := range members {
+			membership[v] = append(membership[v], gi)
+		}
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		attrs := fmt.Sprintf("label=%q", labelOf(v))
+		switch gs := membership[v]; {
+		case len(gs) > 1:
+			attrs += ` style="filled,bold" fillcolor=white peripheries=2`
+		case len(gs) == 1:
+			attrs += fmt.Sprintf(" style=filled fillcolor=%s", palette[gs[0]%len(palette)])
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", v, attrs)
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(bw, "  n%d -- n%d;\n", e.U, e.V)
+	}
+	fmt.Fprintln(bw, "}")
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("gio: writing DOT: %w", err)
+	}
+	return nil
+}

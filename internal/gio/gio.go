@@ -1,0 +1,186 @@
+// Package gio reads and writes graphs in the two on-disk formats the paper
+// uses: plain whitespace-separated edge lists (the SNAP convention) and the
+// distributed triple format of §6.2, where each record is ⟨n1, e, n2⟩ with
+// node and edge labels encoded as hashes to speed up loading.
+//
+// Node labels are arbitrary strings; a LabelMap assigns them dense int32
+// identifiers in first-seen order so that the rest of the pipeline works on
+// compact IDs.
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"mce/internal/graph"
+)
+
+// LabelMap maps external string labels to dense node IDs and back.
+type LabelMap struct {
+	ids    map[string]int32
+	labels []string
+}
+
+// NewLabelMap returns an empty label map.
+func NewLabelMap() *LabelMap {
+	return &LabelMap{ids: make(map[string]int32)}
+}
+
+// ID returns the dense identifier for label, allocating one if unseen.
+func (m *LabelMap) ID(label string) int32 {
+	if id, ok := m.ids[label]; ok {
+		return id
+	}
+	id := int32(len(m.labels))
+	m.ids[label] = id
+	m.labels = append(m.labels, label)
+	return id
+}
+
+// Lookup returns the identifier for label without allocating.
+func (m *LabelMap) Lookup(label string) (int32, bool) {
+	id, ok := m.ids[label]
+	return id, ok
+}
+
+// Label returns the external label of id.
+func (m *LabelMap) Label(id int32) string { return m.labels[id] }
+
+// Len returns the number of distinct labels seen.
+func (m *LabelMap) Len() int { return len(m.labels) }
+
+// HashLabel hashes an arbitrary label to a fixed-width token, mirroring the
+// paper's trick of encoding node and edge labels with hashes to speed up the
+// distributed loading phase (§6.2).
+func HashLabel(label string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(label))
+	return h.Sum64()
+}
+
+// ReadEdgeList parses a whitespace-separated edge list: one "u v" pair per
+// line, '#' and '%' prefixed lines are comments. Labels may be arbitrary
+// strings; the returned LabelMap records the dense relabelling. Self loops
+// and duplicate edges are normalised away by the graph builder.
+func ReadEdgeList(r io.Reader) (*graph.Graph, *LabelMap, error) {
+	m := NewLabelMap()
+	var edges []graph.Edge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("gio: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		edges = append(edges, graph.Edge{U: m.ID(fields[0]), V: m.ID(fields[1])})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("gio: reading edge list: %w", err)
+	}
+	b := graph.NewBuilder(m.Len())
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build(), m, nil
+}
+
+// WriteEdgeList writes g as "u v" lines using dense IDs as labels.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return fmt.Errorf("gio: writing edge list: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTriples parses the paper's distributed record format: one triple
+// ⟨n1, e, n2⟩ per line, tab- or space-separated, where n1 and n2 are node
+// labels and e is an edge label (ignored for the undirected clique problem).
+// Hash-encoded labels (decimal uint64 produced by HashLabel) and raw string
+// labels are both accepted; each distinct token becomes one node.
+func ReadTriples(r io.Reader) (*graph.Graph, *LabelMap, error) {
+	m := NewLabelMap()
+	var edges []graph.Edge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("gio: line %d: triple format wants 3 fields, got %d", lineNo, len(fields))
+		}
+		edges = append(edges, graph.Edge{U: m.ID(fields[0]), V: m.ID(fields[2])})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("gio: reading triples: %w", err)
+	}
+	b := graph.NewBuilder(m.Len())
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build(), m, nil
+}
+
+// WriteTriples writes g in the triple format with hash-encoded labels: each
+// edge becomes "hash(u) e<i> hash(v)". labelOf supplies the external label of
+// a node; pass nil to use the decimal dense ID.
+func WriteTriples(w io.Writer, g *graph.Graph, labelOf func(int32) string) error {
+	if labelOf == nil {
+		labelOf = func(v int32) string { return strconv.Itoa(int(v)) }
+	}
+	bw := bufio.NewWriter(w)
+	for i, e := range g.Edges() {
+		_, err := fmt.Fprintf(bw, "%d e%d %d\n",
+			HashLabel(labelOf(e.U)), i, HashLabel(labelOf(e.V)))
+		if err != nil {
+			return fmt.Errorf("gio: writing triples: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a graph from path, choosing the parser by extension:
+// ".triples" selects ReadTriples, anything else ReadEdgeList.
+func LoadFile(path string) (*graph.Graph, *LabelMap, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("gio: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".triples") {
+		return ReadTriples(f)
+	}
+	return ReadEdgeList(f)
+}
+
+// SaveFile writes g to path in the format chosen by extension, mirroring
+// LoadFile.
+func SaveFile(path string, g *graph.Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("gio: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".triples") {
+		return WriteTriples(f, g, nil)
+	}
+	return WriteEdgeList(f, g)
+}

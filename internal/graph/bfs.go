@@ -1,0 +1,98 @@
+package graph
+
+// BFS returns the hop distance from src to every node, with -1 for
+// unreachable nodes. It is the primitive behind the distance-based
+// community relaxations (k-cliques, k-clubs, k-clans).
+func BFS(g *Graph, src int32) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || int(src) >= g.N() {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSWithin returns the hop distances from src restricted to the induced
+// subgraph on members (only nodes with members[v] true are traversed).
+// Distances of excluded or unreachable nodes are -1.
+func BFSWithin(g *Graph, src int32, members []bool) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || int(src) >= g.N() || !members[src] {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if members[u] && dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// Power returns the k-th graph power: u and v are adjacent in the result
+// exactly when their distance in g is between 1 and k. Maximal cliques of
+// Power(g, k) are exactly the maximal k-cliques of g in Luce's distance
+// relaxation.
+func Power(g *Graph, k int) *Graph {
+	if k <= 1 {
+		// The first power is the graph itself (copied for ownership).
+		return FromEdges(g.N(), g.Edges())
+	}
+	b := NewBuilder(g.N())
+	for src := int32(0); src < int32(g.N()); src++ {
+		dist := boundedBFS(g, src, int32(k))
+		for v, d := range dist {
+			if d > 0 && int32(v) > src {
+				b.AddEdge(src, int32(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// boundedBFS is BFS truncated at depth maxDepth; unvisited nodes get -1.
+func boundedBFS(g *Graph, src, maxDepth int32) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if dist[v] == maxDepth {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,251 @@
+// Package graph provides the in-memory network representation shared by all
+// stages of the two-level maximal clique enumeration pipeline.
+//
+// A Graph is simple (no self loops, no parallel edges) and undirected, stored
+// as per-node sorted adjacency slices over a single backing array, which is
+// the compact, cache-friendly layout that the decomposition routines and the
+// Lists adjacency structure read directly. Nodes are dense int32 identifiers
+// in [0, N()); external labels are mapped to dense IDs by package gio.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph. Build one with a Builder or
+// FromEdges; a built Graph is safe for concurrent readers.
+type Graph struct {
+	offsets []int32 // len N()+1; adjacency of v is flat[offsets[v]:offsets[v+1]]
+	flat    []int32 // concatenated sorted neighbour lists
+}
+
+// Edge is an undirected edge between two node identifiers.
+type Edge struct {
+	U, V int32
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.flat) / 2 }
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbour list of v. The returned slice
+// aliases the graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.flat[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether u and v are adjacent. It runs in O(log deg(u)).
+func (g *Graph) HasEdge(u, v int32) bool {
+	if u == v {
+		return false
+	}
+	adj := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// MaxDegree returns the largest node degree, or 0 for an empty graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Density returns 2M / (N(N-1)), the fraction of possible edges present.
+// Graphs with fewer than two nodes have density 0.
+func (g *Graph) Density() float64 {
+	n := float64(g.N())
+	if n < 2 {
+		return 0
+	}
+	return 2 * float64(g.M()) / (n * (n - 1))
+}
+
+// Edges returns all undirected edges with U < V, sorted lexicographically.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.M())
+	for u := int32(0); u < int32(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				es = append(es, Edge{u, v})
+			}
+		}
+	}
+	return es
+}
+
+// DegreeHistogram returns counts[d] = number of nodes of degree d for
+// d in [0, maxDeg]; degrees above maxDeg are accumulated into the last bin
+// when truncate is true, and extend the slice otherwise.
+func (g *Graph) DegreeHistogram(maxDeg int, truncate bool) []int {
+	counts := make([]int, maxDeg+1)
+	for v := int32(0); v < int32(g.N()); v++ {
+		d := g.Degree(v)
+		switch {
+		case d <= maxDeg:
+			counts[d]++
+		case truncate:
+			counts[maxDeg]++
+		default:
+			for len(counts) <= d {
+				counts = append(counts, 0)
+			}
+			counts[d]++
+		}
+	}
+	return counts
+}
+
+// String summarises the graph for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d}", g.N(), g.M())
+}
+
+// Builder accumulates edges and produces a normalised Graph: undirected,
+// deduplicated, self loops dropped, adjacency sorted. The zero value is not
+// usable; create one with NewBuilder.
+type Builder struct {
+	n     int
+	edges []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n nodes (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		n = 0
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records an undirected edge between u and v. Self loops and
+// out-of-range endpoints are ignored; duplicates are removed at Build time.
+func (b *Builder) AddEdge(u, v int32) {
+	if u == v || u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, Edge{u, v})
+}
+
+// Grow raises the node count to at least n.
+func (b *Builder) Grow(n int) {
+	if n > b.n {
+		b.n = n
+	}
+}
+
+// N returns the current node count of the builder.
+func (b *Builder) N() int { return b.n }
+
+// Build constructs the normalised Graph. The builder may be reused afterwards;
+// further AddEdge calls do not affect the returned graph.
+func (b *Builder) Build() *Graph {
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].U != b.edges[j].U {
+			return b.edges[i].U < b.edges[j].U
+		}
+		return b.edges[i].V < b.edges[j].V
+	})
+	// Deduplicate in place.
+	uniq := b.edges[:0]
+	var prev Edge
+	for i, e := range b.edges {
+		if i == 0 || e != prev {
+			uniq = append(uniq, e)
+			prev = e
+		}
+	}
+	b.edges = uniq
+
+	deg := make([]int32, b.n)
+	for _, e := range b.edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	offsets := make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	flat := make([]int32, 2*len(b.edges))
+	cursor := make([]int32, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range b.edges {
+		flat[cursor[e.U]] = e.V
+		cursor[e.U]++
+		flat[cursor[e.V]] = e.U
+		cursor[e.V]++
+	}
+	g := &Graph{offsets: offsets, flat: flat}
+	// Each list was filled in two passes (smaller endpoints first from the
+	// sorted edge order, then larger); sort per node to guarantee order.
+	for v := int32(0); v < int32(b.n); v++ {
+		adj := g.flat[offsets[v]:offsets[v+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+	}
+	return g
+}
+
+// FromEdges builds a graph with n nodes from an edge list, normalising as
+// Builder does.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e.U, e.V)
+	}
+	return b.Build()
+}
+
+// Empty returns a graph with n nodes and no edges.
+func Empty(n int) *Graph {
+	return NewBuilder(n).Build()
+}
+
+// Complete returns the complete graph on n nodes.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := int32(0); u < int32(n); u++ {
+		for v := u + 1; v < int32(n); v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// Induced returns the subgraph of g induced by nodes, relabelled to dense
+// IDs 0..len(nodes)-1 in the order given, together with origIDs such that
+// origIDs[newID] is the node's identifier in g. Duplicate entries in nodes
+// are ignored after the first occurrence.
+func Induced(g *Graph, nodes []int32) (sub *Graph, origIDs []int32) {
+	newID := make(map[int32]int32, len(nodes))
+	origIDs = make([]int32, 0, len(nodes))
+	for _, v := range nodes {
+		if _, dup := newID[v]; dup {
+			continue
+		}
+		newID[v] = int32(len(origIDs))
+		origIDs = append(origIDs, v)
+	}
+	b := NewBuilder(len(origIDs))
+	for nu, u := range origIDs {
+		for _, w := range g.Neighbors(u) {
+			if nw, ok := newID[w]; ok && int32(nu) < nw {
+				b.AddEdge(int32(nu), nw)
+			}
+		}
+	}
+	return b.Build(), origIDs
+}

@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := Empty(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("Empty(5): n=%d m=%d", g.N(), g.M())
+	}
+	for v := int32(0); v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Errorf("Degree(%d) = %d, want 0", v, g.Degree(v))
+		}
+	}
+	if g.MaxDegree() != 0 {
+		t.Errorf("MaxDegree = %d, want 0", g.MaxDegree())
+	}
+	if g.Density() != 0 {
+		t.Errorf("Density = %f, want 0", g.Density())
+	}
+}
+
+func TestZeroNodeGraph(t *testing.T) {
+	g := Empty(0)
+	if g.N() != 0 || g.M() != 0 {
+		t.Fatalf("Empty(0): n=%d m=%d", g.N(), g.M())
+	}
+	if g.MaxDegree() != 0 || g.Density() != 0 {
+		t.Fatalf("zero-node graph stats wrong")
+	}
+	if len(g.Edges()) != 0 {
+		t.Fatalf("zero-node graph has edges")
+	}
+}
+
+func TestCompleteGraph(t *testing.T) {
+	g := Complete(6)
+	if g.N() != 6 || g.M() != 15 {
+		t.Fatalf("Complete(6): n=%d m=%d, want 6, 15", g.N(), g.M())
+	}
+	if g.Density() != 1 {
+		t.Errorf("Density = %f, want 1", g.Density())
+	}
+	for u := int32(0); u < 6; u++ {
+		for v := int32(0); v < 6; v++ {
+			if want := u != v; g.HasEdge(u, v) != want {
+				t.Errorf("HasEdge(%d,%d) = %v, want %v", u, v, !want, want)
+			}
+		}
+	}
+}
+
+func TestBuilderNormalisation(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate, reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self loop ignored
+	b.AddEdge(-1, 3)
+	b.AddEdge(3, 99) // out of range ignored
+	b.AddEdge(3, 2)
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(2, 3) {
+		t.Fatalf("expected edges missing")
+	}
+	if g.HasEdge(2, 2) {
+		t.Fatalf("self loop survived")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := FromEdges(5, []Edge{{3, 1}, {3, 0}, {3, 4}, {3, 2}})
+	adj := g.Neighbors(3)
+	if !sort.SliceIsSorted(adj, func(i, j int) bool { return adj[i] < adj[j] }) {
+		t.Fatalf("Neighbors not sorted: %v", adj)
+	}
+	if len(adj) != 4 {
+		t.Fatalf("Degree(3) = %d, want 4", len(adj))
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	in := []Edge{{0, 1}, {1, 2}, {0, 2}, {3, 4}}
+	g := FromEdges(5, in)
+	out := g.Edges()
+	if len(out) != len(in) {
+		t.Fatalf("Edges count = %d, want %d", len(out), len(in))
+	}
+	g2 := FromEdges(5, out)
+	for _, e := range in {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Errorf("edge %v lost in round trip", e)
+		}
+	}
+}
+
+func TestDegreeHistogramTruncate(t *testing.T) {
+	// Star on 5 nodes: centre degree 4, leaves degree 1.
+	g := FromEdges(5, []Edge{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	h := g.DegreeHistogram(2, true)
+	if h[0] != 0 || h[1] != 4 || h[2] != 1 {
+		t.Fatalf("truncated histogram = %v", h)
+	}
+	h = g.DegreeHistogram(2, false)
+	if len(h) != 5 || h[4] != 1 || h[2] != 0 {
+		t.Fatalf("extended histogram = %v", h)
+	}
+}
+
+func TestInduced(t *testing.T) {
+	// Path 0-1-2-3 plus chord 0-2.
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 3}, {0, 2}})
+	sub, orig := Induced(g, []int32{2, 0, 3})
+	if sub.N() != 3 {
+		t.Fatalf("induced N = %d, want 3", sub.N())
+	}
+	// orig maps new IDs back: new0=2, new1=0, new2=3.
+	if orig[0] != 2 || orig[1] != 0 || orig[2] != 3 {
+		t.Fatalf("origIDs = %v", orig)
+	}
+	// Edges among {2,0,3}: 0-2 and 2-3 → new (0,1) and (0,2).
+	if sub.M() != 2 || !sub.HasEdge(0, 1) || !sub.HasEdge(0, 2) || sub.HasEdge(1, 2) {
+		t.Fatalf("induced edges wrong: %v", sub.Edges())
+	}
+}
+
+func TestInducedDuplicatesIgnored(t *testing.T) {
+	g := FromEdges(3, []Edge{{0, 1}, {1, 2}})
+	sub, orig := Induced(g, []int32{1, 1, 2})
+	if sub.N() != 2 || len(orig) != 2 {
+		t.Fatalf("duplicate nodes not collapsed: n=%d orig=%v", sub.N(), orig)
+	}
+	if !sub.HasEdge(0, 1) {
+		t.Fatalf("edge 1-2 missing from induced subgraph")
+	}
+}
+
+func TestInducedEmptySelection(t *testing.T) {
+	g := Complete(4)
+	sub, orig := Induced(g, nil)
+	if sub.N() != 0 || len(orig) != 0 {
+		t.Fatalf("induced on empty selection: n=%d", sub.N())
+	}
+}
+
+func TestGrow(t *testing.T) {
+	b := NewBuilder(2)
+	b.Grow(5)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	if g.N() != 5 || !g.HasEdge(3, 4) {
+		t.Fatalf("Grow failed: n=%d", g.N())
+	}
+	b.Grow(3) // shrinking is a no-op
+	if b.N() != 5 {
+		t.Fatalf("Grow shrank the builder")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Complete(3).String(); got != "graph{n=3 m=3}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: for random edge sets, HasEdge matches a reference adjacency map,
+// degrees sum to 2M, and adjacency is symmetric and sorted.
+func TestQuickBuildConsistency(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%40) + 2
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder(n)
+		ref := map[[2]int32]bool{}
+		for i := 0; i < 3*n; i++ {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			b.AddEdge(u, v)
+			if u != v {
+				if u > v {
+					u, v = v, u
+				}
+				ref[[2]int32{u, v}] = true
+			}
+		}
+		g := b.Build()
+		if g.M() != len(ref) {
+			return false
+		}
+		degSum := 0
+		for v := int32(0); v < int32(n); v++ {
+			adj := g.Neighbors(v)
+			degSum += len(adj)
+			for i := 1; i < len(adj); i++ {
+				if adj[i-1] >= adj[i] {
+					return false // unsorted or duplicate
+				}
+			}
+			for _, w := range adj {
+				if !g.HasEdge(w, v) { // symmetry
+					return false
+				}
+			}
+		}
+		if degSum != 2*g.M() {
+			return false
+		}
+		for u := int32(0); u < int32(n); u++ {
+			for v := int32(0); v < int32(n); v++ {
+				key := [2]int32{u, v}
+				if u > v {
+					key = [2]int32{v, u}
+				}
+				if g.HasEdge(u, v) != ref[key] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Induced preserves exactly the edges with both endpoints selected.
+func TestQuickInduced(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30) + 5
+		b := NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)))
+		}
+		g := b.Build()
+		var sel []int32
+		for v := 0; v < n; v++ {
+			if rng.Intn(2) == 0 {
+				sel = append(sel, int32(v))
+			}
+		}
+		sub, orig := Induced(g, sel)
+		if sub.N() != len(sel) {
+			return false
+		}
+		for nu := int32(0); nu < int32(sub.N()); nu++ {
+			for nv := nu + 1; nv < int32(sub.N()); nv++ {
+				if sub.HasEdge(nu, nv) != g.HasEdge(orig[nu], orig[nv]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const n = 5000
+	edges := make([]Edge, 0, 10*n)
+	for i := 0; i < 10*n; i++ {
+		edges = append(edges, Edge{int32(rng.Intn(n)), int32(rng.Intn(n))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FromEdges(n, edges)
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := Complete(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.HasEdge(int32(i%500), int32((i*7)%500))
+	}
+}

@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// StreamBuilder constructs a Graph from two passes over an edge stream
+// without buffering the edge list: the first pass counts incidences, the
+// second writes endpoints straight into the final backing array. Peak
+// memory is the finished adjacency plus O(N) counters — roughly half of
+// what Builder needs — which matters when the input pushes against main
+// memory, the regime the external-memory MCE line of work ([8], [10] in
+// the paper) targets.
+//
+// Usage:
+//
+//	sb := graph.NewStreamBuilder(n)
+//	for each edge { sb.CountEdge(u, v) }   // pass 1
+//	sb.FinishCount()
+//	for each edge { sb.FillEdge(u, v) }    // pass 2 (same stream, re-read)
+//	g, err := sb.Build()
+//
+// Self loops and out-of-range endpoints are ignored in both passes;
+// duplicate edges are removed at Build time. The two passes must present
+// the same multiset of edges, or Build reports the mismatch.
+type StreamBuilder struct {
+	n       int
+	phase   int // 0 counting, 1 filling, 2 built
+	deg     []int32
+	offsets []int32
+	cursor  []int32
+	flat    []int32
+	counted int64
+	filled  int64
+}
+
+// NewStreamBuilder returns a builder for a graph with n nodes.
+func NewStreamBuilder(n int) *StreamBuilder {
+	if n < 0 {
+		n = 0
+	}
+	return &StreamBuilder{n: n, deg: make([]int32, n)}
+}
+
+// NewStreamBuilderFromDegrees skips the counting pass when the incidence
+// counts are already known (e.g. collected while building a label map):
+// deg[v] must be the number of edge endpoints at v including duplicates,
+// and edges the total edge records the fill pass will present. The builder
+// is returned ready for FillEdge; deg is retained.
+func NewStreamBuilderFromDegrees(deg []int32, edges int64) *StreamBuilder {
+	b := &StreamBuilder{n: len(deg), deg: deg, counted: edges}
+	b.FinishCount()
+	return b
+}
+
+func (b *StreamBuilder) accepts(u, v int32) bool {
+	return u != v && u >= 0 && v >= 0 && int(u) < b.n && int(v) < b.n
+}
+
+// CountEdge records the incidence counts of one edge (pass 1).
+func (b *StreamBuilder) CountEdge(u, v int32) {
+	if b.phase != 0 || !b.accepts(u, v) {
+		return
+	}
+	b.deg[u]++
+	b.deg[v]++
+	b.counted++
+}
+
+// FinishCount switches to the fill phase, allocating the backing array.
+func (b *StreamBuilder) FinishCount() {
+	if b.phase != 0 {
+		return
+	}
+	b.offsets = make([]int32, b.n+1)
+	for v := 0; v < b.n; v++ {
+		b.offsets[v+1] = b.offsets[v] + b.deg[v]
+	}
+	b.cursor = make([]int32, b.n)
+	copy(b.cursor, b.offsets[:b.n])
+	b.flat = make([]int32, 2*b.counted)
+	b.phase = 1
+}
+
+// FillEdge writes one edge's endpoints into the adjacency (pass 2).
+func (b *StreamBuilder) FillEdge(u, v int32) {
+	if b.phase != 1 || !b.accepts(u, v) {
+		return
+	}
+	if b.filled >= b.counted {
+		b.filled++ // overflow detected at Build
+		return
+	}
+	b.flat[b.cursor[u]] = v
+	b.cursor[u]++
+	b.flat[b.cursor[v]] = u
+	b.cursor[v]++
+	b.filled++
+}
+
+// Build sorts and deduplicates the adjacency in place and returns the
+// graph. It fails when the two passes disagreed on the edge stream.
+func (b *StreamBuilder) Build() (*Graph, error) {
+	if b.phase == 0 {
+		b.FinishCount()
+	}
+	if b.phase == 2 {
+		return nil, fmt.Errorf("graph: StreamBuilder already built")
+	}
+	if b.filled != b.counted {
+		return nil, fmt.Errorf("graph: fill pass saw %d edges, count pass %d", b.filled, b.counted)
+	}
+	b.phase = 2
+
+	// Sort and dedup each adjacency slice in place, then compact the
+	// backing array so the final graph is normalised like Builder's.
+	newOffsets := make([]int32, b.n+1)
+	write := int32(0)
+	for v := 0; v < b.n; v++ {
+		adj := b.flat[b.offsets[v]:b.offsets[v+1]]
+		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		newOffsets[v] = write
+		var prev int32 = -1
+		for _, u := range adj {
+			if u != prev {
+				b.flat[write] = u
+				write++
+				prev = u
+			}
+		}
+	}
+	newOffsets[b.n] = write
+	g := &Graph{offsets: newOffsets, flat: b.flat[:write]}
+	b.deg, b.offsets, b.cursor, b.flat = nil, nil, nil, nil
+	return g, nil
+}

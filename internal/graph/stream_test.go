@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamBuilderMatchesBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 80
+	var edges []Edge
+	for i := 0; i < 4*n; i++ {
+		edges = append(edges, Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	want := FromEdges(n, edges)
+
+	sb := NewStreamBuilder(n)
+	for _, e := range edges {
+		sb.CountEdge(e.U, e.V)
+	}
+	sb.FinishCount()
+	for _, e := range edges {
+		sb.FillEdge(e.U, e.V)
+	}
+	got, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("stream build n=%d m=%d, want n=%d m=%d", got.N(), got.M(), want.N(), want.M())
+	}
+	for v := int32(0); v < int32(n); v++ {
+		ga, wa := got.Neighbors(v), want.Neighbors(v)
+		if len(ga) != len(wa) {
+			t.Fatalf("degree(%d) = %d, want %d", v, len(ga), len(wa))
+		}
+		for i := range ga {
+			if ga[i] != wa[i] {
+				t.Fatalf("adjacency of %d differs", v)
+			}
+		}
+	}
+}
+
+func TestStreamBuilderPassMismatch(t *testing.T) {
+	sb := NewStreamBuilder(4)
+	sb.CountEdge(0, 1)
+	sb.CountEdge(1, 2)
+	sb.FinishCount()
+	sb.FillEdge(0, 1) // second edge never filled
+	if _, err := sb.Build(); err == nil {
+		t.Fatal("mismatched passes accepted")
+	}
+	// Overfill is also caught.
+	sb2 := NewStreamBuilder(4)
+	sb2.CountEdge(0, 1)
+	sb2.FinishCount()
+	sb2.FillEdge(0, 1)
+	sb2.FillEdge(1, 2)
+	if _, err := sb2.Build(); err == nil {
+		t.Fatal("overfilled pass accepted")
+	}
+}
+
+func TestStreamBuilderDoubleBuild(t *testing.T) {
+	sb := NewStreamBuilder(2)
+	sb.CountEdge(0, 1)
+	sb.FinishCount()
+	sb.FillEdge(0, 1)
+	if _, err := sb.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Build(); err == nil {
+		t.Fatal("second Build accepted")
+	}
+}
+
+func TestStreamBuilderIgnoresJunk(t *testing.T) {
+	sb := NewStreamBuilder(3)
+	sb.CountEdge(0, 0)  // self loop
+	sb.CountEdge(-1, 2) // out of range
+	sb.CountEdge(0, 99)
+	sb.CountEdge(0, 1)
+	sb.FinishCount()
+	sb.FillEdge(0, 0)
+	sb.FillEdge(-1, 2)
+	sb.FillEdge(0, 99)
+	sb.FillEdge(0, 1)
+	g, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || !g.HasEdge(0, 1) {
+		t.Fatalf("junk edges leaked: %v", g)
+	}
+}
+
+func TestStreamBuilderFromDegrees(t *testing.T) {
+	deg := []int32{1, 2, 1}
+	sb := NewStreamBuilderFromDegrees(deg, 2)
+	sb.FillEdge(0, 1)
+	sb.FillEdge(1, 2)
+	g, err := sb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 || g.Degree(1) != 2 {
+		t.Fatalf("from-degrees build wrong: %v", g)
+	}
+}
+
+// Property: StreamBuilder and Builder agree on random duplicate-laden edge
+// streams.
+func TestQuickStreamBuilderEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40) + 2
+		var edges []Edge
+		for i := 0; i < 5*n; i++ {
+			edges = append(edges, Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+		}
+		want := FromEdges(n, edges)
+		sb := NewStreamBuilder(n)
+		for _, e := range edges {
+			sb.CountEdge(e.U, e.V)
+		}
+		sb.FinishCount()
+		for _, e := range edges {
+			sb.FillEdge(e.U, e.V)
+		}
+		got, err := sb.Build()
+		if err != nil || got.M() != want.M() {
+			return false
+		}
+		for v := int32(0); v < int32(n); v++ {
+			ga, wa := got.Neighbors(v), want.Neighbors(v)
+			if len(ga) != len(wa) {
+				return false
+			}
+			for i := range ga {
+				if ga[i] != wa[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package kcore computes the sparsity metrics the paper builds on: the
+// degeneracy (coreness) of a network, the degeneracy ordering used by the
+// Eppstein–Strash algorithm, and the d* statistic used as a decision-tree
+// feature (paper §4: the largest d* such that at least d* nodes have degree
+// ≥ d*, i.e. the h-index of the degree sequence).
+//
+// The decomposition algorithm is the classic linear-time bucket peeling of
+// Matula–Beck / Batagelj–Zaveršnik [4]: repeatedly remove a minimum-degree
+// node; the degeneracy is the largest degree seen at removal time.
+package kcore
+
+import "mce/internal/graph"
+
+// Decomposition is the result of peeling a graph by minimum degree.
+type Decomposition struct {
+	// Order lists the nodes in degeneracy order (the order of removal).
+	// In this order, every node has at most Degeneracy neighbours after it.
+	Order []int32
+	// Coreness[v] is the largest k such that v belongs to the k-core.
+	Coreness []int32
+	// Degeneracy is the maximum coreness, the paper's sparsity measure d.
+	Degeneracy int
+	// Position[v] is the index of v in Order.
+	Position []int32
+}
+
+// Decompose computes the k-core decomposition of g in O(N + M) time.
+func Decompose(g *graph.Graph) *Decomposition {
+	n := g.N()
+	d := &Decomposition{
+		Order:    make([]int32, 0, n),
+		Coreness: make([]int32, n),
+		Position: make([]int32, n),
+	}
+	if n == 0 {
+		return d
+	}
+
+	deg := make([]int32, n)
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.Degree(int32(v)))
+		if int(deg[v]) > maxDeg {
+			maxDeg = int(deg[v])
+		}
+	}
+
+	// Bucket sort nodes by degree: bin[d] is the start index of degree-d
+	// nodes inside vert, pos[v] is v's index in vert.
+	bin := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		bin[deg[v]+1]++
+	}
+	for i := 1; i < len(bin); i++ {
+		bin[i] += bin[i-1]
+	}
+	vert := make([]int32, n)
+	pos := make([]int32, n)
+	fill := make([]int32, maxDeg+1)
+	copy(fill, bin[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		pos[v] = fill[deg[v]]
+		vert[pos[v]] = int32(v)
+		fill[deg[v]]++
+	}
+
+	degeneracy := int32(0)
+	removed := make([]bool, n)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		if deg[v] > degeneracy {
+			degeneracy = deg[v]
+		}
+		d.Coreness[v] = degeneracy
+		d.Position[v] = int32(len(d.Order))
+		d.Order = append(d.Order, v)
+		removed[v] = true
+		for _, u := range g.Neighbors(v) {
+			if removed[u] || deg[u] <= deg[v] {
+				continue
+			}
+			// Move u one degree bucket down: swap it with the first
+			// element of its current bucket, then advance that bucket.
+			du := deg[u]
+			pu := pos[u]
+			pw := bin[du]
+			w := vert[pw]
+			if u != w {
+				vert[pu], vert[pw] = w, u
+				pos[u], pos[w] = pw, pu
+			}
+			bin[du]++
+			deg[u]--
+		}
+	}
+	d.Degeneracy = int(degeneracy)
+	return d
+}
+
+// Degeneracy returns only the degeneracy of g.
+func Degeneracy(g *graph.Graph) int {
+	return Decompose(g).Degeneracy
+}
+
+// DStar returns the h-index of the degree sequence: the maximum value d*
+// such that the graph has at least d* nodes with degree ≥ d*. The paper uses
+// it as a linear-time estimate of the size of the densest portion of a block.
+func DStar(g *graph.Graph) int {
+	n := g.N()
+	// counts[d] = number of nodes with degree exactly min(d, n).
+	counts := make([]int, n+1)
+	for v := int32(0); v < int32(n); v++ {
+		d := g.Degree(v)
+		if d > n {
+			d = n
+		}
+		counts[d]++
+	}
+	atLeast := 0
+	for d := n; d >= 0; d-- {
+		atLeast += counts[d]
+		if atLeast >= d {
+			return d
+		}
+	}
+	return 0
+}
+
+// Features bundles the five block parameters the paper's decision tree
+// consumes (§4: nodes, edges, density, degeneracy, d*).
+type Features struct {
+	Nodes      int
+	Edges      int
+	Density    float64
+	Degeneracy int
+	DStar      int
+}
+
+// Measure extracts the decision-tree features of g.
+func Measure(g *graph.Graph) Features {
+	return Features{
+		Nodes:      g.N(),
+		Edges:      g.M(),
+		Density:    g.Density(),
+		Degeneracy: Degeneracy(g),
+		DStar:      DStar(g),
+	}
+}

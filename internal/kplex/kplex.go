@@ -1,0 +1,187 @@
+// Package kplex enumerates maximal k-plexes, the relaxed community model
+// the paper names first among its future-work targets (§8; see also
+// Berlowitz, Cohen and Kimelfeld [5] and McClosky and Hicks [26]).
+//
+// A k-plex is a node set S in which every member misses at most k members:
+// deg_S(v) ≥ |S| − k for all v ∈ S. A 1-plex is a clique, so the enumerator
+// degenerates to maximal clique enumeration at k = 1 (tested against the
+// MCE oracle).
+//
+// Because any k pairwise non-adjacent nodes form a (degenerate) k-plex, the
+// raw family explodes on sparse graphs; following standard practice the
+// enumerator reports only k-plexes of at least MinSize nodes, and a k-plex
+// with |S| ≥ 2k − 1 is automatically connected, so MinSize defaults to that
+// bound.
+package kplex
+
+import (
+	"fmt"
+	"sort"
+
+	"mce/internal/graph"
+)
+
+// Options tunes the enumeration.
+type Options struct {
+	// K is the plex parameter: each member may miss up to K members
+	// (including itself, per the classic definition). K ≥ 1.
+	K int
+	// MinSize is the smallest k-plex to report; 0 means max(2K−1, 1), the
+	// connectivity threshold.
+	MinSize int
+	// MaxResults stops the enumeration after this many k-plexes; 0 means
+	// unbounded. Use it as a safety valve on dense graphs.
+	MaxResults int
+}
+
+// Enumerate calls emit for every maximal k-plex of g with at least
+// opts.MinSize nodes, members ascending. Maximality is with respect to all
+// k-plexes (a reported set cannot be extended by any node), not only the
+// reported ones. The emitted slice is reused between calls.
+func Enumerate(g *graph.Graph, opts Options, emit func(plex []int32)) error {
+	if opts.K < 1 {
+		return fmt.Errorf("kplex: K = %d, want ≥ 1", opts.K)
+	}
+	minSize := opts.MinSize
+	if minSize <= 0 {
+		minSize = 2*opts.K - 1
+		if minSize < 1 {
+			minSize = 1
+		}
+	}
+	e := &enumerator{
+		g:       g,
+		k:       opts.K,
+		minSize: minSize,
+		max:     opts.MaxResults,
+		emit:    emit,
+		inS:     make([]bool, g.N()),
+		missing: make([]int32, g.N()),
+	}
+	n := int32(g.N())
+	cand := make([]int32, 0, n)
+	for v := int32(0); v < n; v++ {
+		cand = append(cand, v)
+	}
+	e.expand(nil, cand, nil)
+	return nil
+}
+
+// Collect gathers the maximal k-plexes into a slice.
+func Collect(g *graph.Graph, opts Options) ([][]int32, error) {
+	var out [][]int32
+	err := Enumerate(g, opts, func(p []int32) {
+		cp := make([]int32, len(p))
+		copy(cp, p)
+		out = append(out, cp)
+	})
+	return out, err
+}
+
+type enumerator struct {
+	g       *graph.Graph
+	k       int
+	minSize int
+	max     int
+	count   int
+	emit    func([]int32)
+
+	inS     []bool  // membership of the current S
+	missing []int32 // missing[v] = |S| − deg_S(v) for v ∈ S; scratch for candidates
+}
+
+// canAdd reports whether S ∪ {v} is still a k-plex, given |S| = size.
+// missing[w] for w ∈ S counts w's non-neighbours within S, itself included.
+func (e *enumerator) canAdd(S []int32, v int32) bool {
+	// v's own deficiency in S ∪ {v}: itself plus non-neighbours in S.
+	missV := int32(1)
+	for _, w := range S {
+		if !e.g.HasEdge(v, w) {
+			missV++
+			if int(missV) > e.k {
+				return false
+			}
+		}
+	}
+	// Existing members' deficiencies grow by one for each non-neighbour.
+	for _, w := range S {
+		if !e.g.HasEdge(v, w) && int(e.missing[w])+1 > e.k {
+			return false
+		}
+	}
+	return true
+}
+
+// add pushes v into S, updating deficiencies; returns v's deficiency.
+func (e *enumerator) add(S []int32, v int32) int32 {
+	missV := int32(1)
+	for _, w := range S {
+		if !e.g.HasEdge(v, w) {
+			missV++
+			e.missing[w]++
+		}
+	}
+	e.missing[v] = missV
+	e.inS[v] = true
+	return missV
+}
+
+// drop undoes add.
+func (e *enumerator) drop(S []int32, v int32) {
+	for _, w := range S {
+		if !e.g.HasEdge(v, w) {
+			e.missing[w]--
+		}
+	}
+	e.inS[v] = false
+}
+
+// expand is a set-enumeration search: S is the current k-plex, cand the
+// nodes that may still join, excl the processed nodes (any of which joining
+// would re-create an already-explored branch). k-plexes are hereditary, so
+// filtering cand/excl by canAdd is sound.
+func (e *enumerator) expand(S, cand, excl []int32) {
+	if e.max > 0 && e.count >= e.max {
+		return
+	}
+	if len(cand) == 0 {
+		if len(S) >= e.minSize && len(excl) == 0 {
+			e.count++
+			out := make([]int32, len(S))
+			copy(out, S)
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			e.emit(out)
+		}
+		return
+	}
+	// Prune: even taking every candidate cannot reach minSize.
+	if len(S)+len(cand) < e.minSize {
+		return
+	}
+	for i, v := range cand {
+		if e.max > 0 && e.count >= e.max {
+			return
+		}
+		e.add(S, v)
+		S2 := append(S, v)
+		var cand2, excl2 []int32
+		for _, u := range cand[i+1:] {
+			if e.canAdd(S2, u) {
+				cand2 = append(cand2, u)
+			}
+		}
+		for _, u := range excl {
+			if e.canAdd(S2, u) {
+				excl2 = append(excl2, u)
+			}
+		}
+		// Nodes skipped earlier in this loop also become exclusions.
+		for _, u := range cand[:i] {
+			if e.canAdd(S2, u) {
+				excl2 = append(excl2, u)
+			}
+		}
+		e.expand(S2, cand2, excl2)
+		e.drop(S, v)
+	}
+}

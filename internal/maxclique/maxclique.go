@@ -1,0 +1,128 @@
+// Package maxclique finds one maximum clique of a graph with a
+// branch-and-bound search in the style of Tomita–Kameda's MCQ/MCR ([33] in
+// the paper) and Östergård [27]: candidates are greedily coloured and
+// processed in descending colour order, pruning any branch whose colour
+// bound cannot beat the incumbent.
+//
+// The maximum clique problem is related to but distinct from enumeration
+// (paper §7); the engine uses this solver as an independent cross-check of
+// the "maximum clique size" figures reported alongside Figures 9–10, and
+// downstream users get a much faster answer than scanning all maximal
+// cliques when only the largest matters.
+package maxclique
+
+import (
+	"sort"
+
+	"mce/internal/bitset"
+	"mce/internal/graph"
+	"mce/internal/kcore"
+)
+
+// Find returns one maximum clique of g (ascending node IDs). The empty
+// graph yields nil.
+func Find(g *graph.Graph) []int32 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	s := &solver{g: g, n: n}
+	s.rows = make([]*bitset.Set, n)
+	for v := int32(0); v < int32(n); v++ {
+		row := bitset.New(n)
+		for _, u := range g.Neighbors(v) {
+			row.Add(u)
+		}
+		s.rows[v] = row
+	}
+
+	// Initial incumbent: a greedy clique along the degeneracy order, which
+	// also gives the search a good vertex order.
+	dec := kcore.Decompose(g)
+	s.best = greedyClique(g, dec.Order)
+
+	P := bitset.New(n)
+	for v := int32(0); v < int32(n); v++ {
+		P.Add(v)
+	}
+	s.expand(make([]int32, 0, dec.Degeneracy+1), P)
+
+	out := append([]int32(nil), s.best...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Size returns the clique number ω(g).
+func Size(g *graph.Graph) int { return len(Find(g)) }
+
+type solver struct {
+	g    *graph.Graph
+	n    int
+	rows []*bitset.Set
+	best []int32
+}
+
+// expand grows R with candidates from P, pruning by greedy colouring.
+func (s *solver) expand(R []int32, P *bitset.Set) {
+	if P.Empty() {
+		if len(R) > len(s.best) {
+			s.best = append(s.best[:0], R...)
+		}
+		return
+	}
+	order, colors := s.colorSort(P)
+	for i := len(order) - 1; i >= 0; i-- {
+		if len(R)+colors[i] <= len(s.best) {
+			// Colours ascend with i, so no earlier candidate can help
+			// either: prune the whole subtree.
+			return
+		}
+		v := order[i]
+		newP := bitset.New(s.n)
+		newP.AndInto(P, s.rows[v])
+		s.expand(append(R, v), newP)
+		P.Remove(v)
+	}
+}
+
+// colorSort greedily colours the subgraph induced by P and returns its
+// members ordered by ascending colour together with the colours (1-based).
+// A clique inside P can use at most max colour vertices, which is the bound
+// the search prunes on.
+func (s *solver) colorSort(P *bitset.Set) (order []int32, colors []int) {
+	uncolored := P.Clone()
+	avail := bitset.New(s.n)
+	color := 0
+	for !uncolored.Empty() {
+		color++
+		avail.CopyFrom(uncolored)
+		for v := avail.Next(0); v >= 0; v = avail.Next(v + 1) {
+			order = append(order, v)
+			colors = append(colors, color)
+			uncolored.Remove(v)
+			// Remove v and its neighbours from this colour class.
+			avail.Remove(v)
+			avail.AndNot(s.rows[v])
+		}
+	}
+	return order, colors
+}
+
+// greedyClique extends a clique greedily along the given vertex order.
+func greedyClique(g *graph.Graph, order []int32) []int32 {
+	var clique []int32
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		ok := true
+		for _, u := range clique {
+			if !g.HasEdge(u, v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clique = append(clique, v)
+		}
+	}
+	return clique
+}

@@ -1,0 +1,119 @@
+package maxclique
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mce/internal/gen"
+	"mce/internal/graph"
+	"mce/internal/mcealg"
+)
+
+func isClique(g *graph.Graph, s []int32) bool {
+	for i, u := range s {
+		for _, v := range s[i+1:] {
+			if !g.HasEdge(u, v) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	if Find(graph.Empty(0)) != nil {
+		t.Fatal("empty graph should yield nil")
+	}
+	if got := Find(graph.Empty(3)); len(got) != 1 {
+		t.Fatalf("edgeless graph max clique = %v, want a single node", got)
+	}
+	if got := Find(graph.Complete(7)); len(got) != 7 {
+		t.Fatalf("K7 max clique size = %d", len(got))
+	}
+}
+
+func TestKnownCliqueNumber(t *testing.T) {
+	// Two planted cliques of sizes 6 and 9 on a sparse background.
+	base := gen.ErdosRenyi(200, 0.02, 3)
+	g := gen.PlantCliques(base, 1, 6, 6, 4)
+	g = gen.PlantCliques(g, 1, 9, 9, 5)
+	got := Find(g)
+	if len(got) < 9 {
+		t.Fatalf("max clique size = %d, want ≥ 9", len(got))
+	}
+	if !isClique(g, got) {
+		t.Fatalf("returned set is not a clique: %v", got)
+	}
+}
+
+func TestMoonMoser(t *testing.T) {
+	// Complete 4-partite graph with parts of size 3: ω = 4.
+	n := 12
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if u/3 != v/3 {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+	}
+	if got := Size(b.Build()); got != 4 {
+		t.Fatalf("Moon–Moser ω = %d, want 4", got)
+	}
+}
+
+func TestSocialSurrogate(t *testing.T) {
+	g := gen.HolmeKim(800, 6, 0.7, 9)
+	got := Find(g)
+	if !isClique(g, got) {
+		t.Fatalf("not a clique: %v", got)
+	}
+	// Cross-check against the enumeration engine.
+	max := 0
+	err := mcealg.Enumerate(g, mcealg.Combo{Alg: mcealg.Eppstein, Struct: mcealg.Lists},
+		func(c []int32) {
+			if len(c) > max {
+				max = len(c)
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != max {
+		t.Fatalf("branch-and-bound found %d, enumeration says %d", len(got), max)
+	}
+}
+
+// Property: Find agrees with the maximum over all maximal cliques on random
+// graphs, sparse and dense.
+func TestQuickMatchesEnumeration(t *testing.T) {
+	f := func(seed int64, dense bool) bool {
+		p := 0.15
+		if dense {
+			p = 0.5
+		}
+		g := gen.ErdosRenyi(int(seed%40)+5, p, seed)
+		got := Find(g)
+		if !isClique(g, got) {
+			return false
+		}
+		max := 0
+		for _, c := range mcealg.ReferenceCollect(g) {
+			if len(c) > max {
+				max = len(c)
+			}
+		}
+		return len(got) == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFind(b *testing.B) {
+	g := gen.HolmeKim(2000, 6, 0.7, 17)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Find(g)
+	}
+}

@@ -1,0 +1,361 @@
+// Package mcealg implements the maximal clique enumeration algorithms the
+// paper assembles into its per-block framework (§4): BKPivot (Bron–Kerbosch
+// with a max-degree pivot [6]), Tomita (pivot maximising |N(u) ∩ P| [34]),
+// Eppstein (degeneracy-ordered outer loop [17]) and XPivot (the paper's own
+// variant preferring pivots from the already-visited set), each runnable over
+// three adjacency representations: adjacency Matrix, adjacency Lists and
+// BitSets. The 4×3 grid matches Table 1 of the paper.
+//
+// All algorithms support the subproblem form MCE(R, P, X) needed by
+// BLOCK-ANALYSIS (Algorithm 4): enumerate the maximal cliques that contain
+// every node of R, may use nodes of P, and must exclude — and not be
+// extensible by — nodes of X.
+package mcealg
+
+import (
+	"fmt"
+	"sort"
+
+	"mce/internal/bitset"
+	"mce/internal/graph"
+)
+
+// Algorithm selects one of the four MCE search strategies.
+type Algorithm uint8
+
+// The four algorithms of the paper's framework.
+const (
+	BKPivot Algorithm = iota
+	Tomita
+	Eppstein
+	XPivot
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case BKPivot:
+		return "BKPivot"
+	case Tomita:
+		return "Tomita"
+	case Eppstein:
+		return "Eppstein"
+	case XPivot:
+		return "XPivot"
+	}
+	return fmt.Sprintf("Algorithm(%d)", uint8(a))
+}
+
+// Structure selects the adjacency representation.
+type Structure uint8
+
+// The three data structures of the paper's framework.
+const (
+	Matrix Structure = iota
+	Lists
+	BitSets
+)
+
+// String returns the paper's name for the structure.
+func (s Structure) String() string {
+	switch s {
+	case Matrix:
+		return "Matrix"
+	case Lists:
+		return "Lists"
+	case BitSets:
+		return "BitSets"
+	}
+	return fmt.Sprintf("Structure(%d)", uint8(s))
+}
+
+// Combo is a data-structure/algorithm pair, the unit the decision tree
+// selects among (paper Figure 3, Table 1).
+type Combo struct {
+	Alg    Algorithm
+	Struct Structure
+}
+
+// String renders the combo in the paper's "[Structure / Algorithm]" style.
+func (c Combo) String() string {
+	return fmt.Sprintf("[%s/%s]", c.Struct, c.Alg)
+}
+
+// AllCombos returns the 12 data-structure/algorithm combinations in a stable
+// order (structures outer, algorithms inner).
+func AllCombos() []Combo {
+	var cs []Combo
+	for _, s := range []Structure{Matrix, Lists, BitSets} {
+		for _, a := range []Algorithm{BKPivot, Tomita, Eppstein, XPivot} {
+			cs = append(cs, Combo{Alg: a, Struct: s})
+		}
+	}
+	return cs
+}
+
+// MatrixMaxNodes bounds the graphs accepted by the Matrix structure: a dense
+// boolean matrix over more nodes than this would exhaust memory for no
+// benefit, since Matrix only wins on small dense blocks (Table 1).
+const MatrixMaxNodes = 1 << 14
+
+// Enumerate finds every maximal clique of g using the given combo and calls
+// emit once per clique with the member IDs in ascending order. The slice
+// passed to emit is reused between calls; copy it to retain.
+func Enumerate(g *graph.Graph, c Combo, emit func(clique []int32)) error {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	P := bitset.New(n)
+	for v := int32(0); v < int32(n); v++ {
+		P.Add(v)
+	}
+	return EnumerateSubproblem(g, c, nil, P, bitset.New(n), emit)
+}
+
+// EnumerateSubproblem runs MCE(R, P, X) on g: it emits every clique K with
+// R ⊆ K ⊆ R ∪ P, K ∩ X = ∅, such that no node of P ∪ X is adjacent to all of
+// K. R must be a clique whose nodes are all adjacent to every node of P and X
+// (the caller typically intersects P and X with the common neighbourhood of
+// R, as Algorithm 4 does). P and X are consumed; pass clones to keep them.
+func EnumerateSubproblem(g *graph.Graph, c Combo, R []int32, P, X *bitset.Set, emit func(clique []int32)) error {
+	r, err := NewRunner(g, c)
+	if err != nil {
+		return err
+	}
+	r.Subproblem(R, P, X, emit)
+	return nil
+}
+
+// Runner holds the adjacency representation for one graph so that many
+// subproblems (e.g. one per kernel node of a block, as in Algorithm 4) can
+// be solved without rebuilding it.
+type Runner struct {
+	combo Combo
+	e     *enumerator
+}
+
+// NewRunner prepares the combo's adjacency structure for g.
+func NewRunner(g *graph.Graph, c Combo) (*Runner, error) {
+	switch c.Alg {
+	case BKPivot, Tomita, Eppstein, XPivot:
+	default:
+		return nil, fmt.Errorf("mcealg: unknown algorithm %v", c.Alg)
+	}
+	adj, err := newAdjacency(g, c.Struct)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{combo: c, e: &enumerator{adj: adj, n: g.N()}}, nil
+}
+
+// Subproblem runs MCE(R, P, X) with the runner's combo; see
+// EnumerateSubproblem for the semantics. P and X are consumed.
+func (r *Runner) Subproblem(R []int32, P, X *bitset.Set, emit func(clique []int32)) {
+	r.e.emit = emit
+	base := make([]int32, len(R), len(R)+16)
+	copy(base, R)
+	if r.combo.Alg == Eppstein {
+		r.e.eppstein(base, P, X)
+	} else {
+		r.e.bk(r.combo.Alg, base, P, X)
+	}
+	r.e.emit = nil
+}
+
+// Collect runs Enumerate and gathers the cliques into a slice of ascending
+// node-ID slices.
+func Collect(g *graph.Graph, c Combo) ([][]int32, error) {
+	var out [][]int32
+	err := Enumerate(g, c, func(k []int32) {
+		cp := make([]int32, len(k))
+		copy(cp, k)
+		out = append(out, cp)
+	})
+	return out, err
+}
+
+// Count runs Enumerate and returns only the number of maximal cliques.
+func Count(g *graph.Graph, c Combo) (int, error) {
+	n := 0
+	err := Enumerate(g, c, func([]int32) { n++ })
+	return n, err
+}
+
+// enumerator carries the per-run state: the adjacency structure, a free list
+// of scratch bit sets (recursion allocates two per level), and the emit sink.
+type enumerator struct {
+	adj  adjacency
+	n    int
+	emit func([]int32)
+	free []*bitset.Set
+	buf  []int32 // reusable emit buffer
+}
+
+func (e *enumerator) get() *bitset.Set {
+	if len(e.free) == 0 {
+		return bitset.New(e.n)
+	}
+	s := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	return s
+}
+
+func (e *enumerator) put(s *bitset.Set) {
+	e.free = append(e.free, s)
+}
+
+// report emits a sorted copy of R. R itself is the shared recursion stack
+// and must not be reordered: ancestors still rely on their prefix.
+func (e *enumerator) report(R []int32) {
+	e.buf = append(e.buf[:0], R...)
+	sort.Slice(e.buf, func(i, j int) bool { return e.buf[i] < e.buf[j] })
+	e.emit(e.buf)
+}
+
+// bk is the pivoted Bron–Kerbosch recursion shared by BKPivot, Tomita and
+// XPivot; the three differ only in pivot choice.
+func (e *enumerator) bk(alg Algorithm, R []int32, P, X *bitset.Set) {
+	if P.Empty() {
+		if X.Empty() {
+			e.report(R)
+		}
+		return
+	}
+	u := e.pivot(alg, P, X)
+	cand := e.get()
+	e.adj.subtractNeighbors(cand, u, P) // cand = P \ N(u)
+	for v := cand.Next(0); v >= 0; v = cand.Next(v + 1) {
+		newP := e.get()
+		newX := e.get()
+		e.adj.intersectNeighbors(newP, v, P)
+		e.adj.intersectNeighbors(newX, v, X)
+		e.bk(alg, append(R, v), newP, newX)
+		e.put(newP)
+		e.put(newX)
+		P.Remove(v)
+		X.Add(v)
+	}
+	e.put(cand)
+}
+
+// pivot chooses the branching pivot according to the algorithm:
+//
+//   - Tomita: the node of P ∪ X maximising |N(u) ∩ P| [34];
+//   - BKPivot: the node of P with the highest degree [6];
+//   - XPivot: like Tomita but restricted to the visited set X when X is
+//     non-empty (the paper's variant), falling back to P otherwise.
+func (e *enumerator) pivot(alg Algorithm, P, X *bitset.Set) int32 {
+	switch alg {
+	case BKPivot:
+		best, bestDeg := int32(-1), -1
+		for v := P.Next(0); v >= 0; v = P.Next(v + 1) {
+			if d := e.adj.degree(v); d > bestDeg {
+				best, bestDeg = v, d
+			}
+		}
+		return best
+	case XPivot:
+		best, bestCnt := int32(-1), -1
+		for v := X.Next(0); v >= 0; v = X.Next(v + 1) {
+			if c := e.adj.intersectCount(v, P); c > bestCnt {
+				best, bestCnt = v, c
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		fallthrough
+	case Tomita:
+		best, bestCnt := int32(-1), -1
+		for v := P.Next(0); v >= 0; v = P.Next(v + 1) {
+			if c := e.adj.intersectCount(v, P); c > bestCnt {
+				best, bestCnt = v, c
+			}
+		}
+		if alg == Tomita {
+			for v := X.Next(0); v >= 0; v = X.Next(v + 1) {
+				if c := e.adj.intersectCount(v, P); c > bestCnt {
+					best, bestCnt = v, c
+				}
+			}
+		}
+		return best
+	}
+	return P.Next(0)
+}
+
+// eppstein runs the Eppstein–Strash outer loop: process the nodes of P in a
+// degeneracy order of the subgraph induced by P, so each top-level call sees
+// a candidate set no larger than the degeneracy; recursion uses the Tomita
+// pivot, as in [17].
+func (e *enumerator) eppstein(R []int32, P, X *bitset.Set) {
+	if P.Empty() {
+		if X.Empty() {
+			e.report(R)
+		}
+		return
+	}
+	order := e.degeneracyOrder(P)
+	for _, v := range order {
+		newP := e.get()
+		newX := e.get()
+		e.adj.intersectNeighbors(newP, v, P)
+		e.adj.intersectNeighbors(newX, v, X)
+		e.bk(Tomita, append(R, v), newP, newX)
+		e.put(newP)
+		e.put(newX)
+		P.Remove(v)
+		X.Add(v)
+	}
+}
+
+// degeneracyOrder peels minimum-degree nodes of the subgraph induced by the
+// members of P, using degrees restricted to P.
+func (e *enumerator) degeneracyOrder(P *bitset.Set) []int32 {
+	members := P.Slice()
+	deg := make(map[int32]int, len(members))
+	for _, v := range members {
+		deg[v] = e.adj.intersectCount(v, P)
+	}
+	// Bucket peeling over the restricted degrees.
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]int32, maxDeg+1)
+	for _, v := range members {
+		buckets[deg[v]] = append(buckets[deg[v]], v)
+	}
+	alive := P.Clone()
+	order := make([]int32, 0, len(members))
+	scratch := e.get()
+	defer e.put(scratch)
+	for cur := 0; len(order) < len(members); {
+		if cur > maxDeg {
+			break
+		}
+		if len(buckets[cur]) == 0 {
+			cur++
+			continue
+		}
+		v := buckets[cur][len(buckets[cur])-1]
+		buckets[cur] = buckets[cur][:len(buckets[cur])-1]
+		if !alive.Has(v) || deg[v] != cur {
+			continue // stale bucket entry
+		}
+		order = append(order, v)
+		alive.Remove(v)
+		e.adj.intersectNeighbors(scratch, v, alive)
+		for u := scratch.Next(0); u >= 0; u = scratch.Next(u + 1) {
+			deg[u]--
+			buckets[deg[u]] = append(buckets[deg[u]], u)
+			if deg[u] < cur {
+				cur = deg[u]
+			}
+		}
+	}
+	return order
+}

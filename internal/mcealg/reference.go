@@ -1,0 +1,93 @@
+package mcealg
+
+import (
+	"sort"
+
+	"mce/internal/graph"
+)
+
+// ReferenceEnumerate is a deliberately simple, pivot-free Bron–Kerbosch used
+// as an independent oracle in tests and completeness experiments. It shares
+// no code with the production recursion: sets are plain sorted slices and
+// intersections are computed by merge, so a bug in the bitset machinery or
+// in pivoting cannot hide in both implementations.
+func ReferenceEnumerate(g *graph.Graph, emit func(clique []int32)) {
+	n := g.N()
+	if n == 0 {
+		return
+	}
+	P := make([]int32, n)
+	for v := int32(0); v < int32(n); v++ {
+		P[v] = v
+	}
+	refBK(g, nil, P, nil, emit)
+}
+
+// ReferenceCollect gathers ReferenceEnumerate's output.
+func ReferenceCollect(g *graph.Graph) [][]int32 {
+	var out [][]int32
+	ReferenceEnumerate(g, func(k []int32) {
+		cp := make([]int32, len(k))
+		copy(cp, k)
+		out = append(out, cp)
+	})
+	return out
+}
+
+func refBK(g *graph.Graph, R, P, X []int32, emit func([]int32)) {
+	if len(P) == 0 {
+		if len(X) == 0 {
+			k := make([]int32, len(R))
+			copy(k, R)
+			sort.Slice(k, func(i, j int) bool { return k[i] < k[j] })
+			emit(k)
+		}
+		return
+	}
+	// Iterate over a snapshot of P; P and X evolve as vertices move.
+	cand := make([]int32, len(P))
+	copy(cand, P)
+	for _, v := range cand {
+		nv := g.Neighbors(v)
+		refBK(g, append(R, v), intersectSorted(P, nv), intersectSorted(X, nv), emit)
+		P = removeSorted(P, v)
+		X = insertSorted(X, v)
+	}
+}
+
+// intersectSorted returns a ∩ b for ascending slices.
+func intersectSorted(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func removeSorted(a []int32, v int32) []int32 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	if i == len(a) || a[i] != v {
+		return a
+	}
+	out := make([]int32, 0, len(a)-1)
+	out = append(out, a[:i]...)
+	return append(out, a[i+1:]...)
+}
+
+func insertSorted(a []int32, v int32) []int32 {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	out := make([]int32, 0, len(a)+1)
+	out = append(out, a[:i]...)
+	out = append(out, v)
+	return append(out, a[i:]...)
+}

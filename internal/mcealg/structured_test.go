@@ -1,0 +1,167 @@
+package mcealg
+
+import (
+	"testing"
+
+	"mce/internal/graph"
+)
+
+// Structured graphs with known maximal clique counts, checked across every
+// combo — a complement to the randomised oracle tests.
+func TestStructuredGraphCliqueCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"cycle-4", cycle(4), 4}, // each edge is maximal
+		{"cycle-9", cycle(9), 9},
+		{"path-6", pathG(6), 5}, // each edge
+		{"star-7", star(7), 6},  // each spoke
+		{"K33", bipartite(3, 3), 9},
+		{"K25", bipartite(2, 5), 10},
+		{"hypercube-3", hypercube(3), 12}, // Q3: 12 edges, triangle-free
+		{"two-K4-bridge", twoCliquesBridged(4), 3},
+		{"wheel-6", wheel(6), 6},     // hub+rim triangles
+		{"petersen", petersen(), 15}, // triangle-free: 15 edges
+	}
+	for _, c := range cases {
+		for _, combo := range AllCombos() {
+			got, err := Count(c.g, combo)
+			if err != nil {
+				t.Fatalf("%s %v: %v", c.name, combo, err)
+			}
+			if got != c.want {
+				t.Fatalf("%s %v: %d maximal cliques, want %d", c.name, combo, got, c.want)
+			}
+		}
+	}
+}
+
+func cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(int32(v), int32((v+1)%n))
+	}
+	return b.Build()
+}
+
+func pathG(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(int32(v), int32(v+1))
+	}
+	return b.Build()
+}
+
+func star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, int32(v))
+	}
+	return b.Build()
+}
+
+func bipartite(a, c int) *graph.Graph {
+	b := graph.NewBuilder(a + c)
+	for u := 0; u < a; u++ {
+		for v := 0; v < c; v++ {
+			b.AddEdge(int32(u), int32(a+v))
+		}
+	}
+	return b.Build()
+}
+
+func hypercube(dim int) *graph.Graph {
+	n := 1 << dim
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < dim; bit++ {
+			b.AddEdge(int32(v), int32(v^(1<<bit)))
+		}
+	}
+	return b.Build()
+}
+
+func twoCliquesBridged(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.AddEdge(int32(u), int32(v))
+			b.AddEdge(int32(k+u), int32(k+v))
+		}
+	}
+	b.AddEdge(int32(k-1), int32(k))
+	return b.Build()
+}
+
+// wheel returns a hub joined to an n-cycle rim (n ≥ 3): the maximal cliques
+// are the n hub-rim triangles.
+func wheel(n int) *graph.Graph {
+	b := graph.NewBuilder(n + 1)
+	for v := 0; v < n; v++ {
+		b.AddEdge(int32(n), int32(v))
+		b.AddEdge(int32(v), int32((v+1)%n))
+	}
+	return b.Build()
+}
+
+func petersen() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for v := 0; v < 5; v++ {
+		b.AddEdge(int32(v), int32((v+1)%5))     // outer C5
+		b.AddEdge(int32(v), int32(v+5))         // spokes
+		b.AddEdge(int32(v+5), int32((v+2)%5+5)) // inner pentagram
+	}
+	return b.Build()
+}
+
+// Wedge of many triangles at a single shared node: stresses the visited/X
+// logic around one very high-degree pivot.
+func TestTriangleFan(t *testing.T) {
+	k := 30
+	b := graph.NewBuilder(1 + 2*k)
+	for i := 0; i < k; i++ {
+		u := int32(1 + 2*i)
+		v := u + 1
+		b.AddEdge(0, u)
+		b.AddEdge(0, v)
+		b.AddEdge(u, v)
+	}
+	g := b.Build()
+	for _, combo := range AllCombos() {
+		got, err := Count(g, combo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != k {
+			t.Fatalf("%v: fan of %d triangles produced %d cliques", combo, k, got)
+		}
+	}
+}
+
+// Blow-up of a triangle: replace each vertex by an independent set of s
+// nodes; maximal cliques are all s^3 transversal triangles.
+func TestTriangleBlowup(t *testing.T) {
+	s := 4
+	b := graph.NewBuilder(3 * s)
+	for part := 0; part < 3; part++ {
+		next := (part + 1) % 3
+		for i := 0; i < s; i++ {
+			for j := 0; j < s; j++ {
+				b.AddEdge(int32(part*s+i), int32(next*s+j))
+			}
+		}
+	}
+	g := b.Build()
+	want := s * s * s
+	for _, combo := range AllCombos() {
+		got, err := Count(g, combo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%v: blow-up has %d cliques, want %d", combo, got, want)
+		}
+	}
+}

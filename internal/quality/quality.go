@@ -1,0 +1,209 @@
+// Package quality scores detected communities: internal density, cut
+// conductance, triangle participation and clustering coefficients — the
+// measures the community-detection literature the paper surveys (§7: SCD
+// [29] optimises triangle counts, WalkTrap [28] gives "no warranty on the
+// quality of the solutions") uses to compare methods, plus Jaccard-based
+// recovery scoring against a planted ground truth.
+package quality
+
+import (
+	"fmt"
+	"sort"
+
+	"mce/internal/graph"
+)
+
+// Score describes one community's structural quality inside a graph.
+type Score struct {
+	// Size is the number of members.
+	Size int
+	// InternalEdges and CutEdges count edges inside the set and leaving it.
+	InternalEdges, CutEdges int
+	// Density is InternalEdges / (Size choose 2); 0 for singletons.
+	Density float64
+	// Conductance is CutEdges / (2·InternalEdges + CutEdges); lower is
+	// better separated. 0 when the set has no incident edges at all.
+	Conductance float64
+	// TrianglePart is the fraction of members participating in at least
+	// one internal triangle (SCD's signal).
+	TrianglePart float64
+}
+
+// Evaluate scores one community.
+func Evaluate(g *graph.Graph, members []int32) Score {
+	in := make(map[int32]bool, len(members))
+	for _, v := range members {
+		in[v] = true
+	}
+	s := Score{Size: len(members)}
+	for _, v := range members {
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				if v < u {
+					s.InternalEdges++
+				}
+			} else {
+				s.CutEdges++
+			}
+		}
+	}
+	if s.Size >= 2 {
+		s.Density = float64(s.InternalEdges) / float64(s.Size*(s.Size-1)/2)
+	}
+	if vol := 2*s.InternalEdges + s.CutEdges; vol > 0 {
+		s.Conductance = float64(s.CutEdges) / float64(vol)
+	}
+	inTriangle := 0
+	for _, v := range members {
+		found := false
+		adj := g.Neighbors(v)
+		for i, a := range adj {
+			if !in[a] {
+				continue
+			}
+			for _, b := range adj[i+1:] {
+				if in[b] && g.HasEdge(a, b) {
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if found {
+			inTriangle++
+		}
+	}
+	if s.Size > 0 {
+		s.TrianglePart = float64(inTriangle) / float64(s.Size)
+	}
+	return s
+}
+
+// GlobalClustering returns the transitivity of g: 3·triangles / open plus
+// closed wedges. A high value is the fingerprint of social networks (and of
+// the Holme–Kim surrogates standing in for them).
+func GlobalClustering(g *graph.Graph) float64 {
+	triangles := 0
+	wedges := 0
+	for v := int32(0); v < int32(g.N()); v++ {
+		d := g.Degree(v)
+		wedges += d * (d - 1) / 2
+		adj := g.Neighbors(v)
+		for i, a := range adj {
+			for _, b := range adj[i+1:] {
+				if g.HasEdge(a, b) {
+					triangles++ // counted once per centre v → 3 per triangle
+				}
+			}
+		}
+	}
+	if wedges == 0 {
+		return 0
+	}
+	return float64(triangles) / float64(wedges)
+}
+
+// Jaccard returns |a ∩ b| / |a ∪ b| for two node sets.
+func Jaccard(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	am := make(map[int32]bool, len(a))
+	for _, v := range a {
+		am[v] = true
+	}
+	inter := 0
+	bm := make(map[int32]bool, len(b))
+	for _, v := range b {
+		if bm[v] {
+			continue
+		}
+		bm[v] = true
+		if am[v] {
+			inter++
+		}
+	}
+	union := len(am) + len(bm) - inter
+	return float64(inter) / float64(union)
+}
+
+// Recovery matches detected communities against a planted ground truth:
+// for every truth group it takes the best-Jaccard detected community and
+// averages the scores (a standard best-match F-style recovery measure).
+// It returns the average and the per-group best scores, truth order.
+func Recovery(truth, detected [][]int32) (float64, []float64, error) {
+	if len(truth) == 0 {
+		return 0, nil, fmt.Errorf("quality: empty ground truth")
+	}
+	per := make([]float64, len(truth))
+	sum := 0.0
+	for i, t := range truth {
+		best := 0.0
+		for _, d := range detected {
+			if j := Jaccard(t, d); j > best {
+				best = j
+			}
+		}
+		per[i] = best
+		sum += best
+	}
+	return sum / float64(len(truth)), per, nil
+}
+
+// RankByConductance orders community indices best-separated first.
+func RankByConductance(g *graph.Graph, communities [][]int32) []int {
+	scores := make([]Score, len(communities))
+	for i, c := range communities {
+		scores[i] = Evaluate(g, c)
+	}
+	order := make([]int, len(communities))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		sa, sb := scores[order[a]], scores[order[b]]
+		if sa.Conductance != sb.Conductance {
+			return sa.Conductance < sb.Conductance
+		}
+		return sa.Size > sb.Size
+	})
+	return order
+}
+
+// CoverStats summarises how a community family covers the node set.
+type CoverStats struct {
+	// Coverage is the fraction of the n nodes in at least one community.
+	Coverage float64
+	// AvgMemberships is the mean community count over covered nodes.
+	AvgMemberships float64
+	// MaxMemberships is the largest number of communities any node joins —
+	// the overlap depth plain partitioning methods cannot express (§7).
+	MaxMemberships int
+}
+
+// Cover computes CoverStats for communities over a graph of n nodes.
+func Cover(n int, communities [][]int32) CoverStats {
+	counts := map[int32]int{}
+	for _, c := range communities {
+		for _, v := range c {
+			counts[v]++
+		}
+	}
+	var s CoverStats
+	if n > 0 {
+		s.Coverage = float64(len(counts)) / float64(n)
+	}
+	total := 0
+	for _, k := range counts {
+		total += k
+		if k > s.MaxMemberships {
+			s.MaxMemberships = k
+		}
+	}
+	if len(counts) > 0 {
+		s.AvgMemberships = float64(total) / float64(len(counts))
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+// Package relax implements the distance-based community relaxations the
+// paper lists as future work alongside k-plexes (§8): k-cliques, k-clans
+// and k-clubs.
+//
+// Definitions (Luce; Mokken):
+//
+//   - a k-clique is a node set in which every pair is within distance k in
+//     the whole graph (paths may leave the set);
+//   - a k-clan is a k-clique whose induced subgraph additionally has
+//     diameter ≤ k (paths stay inside);
+//   - a k-club is a node set whose induced subgraph has diameter ≤ k,
+//     maximal under that property.
+//
+// Maximal k-cliques are exactly the maximal cliques of the k-th graph
+// power, so the enumeration reuses the MCE engine on graph.Power — the same
+// reduction CFinder-style tools use. k-clans are obtained by filtering
+// k-cliques on induced diameter. k-clubs are not closed under the k-clique
+// structure (a maximal k-club need not be a k-clique), so the package
+// provides the IsKClub verifier and a heuristic enumerator seeded from
+// k-clans, which is exact for k = 1 and reports sets guaranteed to be
+// k-clubs (each maximal among the candidates considered).
+package relax
+
+import (
+	"fmt"
+	"sort"
+
+	"mce/internal/graph"
+	"mce/internal/mcealg"
+)
+
+// KCliques enumerates the maximal k-cliques of g: maximal sets of nodes
+// that are pairwise within distance k in g. For k = 1 this is maximal
+// clique enumeration. Results are sorted-ascending node sets in
+// deterministic order.
+func KCliques(g *graph.Graph, k int) ([][]int32, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("relax: k = %d, want ≥ 1", k)
+	}
+	power := graph.Power(g, k)
+	out, err := mcealg.Collect(power, mcealg.Combo{Alg: mcealg.Eppstein, Struct: mcealg.Lists})
+	if err != nil {
+		return nil, err
+	}
+	sortFamilies(out)
+	return out, nil
+}
+
+// InducedDiameter returns the diameter of the subgraph of g induced by
+// set, or -1 when that subgraph is disconnected (or the set is empty).
+func InducedDiameter(g *graph.Graph, set []int32) int {
+	if len(set) == 0 {
+		return -1
+	}
+	members := make([]bool, g.N())
+	for _, v := range set {
+		members[v] = true
+	}
+	diameter := 0
+	for _, src := range set {
+		dist := graph.BFSWithin(g, src, members)
+		for _, v := range set {
+			d := dist[v]
+			if d < 0 {
+				return -1
+			}
+			if int(d) > diameter {
+				diameter = int(d)
+			}
+		}
+	}
+	return diameter
+}
+
+// IsKClub reports whether the subgraph induced by set has diameter ≤ k
+// (and is connected). Note that k-club membership is not hereditary.
+func IsKClub(g *graph.Graph, set []int32, k int) bool {
+	if len(set) == 0 || k < 1 {
+		return false
+	}
+	d := InducedDiameter(g, set)
+	return d >= 0 && d <= k
+}
+
+// KClans enumerates the k-clans of g: the maximal k-cliques whose induced
+// subgraph has diameter ≤ k (Mokken's definition).
+func KClans(g *graph.Graph, k int) ([][]int32, error) {
+	kcliques, err := KCliques(g, k)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]int32
+	for _, c := range kcliques {
+		if IsKClub(g, c, k) {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// KClubs reports k-clubs of g found by growing each k-clan greedily: a
+// k-clan is a k-club by definition; each is extended with any node that
+// keeps the induced diameter within k until no single node can be added.
+// Every returned set is a genuine k-club that no single node extends; for
+// k = 1 the result is exactly the maximal cliques. (Exhaustive maximal
+// k-club enumeration is NP-hard even to verify maximality against all
+// subsets, so a seeded heuristic is the standard compromise.) Duplicates
+// are removed; results are deterministic.
+func KClubs(g *graph.Graph, k int) ([][]int32, error) {
+	clans, err := KClans(g, k)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var out [][]int32
+	for _, seed := range clans {
+		club := growClub(g, seed, k)
+		key := cliqueKey(club)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, club)
+		}
+	}
+	sortFamilies(out)
+	return out, nil
+}
+
+// growClub extends set with nodes that keep the induced diameter ≤ k, in
+// ascending node order for determinism.
+func growClub(g *graph.Graph, set []int32, k int) []int32 {
+	club := append([]int32(nil), set...)
+	in := make([]bool, g.N())
+	for _, v := range club {
+		in[v] = true
+	}
+	for {
+		extended := false
+		// Candidates: neighbours of the club only — any addition discon-
+		// nected from the club would break the diameter bound anyway.
+		cands := map[int32]bool{}
+		for _, v := range club {
+			for _, u := range g.Neighbors(v) {
+				if !in[u] {
+					cands[u] = true
+				}
+			}
+		}
+		ordered := make([]int32, 0, len(cands))
+		for v := range cands {
+			ordered = append(ordered, v)
+		}
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+		for _, v := range ordered {
+			trial := append(append([]int32(nil), club...), v)
+			if IsKClub(g, trial, k) {
+				club = trial
+				in[v] = true
+				extended = true
+				break
+			}
+		}
+		if !extended {
+			break
+		}
+	}
+	sort.Slice(club, func(i, j int) bool { return club[i] < club[j] })
+	return club
+}
+
+func sortFamilies(fs [][]int32) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		for x := 0; x < len(a) && x < len(b); x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+func cliqueKey(c []int32) string {
+	b := make([]byte, 0, 5*len(c))
+	for _, v := range c {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24), ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,293 @@
+package relax
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mce/internal/gen"
+	"mce/internal/graph"
+	"mce/internal/mcealg"
+)
+
+func key(c []int32) string {
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = fmt.Sprint(v)
+	}
+	return strings.Join(parts, ",")
+}
+
+// pathGraph returns the path 0-1-…-(n-1).
+func pathGraph(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(int32(v), int32(v+1))
+	}
+	return b.Build()
+}
+
+func TestInvalidK(t *testing.T) {
+	g := graph.Complete(3)
+	if _, err := KCliques(g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := KClans(g, 0); err == nil {
+		t.Fatal("k=0 accepted by KClans")
+	}
+	if _, err := KClubs(g, 0); err == nil {
+		t.Fatal("k=0 accepted by KClubs")
+	}
+}
+
+func TestK1IsPlainMCE(t *testing.T) {
+	g := gen.ErdosRenyi(30, 0.2, 3)
+	want := map[string]bool{}
+	for _, c := range mcealg.ReferenceCollect(g) {
+		want[key(c)] = true
+	}
+	for _, fn := range []func(*graph.Graph, int) ([][]int32, error){KCliques, KClans, KClubs} {
+		got, err := fn(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("k=1: %d sets, want %d", len(got), len(want))
+		}
+		for _, c := range got {
+			if !want[key(c)] {
+				t.Fatalf("k=1: unexpected set %v", c)
+			}
+		}
+	}
+}
+
+func TestKCliquesOnPath(t *testing.T) {
+	// Path of 5: 2-cliques are maximal windows of diameter ≤ 2 in the
+	// distance metric: {0,1,2}, {1,2,3}, {2,3,4}.
+	g := pathGraph(5)
+	got, err := KCliques(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"0,1,2": true, "1,2,3": true, "2,3,4": true}
+	if len(got) != len(want) {
+		t.Fatalf("KCliques = %v", got)
+	}
+	for _, c := range got {
+		if !want[key(c)] {
+			t.Fatalf("unexpected 2-clique %v", c)
+		}
+	}
+}
+
+func TestKCliqueNotKClan(t *testing.T) {
+	// The classic 2-clique vs 2-clan example: a 5-cycle with a chord
+	// pattern — take the "bowtie"-like graph where {0,1,2,3,4} is a
+	// 2-clique via outside paths but the induced diameter exceeds 2.
+	//
+	//   0-1, 1-2, 2-3, 3-4, 0-4 is C5: every pair within distance 2, so
+	//   the whole C5 is a 2-clique; its induced diameter is 2, so it is
+	//   also a 2-clan. Instead use the hub construction: leaves of a star
+	//   form a 2-clique through the hub, but induced on the leaves alone
+	//   they are disconnected.
+	b := graph.NewBuilder(5)
+	for v := int32(1); v < 5; v++ {
+		b.AddEdge(0, v)
+	}
+	g := b.Build()
+	kcliques, err := KCliques(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole star is one 2-clique (every pair within distance 2).
+	if len(kcliques) != 1 || len(kcliques[0]) != 5 {
+		t.Fatalf("KCliques = %v", kcliques)
+	}
+	// And it IS a 2-clan here because the hub is inside the set. Check
+	// consistency: every k-clan is a k-clique with bounded diameter.
+	clans, err := KClans(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clans) != 1 || key(clans[0]) != key(kcliques[0]) {
+		t.Fatalf("KClans = %v", clans)
+	}
+}
+
+func TestKClanFiltersUnboundedDiameter(t *testing.T) {
+	// The textbook 2-clique-but-not-2-clan example (Wasserman & Faust,
+	// 0-indexed): edges 0-1, 0-2, 1-2, 1-3, 2-4, 3-5, 4-5.
+	// {0,1,2,3,4} is a maximal 2-clique — d(3,4) = 2 via the outside node
+	// 5 — but its induced subgraph has d(3,4) = 3 (3-1-2-4), so it is not
+	// a 2-clan. {1,2,3,4,5} is both.
+	b := graph.NewBuilder(6)
+	for _, e := range [][2]int32{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 5}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.Build()
+	kcliques, err := KCliques(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := map[string]bool{}
+	for _, c := range kcliques {
+		ks[key(c)] = true
+	}
+	if !ks["0,1,2,3,4"] || !ks["1,2,3,4,5"] {
+		t.Fatalf("2-cliques = %v", kcliques)
+	}
+	clans, err := KClans(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := map[string]bool{}
+	for _, c := range clans {
+		cs[key(c)] = true
+	}
+	if cs["0,1,2,3,4"] {
+		t.Fatalf("{0,1,2,3,4} has induced diameter 3 but was reported as 2-clan")
+	}
+	if !cs["1,2,3,4,5"] {
+		t.Fatalf("2-clan {1,2,3,4,5} missing: %v", clans)
+	}
+}
+
+func TestInducedDiameter(t *testing.T) {
+	g := pathGraph(5)
+	if d := InducedDiameter(g, []int32{0, 1, 2}); d != 2 {
+		t.Fatalf("diameter = %d, want 2", d)
+	}
+	if d := InducedDiameter(g, []int32{0, 2}); d != -1 {
+		t.Fatalf("disconnected set diameter = %d, want -1", d)
+	}
+	if d := InducedDiameter(g, nil); d != -1 {
+		t.Fatalf("empty set diameter = %d, want -1", d)
+	}
+	if d := InducedDiameter(g, []int32{3}); d != 0 {
+		t.Fatalf("singleton diameter = %d, want 0", d)
+	}
+}
+
+func TestIsKClub(t *testing.T) {
+	g := pathGraph(4)
+	if !IsKClub(g, []int32{0, 1, 2}, 2) {
+		t.Fatal("path of 3 is a 2-club")
+	}
+	if IsKClub(g, []int32{0, 1, 2, 3}, 2) {
+		t.Fatal("path of 4 has diameter 3, not a 2-club")
+	}
+	if IsKClub(g, []int32{0, 2}, 2) {
+		t.Fatal("disconnected set accepted as club")
+	}
+	if IsKClub(g, nil, 2) || IsKClub(g, []int32{0}, 0) {
+		t.Fatal("degenerate inputs accepted")
+	}
+}
+
+func TestKClubsAreClubsAndUnextendable(t *testing.T) {
+	g := gen.HolmeKim(80, 3, 0.6, 5)
+	clubs, err := KClubs(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clubs) == 0 {
+		t.Fatal("no 2-clubs found")
+	}
+	for _, club := range clubs {
+		if !IsKClub(g, club, 2) {
+			t.Fatalf("reported set %v is not a 2-club", club)
+		}
+		in := map[int32]bool{}
+		for _, v := range club {
+			in[v] = true
+		}
+		for v := int32(0); v < int32(g.N()); v++ {
+			if in[v] {
+				continue
+			}
+			if IsKClub(g, append(append([]int32{}, club...), v), 2) {
+				t.Fatalf("club %v extensible by %d", club, v)
+			}
+		}
+	}
+}
+
+func TestBFSHelpers(t *testing.T) {
+	g := pathGraph(4)
+	dist := graph.BFS(g, 0)
+	for v, want := range []int32{0, 1, 2, 3} {
+		if dist[v] != want {
+			t.Fatalf("BFS dist[%d] = %d, want %d", v, dist[v], want)
+		}
+	}
+	if d := graph.BFS(g, -1); d[0] != -1 {
+		t.Fatal("invalid source should reach nothing")
+	}
+	members := []bool{true, false, true, true}
+	within := graph.BFSWithin(g, 2, members)
+	if within[3] != 1 || within[0] != -1 || within[1] != -1 {
+		t.Fatalf("BFSWithin = %v", within)
+	}
+	if d := graph.BFSWithin(g, 1, members); d[1] != -1 {
+		t.Fatal("excluded source should reach nothing")
+	}
+}
+
+func TestGraphPower(t *testing.T) {
+	g := pathGraph(4)
+	p2 := graph.Power(g, 2)
+	// Distance-2 pairs on the path: (0,2), (1,3) join the original edges.
+	wantEdges := 3 + 2
+	if p2.M() != wantEdges {
+		t.Fatalf("P^2 edges = %d, want %d", p2.M(), wantEdges)
+	}
+	if !p2.HasEdge(0, 2) || p2.HasEdge(0, 3) {
+		t.Fatalf("P^2 adjacency wrong")
+	}
+	p1 := graph.Power(g, 1)
+	if p1.M() != g.M() {
+		t.Fatalf("P^1 changed the graph")
+	}
+}
+
+// Property: every pair in every reported k-clique is within distance k;
+// every k-clan is a k-clique with induced diameter ≤ k.
+func TestQuickDefinitionsHold(t *testing.T) {
+	f := func(seed int64) bool {
+		g := gen.ErdosRenyi(18, 0.18, seed)
+		k := 2
+		kcliques, err := KCliques(g, k)
+		if err != nil {
+			return false
+		}
+		for _, c := range kcliques {
+			for i, u := range c {
+				dist := graph.BFS(g, u)
+				for _, v := range c[i+1:] {
+					if dist[v] < 1 || dist[v] > int32(k) {
+						return false
+					}
+				}
+			}
+		}
+		clans, err := KClans(g, k)
+		if err != nil {
+			return false
+		}
+		kset := map[string]bool{}
+		for _, c := range kcliques {
+			kset[key(c)] = true
+		}
+		for _, c := range clans {
+			if !kset[key(c)] || !IsKClub(g, c, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

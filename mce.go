@@ -1,0 +1,320 @@
+// Package mce enumerates all maximal cliques of very large scale-free
+// networks with the two-level distributed decomposition of Conte, De
+// Virgilio, Maccioni, Patrignani and Torlone, "Finding All Maximal Cliques
+// in Very Large Social Networks" (EDBT 2016).
+//
+// The engine splits the network into feasible nodes (whose neighbourhood
+// fits a block of m nodes) and hub nodes (whose neighbourhood does not),
+// partitions the feasible side into small dense blocks that are processed
+// independently — locally in parallel or on remote TCP workers — and
+// recurses on the hub-induced subgraph, so that no clique is lost no matter
+// how small the blocks are. Per block, a decision tree picks the fastest of
+// twelve Bron–Kerbosch-family algorithm/data-structure combinations.
+//
+// Quick start:
+//
+//	g, _, err := mce.Load("network.txt") // SNAP-style edge list
+//	if err != nil { ... }
+//	res, err := mce.Enumerate(g)
+//	if err != nil { ... }
+//	for _, clique := range res.Cliques { ... }
+//
+// Block size defaults to half the maximum degree (the m/d = 0.5 saddle
+// point of the paper's Figure 8) and can be tuned with WithBlockSize or
+// WithBlockRatio. WithWorkers distributes block analysis over mceworker
+// processes.
+package mce
+
+import (
+	"fmt"
+
+	"mce/internal/cluster"
+	"mce/internal/core"
+	"mce/internal/gen"
+	"mce/internal/gio"
+	"mce/internal/graph"
+	"mce/internal/mcealg"
+)
+
+// Graph is a simple undirected graph with dense int32 node IDs.
+// Build one with NewBuilder, FromEdges or Load.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// Edge is an undirected edge.
+type Edge = graph.Edge
+
+// LabelMap translates between external node labels and dense IDs.
+type LabelMap = gio.LabelMap
+
+// Stats describes a completed enumeration; see the field docs in
+// internal/core.
+type Stats = core.Stats
+
+// Result is the outcome of Enumerate: every maximal clique (sorted node IDs,
+// deterministic order), the recursion level each was found at (level ≥ 1
+// means a clique made of hub nodes only), and run statistics.
+type Result = core.Result
+
+// NewBuilder returns a Builder for a graph with n nodes.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a normalised graph (undirected, deduplicated, no self
+// loops) with n nodes from an edge list.
+func FromEdges(n int, edges []Edge) *Graph { return graph.FromEdges(n, edges) }
+
+// Load reads a graph from disk: whitespace-separated edge lists (SNAP
+// style) by default, the paper's ⟨n1, e, n2⟩ triple format for ".triples"
+// files. The LabelMap records how external labels map to dense IDs.
+func Load(path string) (*Graph, *LabelMap, error) { return gio.LoadFile(path) }
+
+// LoadBounded reads the same formats as Load but in two passes, never
+// materialising an intermediate edge buffer — roughly halving peak memory
+// on inputs that push against RAM.
+func LoadBounded(path string) (*Graph, *LabelMap, error) { return gio.LoadFileBounded(path) }
+
+// Save writes a graph to disk in the format selected by the extension,
+// mirroring Load.
+func Save(path string, g *Graph) error { return gio.SaveFile(path, g) }
+
+// config collects the functional options.
+type config struct {
+	core    core.Options
+	workers []string
+	cliOpts cluster.ClientOptions
+}
+
+// Option customises Enumerate.
+type Option func(*config) error
+
+// WithBlockSize fixes m, the maximum number of nodes per block.
+func WithBlockSize(m int) Option {
+	return func(c *config) error {
+		if m < 2 {
+			return fmt.Errorf("mce: block size %d is too small (need ≥ 2)", m)
+		}
+		c.core.BlockSize = m
+		return nil
+	}
+}
+
+// WithBlockRatio sets m as a fraction of the maximum degree, the m/d
+// parameter of the paper's experiments (0 < ratio ≤ 1).
+func WithBlockRatio(ratio float64) Option {
+	return func(c *config) error {
+		if ratio <= 0 || ratio > 1 {
+			return fmt.Errorf("mce: block ratio %v out of (0, 1]", ratio)
+		}
+		c.core.BlockRatio = ratio
+		return nil
+	}
+}
+
+// WithParallelism bounds the local block-analysis workers (default:
+// GOMAXPROCS).
+func WithParallelism(workers int) Option {
+	return func(c *config) error {
+		if workers < 1 {
+			return fmt.Errorf("mce: parallelism %d is not positive", workers)
+		}
+		c.core.Parallelism = workers
+		return nil
+	}
+}
+
+// WithAlgorithm bypasses the decision tree and uses one algorithm/structure
+// combination for every block. Valid names are "BKPivot", "Tomita",
+// "Eppstein", "XPivot" and "Matrix", "Lists", "BitSets".
+func WithAlgorithm(algorithm, structure string) Option {
+	return func(c *config) error {
+		combo, err := ParseCombo(algorithm, structure)
+		if err != nil {
+			return err
+		}
+		c.core.FixedCombo = &combo
+		return nil
+	}
+}
+
+// WithMinBlockAdjacency sets the density threshold of the greedy block
+// growth: a candidate joins a block only when it has at least k edges into
+// the block's kernels.
+func WithMinBlockAdjacency(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return fmt.Errorf("mce: min block adjacency %d is not positive", k)
+		}
+		c.core.Block.MinAdjacency = k
+		return nil
+	}
+}
+
+// WithMaxLevels caps the hub recursion depth; deeper levels are enumerated
+// directly (completeness is preserved). Mostly useful against adversarial
+// inputs like the Theorem 1 chain.
+func WithMaxLevels(levels int) Option {
+	return func(c *config) error {
+		if levels < 1 {
+			return fmt.Errorf("mce: max levels %d is not positive", levels)
+		}
+		c.core.MaxLevels = levels
+		return nil
+	}
+}
+
+// WithHeaviestFirst dispatches the estimated-heaviest blocks first
+// (longest-processing-time scheduling), which tightens the parallel
+// makespan when block costs are skewed. Results are unchanged.
+func WithHeaviestFirst() Option {
+	return func(c *config) error {
+		c.core.Schedule = core.ScheduleLPT
+		return nil
+	}
+}
+
+// WithExtensionFilter switches the Lemma 1 filter to the extension test
+// against the graph; output is identical, speed differs with workload.
+func WithExtensionFilter() Option {
+	return func(c *config) error {
+		c.core.UseExtensionFilter = true
+		return nil
+	}
+}
+
+// WithWorkers distributes block analysis over mceworker processes at the
+// given TCP addresses.
+func WithWorkers(addrs ...string) Option {
+	return func(c *config) error {
+		if len(addrs) == 0 {
+			return fmt.Errorf("mce: WithWorkers needs at least one address")
+		}
+		c.workers = append([]string(nil), addrs...)
+		return nil
+	}
+}
+
+// WithWorkerCompression negotiates DEFLATE on the worker links opened by
+// WithWorkers, trading CPU for bandwidth on slow interconnects.
+func WithWorkerCompression() Option {
+	return func(c *config) error {
+		c.cliOpts.Compress = true
+		return nil
+	}
+}
+
+// WithWorkerStreams opens n parallel streams per worker address so a
+// multi-core worker can process several blocks at once.
+func WithWorkerStreams(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("mce: worker streams %d is not positive", n)
+		}
+		c.cliOpts.ConnectionsPerWorker = n
+		return nil
+	}
+}
+
+// ParseCombo resolves algorithm and structure names to an internal combo.
+func ParseCombo(algorithm, structure string) (mcealg.Combo, error) {
+	var combo mcealg.Combo
+	switch algorithm {
+	case "BKPivot", "bkpivot":
+		combo.Alg = mcealg.BKPivot
+	case "Tomita", "tomita":
+		combo.Alg = mcealg.Tomita
+	case "Eppstein", "eppstein":
+		combo.Alg = mcealg.Eppstein
+	case "XPivot", "xpivot":
+		combo.Alg = mcealg.XPivot
+	default:
+		return combo, fmt.Errorf("mce: unknown algorithm %q (want BKPivot, Tomita, Eppstein or XPivot)", algorithm)
+	}
+	switch structure {
+	case "Matrix", "matrix":
+		combo.Struct = mcealg.Matrix
+	case "Lists", "lists":
+		combo.Struct = mcealg.Lists
+	case "BitSets", "bitsets":
+		combo.Struct = mcealg.BitSets
+	default:
+		return combo, fmt.Errorf("mce: unknown structure %q (want Matrix, Lists or BitSets)", structure)
+	}
+	return combo, nil
+}
+
+// Enumerate returns every maximal clique of g.
+func Enumerate(g *Graph, opts ...Option) (*Result, error) {
+	var cfg config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.workers) > 0 {
+		client, err := cluster.Dial(cfg.workers, cfg.cliOpts)
+		if err != nil {
+			return nil, err
+		}
+		defer client.Close()
+		cfg.core.Executor = client
+	}
+	return core.FindMaxCliques(g, cfg.core)
+}
+
+// CountMaxCliques returns only the number of maximal cliques, streaming
+// internally so no result set is accumulated.
+func CountMaxCliques(g *Graph, opts ...Option) (int, error) {
+	n := 0
+	_, err := EnumerateStream(g, func([]int32, int) { n++ }, opts...)
+	return n, err
+}
+
+// EnumerateStream is Enumerate without result accumulation: emit receives
+// each maximal clique as soon as its block batch completes (ascending node
+// IDs, slice reused — copy to retain) together with the hub recursion level
+// it was found at. Use it when the clique family may not fit in memory.
+// Order and content match Enumerate exactly.
+func EnumerateStream(g *Graph, emit func(clique []int32, hubLevel int), opts ...Option) (*Stats, error) {
+	var cfg config
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if len(cfg.workers) > 0 {
+		client, err := cluster.Dial(cfg.workers, cfg.cliOpts)
+		if err != nil {
+			return nil, err
+		}
+		defer client.Close()
+		cfg.core.Executor = client
+	}
+	return core.Stream(g, cfg.core, emit)
+}
+
+// StartLocalWorkers launches n block-analysis workers on ephemeral
+// localhost ports, for tests and single-machine distributed runs. Call stop
+// to shut them down.
+func StartLocalWorkers(n int) (addrs []string, stop func(), err error) {
+	return cluster.StartLocal(n)
+}
+
+// GenerateBarabasiAlbert returns a scale-free preferential-attachment graph
+// with n nodes, k edges per new node.
+func GenerateBarabasiAlbert(n, k int, seed int64) *Graph {
+	return gen.BarabasiAlbert(n, k, seed)
+}
+
+// GenerateErdosRenyi returns a G(n, p) random graph.
+func GenerateErdosRenyi(n int, p float64, seed int64) *Graph {
+	return gen.ErdosRenyi(n, p, seed)
+}
+
+// GenerateSocialNetwork returns a clique-rich scale-free graph (Holme–Kim
+// preferential attachment with triad probability pt), the closest synthetic
+// stand-in for friendship networks.
+func GenerateSocialNetwork(n, k int, pt float64, seed int64) *Graph {
+	return gen.HolmeKim(n, k, pt, seed)
+}
