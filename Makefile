@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The cluster runtime is the concurrency hot spot: run it (and the engine
+# that drives it) under the race detector on every check.
+race:
+	$(GO) test -race -count=1 ./internal/cluster/... ./internal/core/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -12,6 +12,10 @@
 //	-algorithm s      pin one MCE algorithm (BKPivot|Tomita|Eppstein|XPivot)
 //	-structure s      pin one structure (Matrix|Lists|BitSets)
 //	-workers list     comma-separated worker addresses for distributed runs
+//	-task-timeout d   per-task round-trip deadline (default: derived; <0 disables)
+//	-task-retries k   transport-failure budget per block before it is
+//	                  declared poison (default 3; <0 unlimited)
+//	-reconnect        auto-reconnect dead workers with backoff
 //	-p int            local parallelism (default GOMAXPROCS)
 //	-min int          minimum clique size to print (default 1)
 //	-count            print only the number of cliques
@@ -50,8 +54,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ratio     = fs.Float64("ratio", 0, "m/d ratio (0 = default 0.5)")
 		algorithm = fs.String("algorithm", "", "pin the MCE algorithm")
 		structure = fs.String("structure", "", "pin the adjacency structure")
-		workers   = fs.String("workers", "", "comma-separated worker addresses")
-		par       = fs.Int("p", 0, "local parallelism")
+		workers     = fs.String("workers", "", "comma-separated worker addresses")
+		taskTimeout = fs.Duration("task-timeout", 0, "per-task round-trip deadline (0 = derived, negative = disabled)")
+		taskRetries = fs.Int("task-retries", 0, "per-block transport-failure budget (0 = default 3, negative = unlimited)")
+		reconnect   = fs.Bool("reconnect", false, "auto-reconnect dead workers with exponential backoff")
+		par         = fs.Int("p", 0, "local parallelism")
 		minSize   = fs.Int("min", 1, "minimum clique size to print")
 		countOnly = fs.Bool("count", false, "print only the clique count")
 		stats     = fs.Bool("stats", false, "print run statistics to stderr")
@@ -101,6 +108,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *workers != "" {
 		opts = append(opts, mce.WithWorkers(strings.Split(*workers, ",")...))
+		if *taskTimeout != 0 {
+			opts = append(opts, mce.WithTaskTimeout(*taskTimeout))
+		}
+		if *taskRetries != 0 {
+			opts = append(opts, mce.WithTaskRetries(*taskRetries))
+		}
+		if *reconnect {
+			opts = append(opts, mce.WithAutoReconnect())
+		}
+		// A degraded start (some workers unreachable) proceeds on the
+		// survivors, but say so instead of just running slow.
+		opts = append(opts, mce.WithWorkerReport(func(r mce.DialReport) {
+			for _, f := range r.Failures {
+				fmt.Fprintf(stderr, "mcefind: warning: worker %s unreachable: %v\n", f.Addr, f.Err)
+			}
+			if r.Degraded() {
+				fmt.Fprintf(stderr, "mcefind: warning: degraded start: %d of %d worker addresses reachable\n",
+					len(r.Addrs)-len(r.Failures), len(r.Addrs))
+			}
+		}))
 	}
 	if *par > 0 {
 		opts = append(opts, mce.WithParallelism(*par))

@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	mceworker -listen :9876
+//	mceworker -listen :9876 [-max-conns n] [-drain-timeout d]
+//
+// On SIGINT/SIGTERM the worker stops accepting connections, finishes its
+// in-flight tasks (up to -drain-timeout) and ships their results before
+// exiting; a second signal force-exits immediately.
 package main
 
 import (
@@ -15,12 +19,15 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"mce/internal/cluster"
 )
 
 func main() {
 	listen := flag.String("listen", ":9876", "TCP address to listen on")
+	maxConns := flag.Int("max-conns", 0, "max concurrent coordinator connections (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight tasks")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *listen)
@@ -29,20 +36,29 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("mceworker: serving block analysis on %s\n", ln.Addr())
-	w := &cluster.Worker{}
+	w := &cluster.Worker{MaxConns: *maxConns, DrainTimeout: *drainTimeout}
 
-	// Stop accepting on SIGINT/SIGTERM; in-flight connections finish their
-	// current task before the process exits.
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	drained := make(chan struct{})
 	go func() {
 		s := <-sig
-		fmt.Printf("mceworker: %v received, shutting down\n", s)
-		w.Close()
+		fmt.Printf("mceworker: %v received, draining in-flight tasks (repeat to force exit)\n", s)
+		go func() {
+			s := <-sig
+			fmt.Fprintf(os.Stderr, "mceworker: %v received again, forcing exit\n", s)
+			os.Exit(1)
+		}()
+		w.Close() // blocks until drained (bounded by -drain-timeout)
+		close(drained)
 	}()
 
 	if err := w.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "mceworker:", err)
 		os.Exit(1)
 	}
+	// Serve only returns cleanly after Close was called; wait for the
+	// drain so in-flight results reach their coordinators before exit.
+	<-drained
+	fmt.Println("mceworker: drained, bye")
 }

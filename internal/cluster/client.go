@@ -2,10 +2,13 @@ package cluster
 
 import (
 	"compress/flate"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +21,36 @@ import (
 type ClientOptions struct {
 	// DialTimeout bounds each worker connection attempt; 0 means 5s.
 	DialTimeout time.Duration
+	// TaskTimeout bounds one task round trip: send, remote analysis,
+	// receive. A worker that does not answer inside the envelope is
+	// retired (its connection closed, its block requeued), so a hung
+	// worker can never stall AnalyzeBlocks forever. 0 derives a generous
+	// envelope from the block size (30s plus 1ms per node and edge plus
+	// the simulated link costs); negative disables deadlines entirely.
+	TaskTimeout time.Duration
+	// TaskRetries is the per-block transport-failure budget: a block
+	// whose round trip has failed on this many connections is declared a
+	// poison task and the batch fails deterministically with a
+	// *PoisonTaskError, instead of cascading worker by worker through the
+	// whole cluster. 0 means 3; negative means unlimited.
+	TaskRetries int
+	// AutoReconnect re-dials dead workers on a background goroutine with
+	// exponential backoff and jitter, so capacity lost to a worker
+	// restart comes back on its own — including to a batch already in
+	// flight. Without it, Reconnect must be called manually.
+	AutoReconnect bool
+	// ReconnectBackoff is the initial pause between reconnection sweeps
+	// (0 means 50ms); it doubles after every failed sweep up to
+	// ReconnectMaxBackoff (0 means 2s), with up to 50% random jitter so a
+	// cluster of coordinators does not thunder against a restarting
+	// worker.
+	ReconnectBackoff    time.Duration
+	ReconnectMaxBackoff time.Duration
+	// AllDeadGrace is how long an in-flight batch waits for AutoReconnect
+	// to restore capacity after every worker has died before giving up;
+	// 0 means 5s. Ignored when AutoReconnect is off — then the batch
+	// fails as soon as the last worker dies.
+	AllDeadGrace time.Duration
 	// Latency is an artificial per-message delay injected before every
 	// task send, simulating cluster interconnect round trips. It lets the
 	// single-machine reproduction exhibit the communication overhead the
@@ -36,16 +69,38 @@ type ClientOptions struct {
 	Compress bool
 }
 
-// Client is a coordinator attached to a fixed set of workers. It implements
-// the core.Executor interface, so it can be plugged directly into
-// FindMaxCliques.
-type Client struct {
-	opts  ClientOptions
-	mu    sync.Mutex
-	conns []*workerConn
+// retryBudget resolves the TaskRetries default; < 0 means unlimited.
+func (o *ClientOptions) retryBudget() int {
+	if o.TaskRetries == 0 {
+		return 3
+	}
+	return o.TaskRetries
 }
 
-// workerConn serialises access to one worker connection.
+// Client is a coordinator attached to a fixed set of workers. It implements
+// the core.Executor and core.ContextExecutor interfaces, so it can be
+// plugged directly into FindMaxCliques.
+type Client struct {
+	opts   ClientOptions
+	mu     sync.Mutex
+	conns  []*workerConn
+	closed bool
+	report DialReport
+
+	// kick wakes the reconnect loop when a connection dies; done stops it.
+	kick chan struct{}
+	done chan struct{}
+
+	// recruits are channels of in-flight batches waiting for revived
+	// connections.
+	recruitMu sync.Mutex
+	recruits  map[chan *workerConn]struct{}
+}
+
+// workerConn serialises access to one worker connection. conn is nil for a
+// placeholder recording an address that was unreachable at Dial time (kept
+// only under AutoReconnect, so the background loop can adopt the worker
+// when it comes up).
 type workerConn struct {
 	addr  string
 	conn  net.Conn
@@ -81,8 +136,42 @@ func (c *Client) Stats() []WorkerStats {
 	return out
 }
 
+// DialFailure records one worker address that could not be dialled.
+type DialFailure struct {
+	Addr string
+	Err  error
+}
+
+// DialReport describes how a Dial went: which addresses were attempted,
+// how many connections came up, and which addresses failed. A degraded
+// start (some but not all workers reachable) is not an error — the run
+// proceeds on the survivors — but callers should surface it rather than
+// discover the missing capacity from a slow run.
+type DialReport struct {
+	// Addrs lists every address Dial attempted.
+	Addrs []string
+	// Connected is the number of connections established (streams, not
+	// addresses: ConnectionsPerWorker multiplies it).
+	Connected int
+	// Failures lists the addresses that were unreachable.
+	Failures []DialFailure
+}
+
+// Degraded reports whether some workers were unreachable at Dial time.
+func (r DialReport) Degraded() bool { return len(r.Failures) > 0 }
+
+// DialReport returns the degraded-start record of the initial Dial.
+func (c *Client) DialReport() DialReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.report
+}
+
 // Dial connects to every worker address. It fails unless at least one
-// worker is reachable; unreachable workers are reported in the error.
+// worker is reachable; unreachable workers are reported in the error when
+// everything is down, and in DialReport when the start is merely degraded.
+// With AutoReconnect, unreachable addresses are remembered and adopted by
+// the background reconnect loop as soon as their workers come up.
 func Dial(addrs []string, opts ClientOptions) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("cluster: no worker addresses")
@@ -90,24 +179,54 @@ func Dial(addrs []string, opts ClientOptions) (*Client, error) {
 	if opts.DialTimeout <= 0 {
 		opts.DialTimeout = 5 * time.Second
 	}
+	if opts.ReconnectBackoff <= 0 {
+		opts.ReconnectBackoff = 50 * time.Millisecond
+	}
+	if opts.ReconnectMaxBackoff <= 0 {
+		opts.ReconnectMaxBackoff = 2 * time.Second
+	}
+	if opts.AllDeadGrace <= 0 {
+		opts.AllDeadGrace = 5 * time.Second
+	}
 	conns := opts.ConnectionsPerWorker
 	if conns < 1 {
 		conns = 1
 	}
-	c := &Client{opts: opts}
+	c := &Client{
+		opts:     opts,
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+		recruits: make(map[chan *workerConn]struct{}),
+	}
+	c.report.Addrs = append([]string(nil), addrs...)
 	var dialErrs []error
 	for _, addr := range addrs {
 		for i := 0; i < conns; i++ {
 			wc, err := dialWorker(addr, opts.DialTimeout, opts.Compress)
 			if err != nil {
 				dialErrs = append(dialErrs, err)
+				c.report.Failures = append(c.report.Failures, DialFailure{Addr: addr, Err: err})
+				if opts.AutoReconnect {
+					// Placeholders let the reconnect loop adopt the
+					// address later.
+					for ; i < conns; i++ {
+						c.conns = append(c.conns, &workerConn{addr: addr, dead: true})
+					}
+				}
 				break // the address is down; skip its remaining streams
 			}
 			c.conns = append(c.conns, wc)
+			c.report.Connected++
 		}
 	}
-	if len(c.conns) == 0 {
+	if c.report.Connected == 0 {
 		return nil, fmt.Errorf("cluster: no workers reachable: %v", errors.Join(dialErrs...))
+	}
+	if opts.AutoReconnect {
+		go c.reconnectLoop()
+		if len(c.report.Failures) > 0 {
+			c.kickReconnect()
+		}
 	}
 	return c, nil
 }
@@ -117,6 +236,10 @@ func dialWorker(addr string, timeout time.Duration, compress bool) (*workerConn,
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
+	// The handshake shares the dial budget, so a worker that accepts but
+	// never answers cannot stall Dial forever.
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
 	wc := &workerConn{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 	if err := wc.enc.Encode(hello{Version: protocolVersion, Compress: compress}); err != nil {
 		conn.Close()
@@ -149,15 +272,155 @@ func dialWorker(addr string, timeout time.Duration, compress bool) (*workerConn,
 	return wc, nil
 }
 
-// Reconnect re-dials every dead connection, restoring capacity after
-// worker restarts. It returns how many connections are alive afterwards;
-// per-address failures are reported in the error while surviving
-// connections keep working.
-func (c *Client) Reconnect() (int, error) {
+// markDead retires a connection after a transport failure and nudges the
+// background reconnect loop.
+func (c *Client) markDead(wc *workerConn) {
+	c.mu.Lock()
+	if !wc.dead {
+		wc.dead = true
+		if wc.conn != nil {
+			wc.conn.Close()
+		}
+	}
+	c.mu.Unlock()
+	c.kickReconnect()
+}
+
+func (c *Client) kickReconnect() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// reconnectLoop re-dials dead connections whenever one dies, backing off
+// exponentially (with jitter) while a worker stays down. It exits when the
+// client is closed.
+func (c *Client) reconnectLoop() {
+	// The jitter source is seeded deterministically: reproducible runs
+	// matter more here than cross-client decorrelation, which the
+	// per-address dial timing provides anyway.
+	rng := rand.New(rand.NewSource(1))
+	backoff := c.opts.ReconnectBackoff
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.kick:
+		}
+		for c.deadConns() > 0 {
+			if c.redialDead() > 0 {
+				backoff = c.opts.ReconnectBackoff
+				continue
+			}
+			jitter := time.Duration(rng.Int63n(int64(backoff)/2 + 1))
+			t := time.NewTimer(backoff + jitter)
+			select {
+			case <-c.done:
+				t.Stop()
+				return
+			case <-t.C:
+			}
+			backoff *= 2
+			if backoff > c.opts.ReconnectMaxBackoff {
+				backoff = c.opts.ReconnectMaxBackoff
+			}
+		}
+		backoff = c.opts.ReconnectBackoff
+	}
+}
+
+func (c *Client) deadConns() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	var errs []error
+	if c.closed {
+		return 0
+	}
+	n := 0
+	for _, wc := range c.conns {
+		if wc.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// redialDead attempts one reconnection sweep over every dead connection
+// and reports how many came back. Revived connections are offered to
+// in-flight batches so capacity returns mid-run.
+func (c *Client) redialDead() int {
+	c.mu.Lock()
+	var dead []int
 	for i, wc := range c.conns {
+		if wc.dead {
+			dead = append(dead, i)
+		}
+	}
+	c.mu.Unlock()
+	revived := 0
+	for _, i := range dead {
+		c.mu.Lock()
+		wc := c.conns[i]
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return revived
+		}
+		if !wc.dead {
+			continue
+		}
+		fresh, err := dialWorker(wc.addr, c.opts.DialTimeout, c.opts.Compress)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			fresh.conn.Close()
+			return revived
+		}
+		// Preserve the accumulated load accounting for the address.
+		fresh.tasks = wc.tasks
+		fresh.busy = wc.busy
+		c.conns[i] = fresh
+		c.mu.Unlock()
+		revived++
+		c.offer(fresh)
+	}
+	return revived
+}
+
+// offer hands a revived connection to at most one in-flight batch.
+func (c *Client) offer(wc *workerConn) {
+	c.recruitMu.Lock()
+	defer c.recruitMu.Unlock()
+	for ch := range c.recruits {
+		select {
+		case ch <- wc:
+			return
+		default:
+		}
+	}
+}
+
+// Reconnect re-dials every dead connection once, restoring capacity after
+// worker restarts. It returns how many connections are alive afterwards;
+// per-address failures are reported in the error while surviving
+// connections keep working. With AutoReconnect this happens on its own.
+func (c *Client) Reconnect() (int, error) {
+	c.mu.Lock()
+	var deadIdx []int
+	for i, wc := range c.conns {
+		if wc.dead {
+			deadIdx = append(deadIdx, i)
+		}
+	}
+	c.mu.Unlock()
+	var errs []error
+	for _, i := range deadIdx {
+		c.mu.Lock()
+		wc := c.conns[i]
+		c.mu.Unlock()
 		if !wc.dead {
 			continue
 		}
@@ -166,17 +429,21 @@ func (c *Client) Reconnect() (int, error) {
 			errs = append(errs, err)
 			continue
 		}
-		// Preserve the accumulated load accounting for the address.
+		c.mu.Lock()
 		fresh.tasks = wc.tasks
 		fresh.busy = wc.busy
 		c.conns[i] = fresh
+		c.mu.Unlock()
+		c.offer(fresh)
 	}
+	c.mu.Lock()
 	alive := 0
 	for _, wc := range c.conns {
 		if !wc.dead {
 			alive++
 		}
 	}
+	c.mu.Unlock()
 	return alive, errors.Join(errs...)
 }
 
@@ -193,32 +460,89 @@ func (c *Client) Workers() int {
 	return alive
 }
 
-// Close hangs up every worker connection.
+// Close hangs up every worker connection and stops the reconnect loop. It
+// is idempotent.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
 	var first error
 	for _, wc := range c.conns {
-		if err := wc.conn.Close(); err != nil && first == nil {
-			first = err
+		if wc.conn != nil {
+			if err := wc.conn.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 		wc.dead = true
 	}
+	c.mu.Unlock()
+	close(c.done)
 	return first
 }
 
+// PoisonTaskError reports a block that exhausted its transport retry
+// budget: its round trip failed on Attempts distinct connections, which
+// almost always means the task itself crashes or stalls whichever worker
+// it lands on. The batch fails deterministically with the per-attempt
+// diagnostics instead of cascading through the rest of the cluster.
+type PoisonTaskError struct {
+	// Block is the failing block's index within the batch.
+	Block int
+	// Attempts is how many connections the block failed on.
+	Attempts int
+	// Causes records "addr: error" for every failed attempt, oldest
+	// first.
+	Causes []string
+}
+
+func (e *PoisonTaskError) Error() string {
+	return fmt.Sprintf("cluster: poison task: block %d failed on %d workers: %s",
+		e.Block, e.Attempts, strings.Join(e.Causes, "; "))
+}
+
+// applicationError marks worker-reported BLOCK-ANALYSIS failures.
+type applicationError struct{ msg string }
+
+func (e *applicationError) Error() string { return e.msg }
+
+// cleanCancelError wraps a context error raised before any bytes hit the
+// wire, so the runner knows the connection is still in sync and must not
+// be retired.
+type cleanCancelError struct{ err error }
+
+func (e *cleanCancelError) Error() string { return e.err.Error() }
+func (e *cleanCancelError) Unwrap() error { return e.err }
+
 // AnalyzeBlocks ships every block to some worker and gathers the cliques,
-// indexed like blocks. A worker that fails mid-flight has its task requeued
-// to the surviving workers; the call fails only when a task is rejected by
-// the application (deterministic failure) or when every worker has died.
-// It implements core.Executor.
+// indexed like blocks. It implements core.Executor; see
+// AnalyzeBlocksContext for the failure semantics.
 func (c *Client) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error) {
+	return c.AnalyzeBlocksContext(context.Background(), blocks, combos)
+}
+
+// AnalyzeBlocksContext is AnalyzeBlocks with cancellation. A worker that
+// fails or times out mid-flight has its task requeued to the surviving
+// workers, bounded by the per-task retry budget (TaskRetries); capacity
+// revived by AutoReconnect joins the batch while it runs. The call fails
+// when a task is rejected by the application (deterministic failure), when
+// a task exhausts its retry budget (*PoisonTaskError), when every worker
+// has died (after AllDeadGrace under AutoReconnect), or when ctx is
+// cancelled — cancellation retires connections with a round trip in
+// flight, because the wire protocol has no way to abandon a pending
+// response. It implements core.ContextExecutor.
+func (c *Client) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error) {
 	if len(blocks) != len(combos) {
 		return nil, fmt.Errorf("cluster: %d blocks but %d combos", len(blocks), len(combos))
 	}
 	out := make([][][]int32, len(blocks))
 	if len(blocks) == 0 {
 		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c.mu.Lock()
 	var alive []*workerConn
@@ -228,12 +552,13 @@ func (c *Client) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([]
 		}
 	}
 	c.mu.Unlock()
-	if len(alive) == 0 {
+	if len(alive) == 0 && !c.opts.AutoReconnect {
 		return nil, errors.New("cluster: all workers are dead")
 	}
 
-	// Task queue with room for one in-flight requeue per worker.
-	tasks := make(chan int, len(blocks)+len(alive))
+	// Each block index is always in exactly one place — queued, in
+	// flight, or completed — so the queue never exceeds len(blocks).
+	tasks := make(chan int, len(blocks))
 	for i := range blocks {
 		tasks <- i
 	}
@@ -244,6 +569,12 @@ func (c *Client) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([]
 		closeOnce  sync.Once
 		errMu      sync.Mutex
 		fatal      error
+		lastDeath  error
+		attempts   = make([]int, len(blocks))
+		causes     = make([][]string, len(blocks))
+		budget     = c.opts.retryBudget()
+		drained    = make(chan struct{}, 1)
+		fresh      = make(chan *workerConn, 16)
 	)
 	fail := func(err error) {
 		errMu.Lock()
@@ -254,49 +585,165 @@ func (c *Client) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([]
 		closeOnce.Do(func() { close(done) })
 	}
 
+	c.recruitMu.Lock()
+	c.recruits[fresh] = struct{}{}
+	c.recruitMu.Unlock()
+	defer func() {
+		c.recruitMu.Lock()
+		delete(c.recruits, fresh)
+		c.recruitMu.Unlock()
+	}()
+
 	var wg sync.WaitGroup
-	for _, wc := range alive {
-		wg.Add(1)
-		go func(wc *workerConn) {
-			defer wg.Done()
-			for {
-				select {
-				case <-done:
-					return
-				case i := <-tasks:
-					t0 := time.Now()
-					cliques, err := c.roundTrip(wc, i, &blocks[i], combos[i])
-					if err == nil {
-						c.mu.Lock()
-						wc.tasks++
-						wc.busy += time.Since(t0)
-						c.mu.Unlock()
-					}
-					if err != nil {
-						var appErr *applicationError
-						if errors.As(err, &appErr) {
-							fail(err) // deterministic; retrying is pointless
-							return
-						}
-						// Transport failure: requeue and retire this worker.
-						c.mu.Lock()
-						wc.dead = true
-						c.mu.Unlock()
-						tasks <- i
-						if atomic.AddInt64(&aliveCount, -1) == 0 {
-							fail(fmt.Errorf("cluster: all workers failed, last error from %s: %w", wc.addr, err))
-						}
-						return
-					}
+	var runner func(wc *workerConn)
+	runner = func(wc *workerConn) {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case i := <-tasks:
+				t0 := time.Now()
+				cliques, err := c.roundTrip(ctx, wc, i, &blocks[i], combos[i])
+				if err == nil {
+					c.mu.Lock()
+					wc.tasks++
+					wc.busy += time.Since(t0)
+					c.mu.Unlock()
 					out[i] = cliques
 					if atomic.AddInt64(&completed, 1) == int64(len(blocks)) {
 						closeOnce.Do(func() { close(done) })
 					}
+					continue
+				}
+				var appErr *applicationError
+				if errors.As(err, &appErr) {
+					fail(err) // deterministic; retrying is pointless
+					return
+				}
+				var clean *cleanCancelError
+				if errors.As(err, &clean) {
+					// Cancelled before any bytes moved: the stream is
+					// still in sync, keep the connection.
+					fail(clean.err)
+					tasks <- i
+					return
+				}
+				// Transport failure: retire this worker and requeue the
+				// block unless it has exhausted its retry budget.
+				c.markDead(wc)
+				errMu.Lock()
+				attempts[i]++
+				causes[i] = append(causes[i], fmt.Sprintf("%s: %v", wc.addr, err))
+				poisoned := budget >= 0 && attempts[i] >= budget
+				n, cs := attempts[i], causes[i]
+				lastDeath = err
+				errMu.Unlock()
+				if poisoned {
+					fail(&PoisonTaskError{Block: i, Attempts: n, Causes: cs})
+				} else {
+					tasks <- i
+				}
+				if atomic.AddInt64(&aliveCount, -1) == 0 {
+					select {
+					case drained <- struct{}{}:
+					default:
+					}
+				}
+				return
+			}
+		}
+	}
+
+	allDead := func() error {
+		errMu.Lock()
+		defer errMu.Unlock()
+		if lastDeath != nil {
+			return fmt.Errorf("cluster: all workers failed, last error: %w", lastDeath)
+		}
+		return errors.New("cluster: all workers are dead")
+	}
+
+	// The recruiter folds revived connections into the running batch and
+	// arbitrates the all-dead endgame. It holds a WaitGroup slot, so the
+	// runners it spawns can never race wg.Wait.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case wc := <-fresh:
+				atomic.AddInt64(&aliveCount, 1)
+				wg.Add(1)
+				go runner(wc)
+			case <-drained:
+				if !c.opts.AutoReconnect {
+					fail(allDead())
+					return
+				}
+				grace := time.NewTimer(c.opts.AllDeadGrace)
+				select {
+				case <-done:
+					grace.Stop()
+					return
+				case wc := <-fresh:
+					grace.Stop()
+					atomic.AddInt64(&aliveCount, 1)
+					wg.Add(1)
+					go runner(wc)
+				case <-grace.C:
+					if atomic.LoadInt64(&aliveCount) == 0 {
+						fail(allDead())
+						return
+					}
 				}
 			}
-		}(wc)
+		}
+	}()
+	if len(alive) == 0 {
+		drained <- struct{}{} // AutoReconnect: wait out the grace period
+	}
+
+	// The watcher turns a context cancellation into expired deadlines on
+	// every live connection, unblocking runners stuck in I/O.
+	stopWatch := make(chan struct{})
+	var watchWG sync.WaitGroup
+	watchWG.Add(1)
+	go func() {
+		defer watchWG.Done()
+		select {
+		case <-stopWatch:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			c.mu.Lock()
+			for _, wc := range c.conns {
+				if !wc.dead && wc.conn != nil {
+					wc.conn.SetDeadline(time.Now())
+				}
+			}
+			c.mu.Unlock()
+		}
+	}()
+
+	for _, wc := range alive {
+		wg.Add(1)
+		go runner(wc)
 	}
 	wg.Wait()
+	close(stopWatch)
+	watchWG.Wait()
+
+	// Clear any cancellation deadlines left on surviving connections.
+	c.mu.Lock()
+	for _, wc := range c.conns {
+		if !wc.dead && wc.conn != nil {
+			wc.conn.SetDeadline(time.Time{})
+		}
+	}
+	c.mu.Unlock()
+
 	errMu.Lock()
 	defer errMu.Unlock()
 	if fatal != nil {
@@ -305,16 +752,36 @@ func (c *Client) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([]
 	return out, nil
 }
 
-// applicationError marks worker-reported BLOCK-ANALYSIS failures.
-type applicationError struct{ msg string }
-
-func (e *applicationError) Error() string { return e.msg }
+// taskDeadline resolves the round-trip envelope for one task.
+func (c *Client) taskDeadline(t *blockTask) time.Duration {
+	if c.opts.TaskTimeout < 0 {
+		return 0
+	}
+	if c.opts.TaskTimeout > 0 {
+		return c.opts.TaskTimeout
+	}
+	// Derived default: a generous per-block compute allowance that scales
+	// with the block, so the envelope only catches genuinely hung
+	// workers, never slow ones.
+	d := 30*time.Second + time.Duration(int64(t.Nodes)+int64(len(t.Edges)))*time.Millisecond
+	d += 2 * c.opts.Latency
+	if c.opts.BandwidthBytesPerSec > 0 {
+		d += time.Duration(float64(2*t.wireSize()) / float64(c.opts.BandwidthBytesPerSec) * float64(time.Second))
+	}
+	return d
+}
 
 // roundTrip sends one task and waits for its result, applying the simulated
-// link costs.
-func (c *Client) roundTrip(wc *workerConn, id int, b *decomp.Block, combo mcealg.Combo) ([][]int32, error) {
+// link costs and the task deadline.
+func (c *Client) roundTrip(ctx context.Context, wc *workerConn, id int, b *decomp.Block, combo mcealg.Combo) ([][]int32, error) {
 	t := taskFromBlock(id, b, combo)
-	c.simulateLink(t.wireSize())
+	if err := c.simulateLink(ctx, t.wireSize()); err != nil {
+		return nil, &cleanCancelError{err: err}
+	}
+	if d := c.taskDeadline(&t); d > 0 {
+		wc.conn.SetDeadline(time.Now().Add(d))
+		defer wc.conn.SetDeadline(time.Time{})
+	}
 	if err := wc.enc.Encode(&t); err != nil {
 		return nil, fmt.Errorf("cluster: send to %s: %w", wc.addr, err)
 	}
@@ -330,21 +797,37 @@ func (c *Client) roundTrip(wc *workerConn, id int, b *decomp.Block, combo mcealg
 	if res.ID != id {
 		return nil, fmt.Errorf("cluster: worker %s answered task %d, want %d", wc.addr, res.ID, id)
 	}
+	if res.Corrupt {
+		return nil, fmt.Errorf("cluster: task %d corrupted in flight to %s", id, wc.addr)
+	}
+	if res.Sum != res.payloadSum() {
+		return nil, fmt.Errorf("cluster: result %d from %s corrupted in flight (checksum mismatch)", id, wc.addr)
+	}
 	if res.Err != "" {
 		return nil, &applicationError{msg: fmt.Sprintf("cluster: worker %s: %s", wc.addr, res.Err)}
 	}
-	c.simulateLink(res.wireSize())
+	if err := c.simulateLink(ctx, res.wireSize()); err != nil {
+		return nil, &cleanCancelError{err: err}
+	}
 	return res.Cliques, nil
 }
 
 // simulateLink sleeps for the configured latency plus the transfer time of
-// size bytes at the configured bandwidth.
-func (c *Client) simulateLink(size int64) {
+// size bytes at the configured bandwidth, waking early on cancellation.
+func (c *Client) simulateLink(ctx context.Context, size int64) error {
 	d := c.opts.Latency
 	if c.opts.BandwidthBytesPerSec > 0 {
 		d += time.Duration(float64(size) / float64(c.opts.BandwidthBytesPerSec) * float64(time.Second))
 	}
-	if d > 0 {
-		time.Sleep(d)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }

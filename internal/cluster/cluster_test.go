@@ -542,6 +542,7 @@ func TestServeConnOverPipe(t *testing.T) {
 		Orig:   []int32{10, 11, 12},
 		Alg:    uint8(mcealg.Tomita), Struct: uint8(mcealg.BitSets),
 	}
+	task.Sum = task.payloadSum()
 	if err := enc.Encode(&task); err != nil {
 		t.Fatal(err)
 	}

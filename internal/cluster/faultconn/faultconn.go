@@ -1,0 +1,262 @@
+// Package faultconn wraps net.Listener / net.Conn with seeded,
+// deterministic fault injection for chaos-testing the cluster runtime. It
+// reproduces the failure modes of the paper's shared 10-node cluster (§6.1)
+// — slow links, stalled workers, connections dropped mid-message, and
+// flipped bytes — without any real network misbehaviour.
+//
+// Faults are drawn from a per-connection PRNG seeded with
+// Options.Seed + connection index, so a given seed always produces the same
+// fault schedule on the i-th accepted connection regardless of goroutine
+// interleaving elsewhere. Each Read/Write call draws one decision:
+//
+//   - delay:   the call sleeps Options.Delay, then proceeds normally;
+//   - hang:    the call blocks until the connection is closed or its
+//     deadline expires (a stalled worker);
+//   - close:   a write ships only half its bytes and then closes the
+//     connection (a mid-message crash); a read closes immediately;
+//   - corrupt: one byte of the payload is flipped (a dirty link).
+//
+// Deadlines set on the wrapped connection are honoured even while a hang is
+// in progress, which is exactly what the coordinator's TaskTimeout relies
+// on.
+package faultconn
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Options configures an injector. All probabilities are per Read/Write call
+// and are evaluated in the order Hang, Close, Corrupt, Delay; at most one
+// fault fires per call.
+type Options struct {
+	// Seed makes the fault schedule reproducible. Connection i draws from
+	// a PRNG seeded with Seed+int64(i).
+	Seed int64
+	// HangProb is the probability that a call blocks until the connection
+	// is closed or its deadline expires.
+	HangProb float64
+	// CloseProb is the probability that a call closes the connection
+	// mid-message.
+	CloseProb float64
+	// CorruptProb is the probability that one byte of the call's payload
+	// is flipped.
+	CorruptProb float64
+	// DelayProb is the probability that a call is delayed by Delay.
+	DelayProb float64
+	// Delay is the extra latency applied when a delay fault fires.
+	Delay time.Duration
+	// SkipOps exempts the first n Read/Write calls of every connection
+	// from fault injection, letting the handshake complete before chaos
+	// starts.
+	SkipOps int
+}
+
+// Listener wraps ln so every accepted connection injects faults according
+// to opts.
+func Listener(ln net.Listener, opts Options) net.Listener {
+	return &listener{Listener: ln, opts: opts}
+}
+
+type listener struct {
+	net.Listener
+	opts Options
+	mu   sync.Mutex
+	next int64
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.next
+	l.next++
+	l.mu.Unlock()
+	return Conn(c, l.opts, l.opts.Seed+i), nil
+}
+
+// Conn wraps c with fault injection drawing from a PRNG seeded with seed.
+func Conn(c net.Conn, opts Options, seed int64) net.Conn {
+	return &conn{
+		Conn:   c,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(seed)),
+		closed: make(chan struct{}),
+	}
+}
+
+type conn struct {
+	net.Conn
+	opts Options
+
+	mu   sync.Mutex // guards rng, ops, deadlines
+	rng  *rand.Rand
+	ops  int
+	rdDL time.Time
+	wrDL time.Time
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// fault kinds.
+const (
+	faultNone = iota
+	faultHang
+	faultClose
+	faultCorrupt
+	faultDelay
+)
+
+// decide draws one fault decision and, for corrupt faults, the byte offset
+// to flip within a payload of length n.
+func (c *conn) decide(n int) (kind, offset int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	if c.ops <= c.opts.SkipOps {
+		return faultNone, 0
+	}
+	p := c.rng.Float64()
+	switch {
+	case p < c.opts.HangProb:
+		return faultHang, 0
+	case p < c.opts.HangProb+c.opts.CloseProb:
+		return faultClose, 0
+	case p < c.opts.HangProb+c.opts.CloseProb+c.opts.CorruptProb:
+		if n > 0 {
+			offset = c.rng.Intn(n)
+		}
+		return faultCorrupt, offset
+	case p < c.opts.HangProb+c.opts.CloseProb+c.opts.CorruptProb+c.opts.DelayProb:
+		return faultDelay, 0
+	}
+	return faultNone, 0
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	kind, off := c.decide(len(p))
+	switch kind {
+	case faultHang:
+		if err := c.hang(c.deadline(false)); err != nil {
+			return 0, err
+		}
+	case faultClose:
+		c.Close()
+		return 0, net.ErrClosed
+	case faultDelay:
+		c.sleep(c.opts.Delay)
+	}
+	n, err := c.Conn.Read(p)
+	if kind == faultCorrupt && n > 0 {
+		p[off%n] ^= 0x40
+	}
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	kind, off := c.decide(len(p))
+	switch kind {
+	case faultHang:
+		if err := c.hang(c.deadline(true)); err != nil {
+			return 0, err
+		}
+	case faultClose:
+		// Ship a truncated message, then die: the peer sees a partial gob
+		// frame followed by EOF.
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.Close()
+		return n, net.ErrClosed
+	case faultCorrupt:
+		if len(p) > 0 {
+			cp := make([]byte, len(p))
+			copy(cp, p)
+			cp[off] ^= 0x40
+			return c.Conn.Write(cp)
+		}
+	case faultDelay:
+		c.sleep(c.opts.Delay)
+	}
+	return c.Conn.Write(p)
+}
+
+// hang blocks until the connection is closed or dl (the operation's
+// deadline) passes. A zero deadline blocks until close.
+func (c *conn) hang(dl time.Time) error {
+	var timeout <-chan time.Time
+	if !dl.IsZero() {
+		d := time.Until(dl)
+		if d <= 0 {
+			return timeoutError{}
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case <-c.closed:
+		return net.ErrClosed
+	case <-timeout:
+		return timeoutError{}
+	}
+}
+
+// sleep pauses for d but wakes early if the connection is closed.
+func (c *conn) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-c.closed:
+	case <-t.C:
+	}
+}
+
+func (c *conn) deadline(write bool) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if write {
+		return c.wrDL
+	}
+	return c.rdDL
+}
+
+func (c *conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdDL, c.wrDL = t, t
+	c.mu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.rdDL = t
+	c.mu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *conn) SetWriteDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.wrDL = t
+	c.mu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+// timeoutError mimics the net package's deadline errors so callers that
+// check net.Error.Timeout() treat an expired hang like any other timeout.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "faultconn: injected hang timed out" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }

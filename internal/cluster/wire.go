@@ -13,7 +13,10 @@
 package cluster
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash"
+	"hash/crc32"
 
 	"mce/internal/decomp"
 	"mce/internal/graph"
@@ -21,7 +24,10 @@ import (
 )
 
 // protocolVersion guards against mismatched coordinator/worker builds.
-const protocolVersion = 1
+// Version 2 added the CRC-32 payload checksums (Sum fields) and the
+// Corrupt verdict, so link-level byte corruption is detected and retried
+// instead of silently producing a wrong clique set.
+const protocolVersion = 2
 
 // hello is the first message on every connection, sent by the coordinator.
 type hello struct {
@@ -56,6 +62,11 @@ type blockTask struct {
 	// Alg and Struct encode the mcealg.Combo chosen by the coordinator's
 	// decision tree.
 	Alg, Struct uint8
+	// Sum is a CRC-32 (IEEE) over every other field. gob has no integrity
+	// check of its own, so a flipped byte that still decodes would
+	// otherwise corrupt the result silently; the worker answers a
+	// mismatch with Corrupt instead of analysing garbage.
+	Sum uint32
 }
 
 // blockResult is the worker's answer to one blockTask.
@@ -67,6 +78,13 @@ type blockResult struct {
 	// are deterministic (e.g. an oversized Matrix request), so the
 	// coordinator does not retry them.
 	Err string
+	// Corrupt reports that the task arrived with a checksum mismatch.
+	// Unlike Err it is a transport-level verdict: the coordinator treats
+	// it like a failed connection and requeues the block.
+	Corrupt bool
+	// Sum is a CRC-32 (IEEE) over every other field, mirroring
+	// blockTask.Sum for the return path.
+	Sum uint32
 }
 
 // taskFromBlock flattens a decomp.Block for the wire.
@@ -76,7 +94,7 @@ func taskFromBlock(id int, b *decomp.Block, combo mcealg.Combo) blockTask {
 	for i, e := range edges {
 		wire[i] = [2]int32{e.U, e.V}
 	}
-	return blockTask{
+	t := blockTask{
 		ID:      id,
 		Nodes:   int32(b.Graph.N()),
 		Edges:   wire,
@@ -87,6 +105,54 @@ func taskFromBlock(id int, b *decomp.Block, combo mcealg.Combo) blockTask {
 		Alg:     uint8(combo.Alg),
 		Struct:  uint8(combo.Struct),
 	}
+	t.Sum = t.payloadSum()
+	return t
+}
+
+// sumInt32 feeds one little-endian int32 into a running CRC.
+func sumInt32(h hash.Hash32, v int32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(v))
+	h.Write(buf[:])
+}
+
+// payloadSum computes the checksum over every field except Sum itself.
+func (t *blockTask) payloadSum() uint32 {
+	h := crc32.NewIEEE()
+	sumInt32(h, int32(t.ID))
+	sumInt32(h, t.Nodes)
+	sumInt32(h, int32(len(t.Edges)))
+	for _, e := range t.Edges {
+		sumInt32(h, e[0])
+		sumInt32(h, e[1])
+	}
+	for _, class := range [][]int32{t.Kernel, t.Border, t.Visited, t.Orig} {
+		sumInt32(h, int32(len(class)))
+		for _, v := range class {
+			sumInt32(h, v)
+		}
+	}
+	sumInt32(h, int32(t.Alg))
+	sumInt32(h, int32(t.Struct))
+	return h.Sum32()
+}
+
+// payloadSum computes the checksum over every field except Sum itself.
+func (r *blockResult) payloadSum() uint32 {
+	h := crc32.NewIEEE()
+	sumInt32(h, int32(r.ID))
+	sumInt32(h, int32(len(r.Cliques)))
+	for _, c := range r.Cliques {
+		sumInt32(h, int32(len(c)))
+		for _, v := range c {
+			sumInt32(h, v)
+		}
+	}
+	h.Write([]byte(r.Err))
+	if r.Corrupt {
+		h.Write([]byte{1})
+	}
+	return h.Sum32()
 }
 
 // blockFromTask reconstructs the block and combo on the worker side.

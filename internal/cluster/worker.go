@@ -8,16 +8,44 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"mce/internal/decomp"
 )
 
 // Worker processes block-analysis tasks for coordinators. The zero value is
-// ready to serve.
+// ready to serve; MaxConns and DrainTimeout, if used, must be set before
+// Serve.
 type Worker struct {
-	mu     sync.Mutex
-	ln     net.Listener
-	closed bool
+	// MaxConns caps how many coordinator connections are served
+	// concurrently. When the cap is reached further connections wait in
+	// the listener's accept queue, so one worker process cannot be driven
+	// into memory exhaustion by an over-eager coordinator. 0 means
+	// unlimited.
+	MaxConns int
+	// DrainTimeout bounds how long Close waits for in-flight tasks to
+	// finish and ship their results before force-closing the remaining
+	// connections. 0 means 5s.
+	DrainTimeout time.Duration
+
+	mu       sync.Mutex
+	ln       net.Listener
+	closed   bool
+	closedCh chan struct{}
+	conns    map[net.Conn]struct{}
+	inflight int
+	drained  chan struct{}
+}
+
+// initLocked lazily creates the zero value's channels and maps. Callers
+// hold w.mu.
+func (w *Worker) initLocked() {
+	if w.closedCh == nil {
+		w.closedCh = make(chan struct{})
+	}
+	if w.conns == nil {
+		w.conns = make(map[net.Conn]struct{})
+	}
 }
 
 // Serve accepts coordinator connections on ln until Close is called or the
@@ -26,46 +54,156 @@ type Worker struct {
 // cluster).
 func (w *Worker) Serve(ln net.Listener) error {
 	w.mu.Lock()
-	w.ln = ln
-	closed := w.closed
-	w.mu.Unlock()
-	if closed {
+	w.initLocked()
+	if w.closed {
+		w.mu.Unlock()
 		ln.Close()
 		return errors.New("cluster: worker already closed")
+	}
+	w.ln = ln
+	closedCh := w.closedCh
+	w.mu.Unlock()
+
+	var sem chan struct{}
+	if w.MaxConns > 0 {
+		sem = make(chan struct{}, w.MaxConns)
 	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			w.mu.Lock()
-			closed := w.closed
-			w.mu.Unlock()
-			if closed {
+			if w.isClosed() {
 				return nil
 			}
 			return fmt.Errorf("cluster: accept: %w", err)
 		}
+		if sem != nil {
+			select {
+			case sem <- struct{}{}:
+			case <-closedCh:
+				conn.Close()
+				return nil
+			}
+		}
+		if !w.track(conn) {
+			conn.Close()
+			if sem != nil {
+				<-sem
+			}
+			return nil
+		}
 		go func() {
-			defer conn.Close()
-			_ = ServeConn(conn)
+			defer func() {
+				w.untrack(conn)
+				conn.Close()
+				if sem != nil {
+					<-sem
+				}
+			}()
+			_ = w.serveConn(conn)
 		}()
 	}
 }
 
-// Close stops the accept loop.
+// Close stops the accept loop, waits up to DrainTimeout for in-flight
+// tasks to finish and ship their results, then closes every remaining
+// connection (whose coordinators requeue their blocks elsewhere). It is
+// idempotent: a second Close returns immediately.
 func (w *Worker) Close() error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.closed = true
-	if w.ln != nil {
-		return w.ln.Close()
+	if w.closed {
+		w.mu.Unlock()
+		return nil
 	}
-	return nil
+	w.initLocked()
+	w.closed = true
+	close(w.closedCh)
+	var err error
+	if w.ln != nil {
+		err = w.ln.Close()
+	}
+	var drained chan struct{}
+	if w.inflight > 0 {
+		drained = make(chan struct{})
+		w.drained = drained
+	}
+	w.mu.Unlock()
+
+	if drained != nil {
+		dt := w.DrainTimeout
+		if dt <= 0 {
+			dt = 5 * time.Second
+		}
+		t := time.NewTimer(dt)
+		select {
+		case <-drained:
+		case <-t.C: // a task is stuck (hung link, runaway block): give up
+		}
+		t.Stop()
+	}
+	w.mu.Lock()
+	for conn := range w.conns {
+		conn.Close()
+	}
+	w.mu.Unlock()
+	return err
+}
+
+func (w *Worker) isClosed() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.closed
+}
+
+func (w *Worker) track(conn net.Conn) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.conns[conn] = struct{}{}
+	return true
+}
+
+func (w *Worker) untrack(conn net.Conn) {
+	w.mu.Lock()
+	delete(w.conns, conn)
+	w.mu.Unlock()
+}
+
+// beginTask registers one in-flight task; it refuses when the worker is
+// draining so serving loops stop picking up new work.
+func (w *Worker) beginTask() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return false
+	}
+	w.inflight++
+	return true
+}
+
+func (w *Worker) endTask() {
+	w.mu.Lock()
+	w.inflight--
+	if w.closed && w.inflight == 0 && w.drained != nil {
+		close(w.drained)
+		w.drained = nil
+	}
+	w.mu.Unlock()
 }
 
 // ServeConn answers one coordinator connection: a handshake followed by a
 // stream of blockTask messages, each answered with a blockResult. It
 // returns nil when the coordinator hangs up.
 func ServeConn(conn net.Conn) error {
+	w := &Worker{}
+	w.mu.Lock()
+	w.initLocked()
+	w.mu.Unlock()
+	return w.serveConn(conn)
+}
+
+func (w *Worker) serveConn(conn net.Conn) error {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 
@@ -102,21 +240,39 @@ func ServeConn(conn net.Conn) error {
 			}
 			return fmt.Errorf("cluster: decode task: %w", err)
 		}
-		res := runTask(&t)
-		if err := enc.Encode(&res); err != nil {
-			return fmt.Errorf("cluster: encode result: %w", err)
+		// Draining: drop the task without an answer — closing the
+		// connection makes the coordinator requeue it elsewhere.
+		if !w.beginTask() {
+			return nil
 		}
-		if flush != nil {
-			if err := flush(); err != nil {
-				return fmt.Errorf("cluster: flush result: %w", err)
-			}
+		res := runTask(&t)
+		res.Sum = res.payloadSum()
+		err := enc.Encode(&res)
+		if err == nil && flush != nil {
+			err = flush()
+		}
+		w.endTask()
+		if err != nil {
+			return fmt.Errorf("cluster: encode result: %w", err)
 		}
 	}
 }
 
 // runTask executes BLOCK-ANALYSIS for one task, capturing errors in-band.
-func runTask(t *blockTask) blockResult {
-	res := blockResult{ID: t.ID}
+// A panicking block (malformed task, algorithm bug) is converted into an
+// in-band error instead of killing the worker process, so one poison task
+// cannot take down a node that other coordinators share.
+func runTask(t *blockTask) (res blockResult) {
+	res = blockResult{ID: t.ID}
+	defer func() {
+		if r := recover(); r != nil {
+			res = blockResult{ID: t.ID, Err: fmt.Sprintf("panic in BLOCK-ANALYSIS: %v", r)}
+		}
+	}()
+	if t.Sum != t.payloadSum() {
+		res.Corrupt = true
+		return res
+	}
 	b, combo, err := blockFromTask(t)
 	if err != nil {
 		res.Err = err.Error()
@@ -137,13 +293,16 @@ func runTask(t *blockTask) blockResult {
 // StartLocal launches n workers on ephemeral localhost ports and returns
 // their addresses plus a stop function. It is the one-command stand-in for
 // the paper's 10-machine deployment, used by tests, examples and benches.
+// stop is idempotent: calling it twice is safe.
 func StartLocal(n int) (addrs []string, stop func(), err error) {
 	var workers []*Worker
-	var listeners []net.Listener
+	var once sync.Once
 	stop = func() {
-		for _, w := range workers {
-			w.Close()
-		}
+		once.Do(func() {
+			for _, w := range workers {
+				_ = w.Close()
+			}
+		})
 	}
 	for i := 0; i < n; i++ {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -153,10 +312,8 @@ func StartLocal(n int) (addrs []string, stop func(), err error) {
 		}
 		w := &Worker{}
 		workers = append(workers, w)
-		listeners = append(listeners, ln)
 		addrs = append(addrs, ln.Addr().String())
 		go func() { _ = w.Serve(ln) }()
 	}
-	_ = listeners
 	return addrs, stop, nil
 }

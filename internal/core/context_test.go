@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"mce/internal/decomp"
+	"mce/internal/gen"
+	"mce/internal/mcealg"
+)
+
+func TestFindMaxCliquesContextPreCancelled(t *testing.T) {
+	g := gen.ErdosRenyi(60, 0.15, 31)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FindMaxCliquesContext(ctx, g, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	_, err := StreamContext(ctx, g, Options{}, func([]int32, int) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("stream err = %v, want context.Canceled", err)
+	}
+}
+
+func TestFindMaxCliquesContextBackground(t *testing.T) {
+	g := gen.HolmeKim(150, 4, 0.6, 37)
+	res, err := FindMaxCliquesContext(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertComplete(t, g, res)
+}
+
+func TestLocalExecutorContextCancelled(t *testing.T) {
+	g := gen.ErdosRenyi(80, 0.15, 41)
+	feasible, _ := decomp.Cut(g, g.MaxDegree()+1)
+	blocks := decomp.Blocks(g, feasible, g.MaxDegree()+1, decomp.Options{})
+	combos := make([]mcealg.Combo, len(blocks))
+	for i := range combos {
+		combos[i] = mcealg.Combo{Alg: mcealg.Tomita, Struct: mcealg.BitSets}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	exec := &LocalExecutor{}
+	if _, err := exec.AnalyzeBlocksContext(ctx, blocks, combos); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// countingContextExecutor proves the engine prefers the context-aware
+// interface when the executor implements it.
+type countingContextExecutor struct {
+	LocalExecutor
+	calls int32
+}
+
+func (e *countingContextExecutor) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error) {
+	atomic.AddInt32(&e.calls, 1)
+	return e.LocalExecutor.AnalyzeBlocksContext(ctx, blocks, combos)
+}
+
+func TestContextExecutorPreferred(t *testing.T) {
+	g := gen.HolmeKim(150, 4, 0.6, 43)
+	exec := &countingContextExecutor{}
+	res, err := FindMaxCliquesContext(context.Background(), g, Options{Executor: exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertComplete(t, g, res)
+	if atomic.LoadInt32(&exec.calls) == 0 {
+		t.Fatal("ContextExecutor implementation was never used")
+	}
+}

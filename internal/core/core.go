@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -41,6 +42,15 @@ import (
 // cluster.Client (TCP workers).
 type Executor interface {
 	AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error)
+}
+
+// ContextExecutor is implemented by executors that support cancelling an
+// in-flight block batch. FindMaxCliquesContext uses it when available, so
+// a caller's cancellation reaches work already shipped to remote workers
+// instead of only taking effect between batches. Both LocalExecutor and
+// cluster.Client implement it.
+type ContextExecutor interface {
+	AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error)
 }
 
 // Options configures FindMaxCliques.
@@ -160,6 +170,14 @@ type LocalExecutor struct {
 
 // AnalyzeBlocks implements Executor.
 func (e *LocalExecutor) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error) {
+	return e.AnalyzeBlocksContext(context.Background(), blocks, combos)
+}
+
+// AnalyzeBlocksContext implements ContextExecutor: cancellation stops the
+// pool from starting new blocks (blocks already being analysed run to
+// completion — block analysis has no preemption points) and the call
+// returns ctx.Err().
+func (e *LocalExecutor) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error) {
 	if len(blocks) != len(combos) {
 		return nil, fmt.Errorf("core: %d blocks but %d combos", len(blocks), len(combos))
 	}
@@ -185,6 +203,9 @@ func (e *LocalExecutor) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Com
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if ctx.Err() != nil {
+					continue // drain the queue without analysing
+				}
 				var cliques [][]int32
 				err := decomp.AnalyzeBlock(&blocks[i], combos[i], func(c []int32) {
 					cp := make([]int32, len(c))
@@ -208,6 +229,9 @@ func (e *LocalExecutor) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Com
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -220,6 +244,14 @@ var ErrNoNodes = errors.New("core: graph has no nodes")
 
 // FindMaxCliques enumerates every maximal clique of g — Algorithm 1.
 func FindMaxCliques(g *graph.Graph, opts Options) (*Result, error) {
+	return FindMaxCliquesContext(context.Background(), g, opts)
+}
+
+// FindMaxCliquesContext is FindMaxCliques with cancellation: ctx is
+// checked between recursion levels and handed to the executor's
+// ContextExecutor path when it has one, so cancelling stops an in-flight
+// distributed run rather than waiting for the current batch to finish.
+func FindMaxCliquesContext(ctx context.Context, g *graph.Graph, opts Options) (*Result, error) {
 	if g.N() == 0 {
 		return nil, ErrNoNodes
 	}
@@ -242,7 +274,7 @@ func FindMaxCliques(g *graph.Graph, opts Options) (*Result, error) {
 	}
 
 	res := &Result{Stats: Stats{BlockSize: m, MaxDegree: maxDeg}}
-	if err := findRecursive(g, m, sel, exec, opts, res, 0); err != nil {
+	if err := findRecursive(ctx, g, m, sel, exec, opts, res, 0); err != nil {
 		return nil, err
 	}
 	res.Stats.TotalCliques = len(res.Cliques)
@@ -277,7 +309,10 @@ func selector(opts Options) func(*decomp.Block) mcealg.Combo {
 // findRecursive appends the maximal cliques of g (in the ID space of g,
 // translated by the caller) and their discovery levels to res. It implements
 // the body of Algorithm 1 at recursion depth level.
-func findRecursive(g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo, exec Executor, opts Options, res *Result, level int) error {
+func findRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo, exec Executor, opts Options, res *Result, level int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	start := time.Now()
 	feasible, hubs := decomp.Cut(g, m)
 
@@ -297,7 +332,7 @@ func findRecursive(g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo, 
 	decompTime := time.Since(start)
 
 	start = time.Now()
-	perBlock, err := analyzeScheduled(exec, blocks, combos, opts.Schedule)
+	perBlock, err := analyzeScheduled(ctx, exec, blocks, combos, opts.Schedule)
 	if err != nil {
 		return err
 	}
@@ -328,7 +363,7 @@ func findRecursive(g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo, 
 	// Recursive call on the hub-induced subgraph (Algorithm 1, line 6).
 	sub, orig := graph.Induced(g, hubs)
 	subRes := &Result{}
-	if err := findRecursive(sub, m, sel, exec, opts, subRes, level+1); err != nil {
+	if err := findRecursive(ctx, sub, m, sel, exec, opts, subRes, level+1); err != nil {
 		return err
 	}
 	res.Stats.Levels = append(res.Stats.Levels, subRes.Stats.Levels...)
@@ -369,10 +404,20 @@ func findRecursive(g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo, 
 
 // analyzeScheduled dispatches the blocks in the configured order and
 // returns the results in the original block order, so scheduling never
-// changes the output.
-func analyzeScheduled(exec Executor, blocks []decomp.Block, combos []mcealg.Combo, sched Schedule) ([][][]int32, error) {
+// changes the output. The context reaches the executor when it implements
+// ContextExecutor; otherwise it is checked once before dispatch.
+func analyzeScheduled(ctx context.Context, exec Executor, blocks []decomp.Block, combos []mcealg.Combo, sched Schedule) ([][][]int32, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	analyze := exec.AnalyzeBlocks
+	if ce, ok := exec.(ContextExecutor); ok {
+		analyze = func(b []decomp.Block, cb []mcealg.Combo) ([][][]int32, error) {
+			return ce.AnalyzeBlocksContext(ctx, b, cb)
+		}
+	}
 	if sched != ScheduleLPT || len(blocks) < 2 {
-		return exec.AnalyzeBlocks(blocks, combos)
+		return analyze(blocks, combos)
 	}
 	perm := make([]int, len(blocks))
 	for i := range perm {
@@ -393,7 +438,7 @@ func analyzeScheduled(exec Executor, blocks []decomp.Block, combos []mcealg.Comb
 		ordered[pos] = blocks[idx]
 		orderedCombos[pos] = combos[idx]
 	}
-	permuted, err := exec.AnalyzeBlocks(ordered, orderedCombos)
+	permuted, err := analyze(ordered, orderedCombos)
 	if err != nil {
 		return nil, err
 	}

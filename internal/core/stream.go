@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"mce/internal/bitset"
@@ -25,6 +26,13 @@ import (
 // in memory, which is exactly what streaming avoids. Options.Executor and
 // all decomposition options are honoured.
 func Stream(g *graph.Graph, opts Options, emit func(clique []int32, level int)) (*Stats, error) {
+	return StreamContext(context.Background(), g, opts, emit)
+}
+
+// StreamContext is Stream with cancellation, mirroring
+// FindMaxCliquesContext: the context is checked between recursion levels
+// and handed to ContextExecutor implementations.
+func StreamContext(ctx context.Context, g *graph.Graph, opts Options, emit func(clique []int32, level int)) (*Stats, error) {
 	if g.N() == 0 {
 		return nil, ErrNoNodes
 	}
@@ -46,13 +54,16 @@ func Stream(g *graph.Graph, opts Options, emit func(clique []int32, level int)) 
 		exec = &LocalExecutor{Parallelism: opts.Parallelism}
 	}
 	stats := &Stats{BlockSize: m, MaxDegree: maxDeg}
-	if err := streamRecursive(g, m, sel, exec, opts, stats, 0, emit); err != nil {
+	if err := streamRecursive(ctx, g, m, sel, exec, opts, stats, 0, emit); err != nil {
 		return nil, err
 	}
 	return stats, nil
 }
 
-func streamRecursive(g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo, exec Executor, opts Options, stats *Stats, level int, emit func([]int32, int)) error {
+func streamRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo, exec Executor, opts Options, stats *Stats, level int, emit func([]int32, int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	start := time.Now()
 	feasible, hubs := decomp.Cut(g, m)
 
@@ -84,7 +95,7 @@ func streamRecursive(g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo
 	decompTime := time.Since(start)
 
 	start = time.Now()
-	perBlock, err := analyzeScheduled(exec, blocks, combos, opts.Schedule)
+	perBlock, err := analyzeScheduled(ctx, exec, blocks, combos, opts.Schedule)
 	if err != nil {
 		return err
 	}
@@ -133,7 +144,7 @@ func streamRecursive(g *graph.Graph, m int, sel func(*decomp.Block) mcealg.Combo
 		}
 	}
 	subStats := &Stats{}
-	if err := streamRecursive(sub, m, sel, exec, opts, subStats, 0, inner); err != nil {
+	if err := streamRecursive(ctx, sub, m, sel, exec, opts, subStats, 0, inner); err != nil {
 		return err
 	}
 	stats.Levels = append(stats.Levels, subStats.Levels...)

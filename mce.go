@@ -26,7 +26,9 @@
 package mce
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"mce/internal/cluster"
 	"mce/internal/core"
@@ -84,6 +86,7 @@ type config struct {
 	core    core.Options
 	workers []string
 	cliOpts cluster.ClientOptions
+	report  func(DialReport)
 }
 
 // Option customises Enumerate.
@@ -216,6 +219,63 @@ func WithWorkerStreams(n int) Option {
 	}
 }
 
+// WithTaskTimeout bounds each distributed task round trip: a worker that
+// does not answer within d is retired and its block requeued elsewhere, so
+// a hung worker cannot stall the run. The default (without this option)
+// derives a generous envelope from the block size; a negative d disables
+// deadlines entirely.
+func WithTaskTimeout(d time.Duration) Option {
+	return func(c *config) error {
+		if d == 0 {
+			return fmt.Errorf("mce: task timeout 0 is ambiguous (omit the option for the derived default, pass negative to disable)")
+		}
+		c.cliOpts.TaskTimeout = d
+		return nil
+	}
+}
+
+// WithTaskRetries sets the per-block transport-failure budget: a block
+// whose round trip fails on k distinct worker connections is declared a
+// poison task and the run fails deterministically with diagnostics
+// (cluster.PoisonTaskError) instead of cascading through the cluster.
+// The default is 3; negative means unlimited retries.
+func WithTaskRetries(k int) Option {
+	return func(c *config) error {
+		if k == 0 {
+			return fmt.Errorf("mce: task retries 0 is ambiguous (omit the option for the default of 3, pass negative for unlimited)")
+		}
+		c.cliOpts.TaskRetries = k
+		return nil
+	}
+}
+
+// WithAutoReconnect re-dials dead workers in the background with
+// exponential backoff and jitter, so capacity lost to a worker restart
+// returns on its own — even to a batch already in flight.
+func WithAutoReconnect() Option {
+	return func(c *config) error {
+		c.cliOpts.AutoReconnect = true
+		return nil
+	}
+}
+
+// DialReport describes how the worker dial went; see cluster.DialReport.
+type DialReport = cluster.DialReport
+
+// WithWorkerReport invokes fn with the dial report once the worker
+// connections are up, letting callers surface a degraded start (some
+// workers unreachable) instead of discovering the missing capacity from a
+// slow run.
+func WithWorkerReport(fn func(DialReport)) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("mce: WithWorkerReport needs a callback")
+		}
+		c.report = fn
+		return nil
+	}
+}
+
 // ParseCombo resolves algorithm and structure names to an internal combo.
 func ParseCombo(algorithm, structure string) (mcealg.Combo, error) {
 	var combo mcealg.Combo
@@ -246,21 +306,43 @@ func ParseCombo(algorithm, structure string) (mcealg.Combo, error) {
 
 // Enumerate returns every maximal clique of g.
 func Enumerate(g *Graph, opts ...Option) (*Result, error) {
+	return EnumerateContext(context.Background(), g, opts...)
+}
+
+// EnumerateContext is Enumerate with cancellation: cancelling ctx stops
+// the run between recursion levels and cancels block batches already in
+// flight, locally and on remote workers.
+func EnumerateContext(ctx context.Context, g *Graph, opts ...Option) (*Result, error) {
+	cfg, client, err := setup(opts)
+	if err != nil {
+		return nil, err
+	}
+	if client != nil {
+		defer client.Close()
+	}
+	return core.FindMaxCliquesContext(ctx, g, cfg.core)
+}
+
+// setup resolves the options and dials workers when requested.
+func setup(opts []Option) (*config, *cluster.Client, error) {
 	var cfg config
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	if len(cfg.workers) > 0 {
-		client, err := cluster.Dial(cfg.workers, cfg.cliOpts)
-		if err != nil {
-			return nil, err
-		}
-		defer client.Close()
-		cfg.core.Executor = client
+	if len(cfg.workers) == 0 {
+		return &cfg, nil, nil
 	}
-	return core.FindMaxCliques(g, cfg.core)
+	client, err := cluster.Dial(cfg.workers, cfg.cliOpts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.report != nil {
+		cfg.report(client.DialReport())
+	}
+	cfg.core.Executor = client
+	return &cfg, client, nil
 }
 
 // CountMaxCliques returns only the number of maximal cliques, streaming
@@ -277,21 +359,20 @@ func CountMaxCliques(g *Graph, opts ...Option) (int, error) {
 // it was found at. Use it when the clique family may not fit in memory.
 // Order and content match Enumerate exactly.
 func EnumerateStream(g *Graph, emit func(clique []int32, hubLevel int), opts ...Option) (*Stats, error) {
-	var cfg config
-	for _, opt := range opts {
-		if err := opt(&cfg); err != nil {
-			return nil, err
-		}
+	return EnumerateStreamContext(context.Background(), g, emit, opts...)
+}
+
+// EnumerateStreamContext is EnumerateStream with cancellation, mirroring
+// EnumerateContext.
+func EnumerateStreamContext(ctx context.Context, g *Graph, emit func(clique []int32, hubLevel int), opts ...Option) (*Stats, error) {
+	cfg, client, err := setup(opts)
+	if err != nil {
+		return nil, err
 	}
-	if len(cfg.workers) > 0 {
-		client, err := cluster.Dial(cfg.workers, cfg.cliOpts)
-		if err != nil {
-			return nil, err
-		}
+	if client != nil {
 		defer client.Close()
-		cfg.core.Executor = client
 	}
-	return core.Stream(g, cfg.core, emit)
+	return core.StreamContext(ctx, g, cfg.core, emit)
 }
 
 // StartLocalWorkers launches n block-analysis workers on ephemeral

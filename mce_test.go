@@ -1,10 +1,13 @@
 package mce
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func key(c []int32) string {
@@ -265,5 +268,67 @@ func TestCountMaxCliques(t *testing.T) {
 	}
 	if _, err := CountMaxCliques(g, WithBlockRatio(5)); err == nil {
 		t.Fatal("bad option accepted")
+	}
+}
+
+func TestFaultToleranceOptionValidation(t *testing.T) {
+	g := FromEdges(2, []Edge{{U: 0, V: 1}})
+	bad := []Option{
+		WithTaskTimeout(0),  // ambiguous: derived default vs disabled
+		WithTaskRetries(0),  // ambiguous: default budget vs unlimited
+		WithWorkerReport(nil),
+	}
+	for i, opt := range bad {
+		if _, err := Enumerate(g, opt); err == nil {
+			t.Errorf("bad fault-tolerance option %d accepted", i)
+		}
+	}
+}
+
+func TestEnumerateDistributedWithFaultOptions(t *testing.T) {
+	addrs, stop, err := StartLocalWorkers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	g := GenerateSocialNetwork(250, 4, 0.6, 51)
+	local, err := Enumerate(g, WithBlockRatio(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report *DialReport
+	dist, err := Enumerate(g,
+		WithBlockRatio(0.5),
+		WithWorkers(addrs...),
+		WithTaskTimeout(30*time.Second),
+		WithTaskRetries(5),
+		WithAutoReconnect(),
+		WithWorkerReport(func(r DialReport) { report = &r }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dist.Cliques) != len(local.Cliques) {
+		t.Fatalf("fault-tolerant run found %d cliques, want %d", len(dist.Cliques), len(local.Cliques))
+	}
+	if report == nil {
+		t.Fatal("WithWorkerReport callback never invoked")
+	}
+	if report.Degraded() || report.Connected != 2 || len(report.Addrs) != 2 {
+		t.Fatalf("report = %+v, want clean 2-worker start", *report)
+	}
+}
+
+func TestEnumerateContextCancelled(t *testing.T) {
+	g := GenerateSocialNetwork(200, 4, 0.6, 53)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EnumerateContext(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EnumerateContext err = %v, want context.Canceled", err)
+	}
+	_, err := EnumerateStreamContext(ctx, g, func([]int32, int) {})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("EnumerateStreamContext err = %v, want context.Canceled", err)
 	}
 }
