@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet lint race vulncheck fuzz-smoke check bench
 
 all: check
 
@@ -13,12 +13,34 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The cluster runtime is the concurrency hot spot: run it (and the engine
-# that drives it) under the race detector on every check.
-race:
-	$(GO) test -race -count=1 ./internal/cluster/... ./internal/core/...
+# Repo-specific invariants (context plumbing, lock balance, sorted adjacency,
+# goroutine leaks, gob wire safety). See DESIGN.md §9 and `go run ./cmd/mcevet -list`.
+lint: vet
+	$(GO) run ./cmd/mcevet ./...
 
-check: build vet test race
+# The whole tree runs under the race detector: the cluster runtime and the
+# engine are the hot spots, but satellite packages spawn goroutines too.
+race:
+	$(GO) test -race -count=1 ./...
+
+# Known-vulnerability scan, best effort: the tool or the vuln DB may be
+# unavailable in offline/sandboxed builds, which must not fail the gate.
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || echo "vulncheck: govulncheck failed (offline vuln DB or findings above); not failing the build"; \
+	else \
+		echo "vulncheck: govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+# Short pass over each fuzz target (go test -fuzz accepts one target at a
+# time, so they are spelled out).
+fuzz-smoke:
+	$(GO) test -run=Fuzz -fuzz=FuzzReader -fuzztime=10s ./internal/cliqstore
+	$(GO) test -run=Fuzz -fuzz=FuzzReadEdgeList -fuzztime=10s ./internal/gio
+	$(GO) test -run=Fuzz -fuzz=FuzzReadTriples -fuzztime=10s ./internal/gio
+	$(GO) test -run=Fuzz -fuzz=FuzzLoadBoundedAgreesWithLoad -fuzztime=10s ./internal/gio
+
+check: build lint test race vulncheck
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

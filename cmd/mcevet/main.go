@@ -1,0 +1,126 @@
+// Command mcevet runs the repo's custom static-analysis suite
+// (internal/lint) over Go packages and reports every invariant violation.
+//
+// Usage:
+//
+//	mcevet [-list] [-run name,name] [-json] [packages...]
+//
+// With no package patterns, ./... is analyzed relative to the current
+// directory. The exit status is 1 when any diagnostic is reported and 2 on
+// analysis failure, mirroring go vet.
+//
+// The suite is also meant as a merge gate: `make lint` (and `make check`)
+// run `mcevet ./...` next to `go vet`. The driver is standalone rather than
+// a `go vet -vettool` plugin because the vettool protocol lives in
+// golang.org/x/tools/go/analysis/unitchecker, which the offline build cannot
+// depend on; the analyzers themselves follow the analysis.Analyzer shape, so
+// migrating to the real driver is mechanical when the dependency becomes
+// available.
+//
+// Findings are suppressed line-by-line with
+//
+//	//lint:ignore <analyzer>[,<analyzer>] <justification>
+//
+// placed on, or directly above, the offending line. A directive without a
+// justification is itself reported.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mce/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mcevet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		runNames = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		asJSON   = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		chdir    = fs.String("C", ".", "resolve package patterns relative to this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *runNames != "" {
+		byName := make(map[string]*lint.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*runNames, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "mcevet: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.Load(*chdir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcevet: %v\n", err)
+		return 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcevet: %v\n", err)
+		return 2
+	}
+
+	if *asJSON {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "mcevet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(stderr, "mcevet: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module so the driver can
+// be exercised end to end (go list + type-check + analyze) without touching
+// the real tree.
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":  "module mcevetfixture\n\ngo 1.22\n",
+		"main.go": src,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+	}
+	return dir
+}
+
+func TestListExitsZero(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	for _, name := range []string{"ctxplumb", "lockbalance", "sortedadj", "goroutineleak", "wiretypes"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output is missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-run", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("run(-run nope) = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr does not explain the failure: %s", errb.String())
+	}
+}
+
+// TestSeededViolationFailsTheGate is the acceptance check for the merge
+// gate: a tree with a planted invariant violation must make the driver exit
+// non-zero and name the analyzer.
+func TestSeededViolationFailsTheGate(t *testing.T) {
+	dir := writeModule(t, `package main
+
+import "time"
+
+// Nap blocks with no Context variant: a ctxplumb violation.
+func Nap() {
+	time.Sleep(time.Millisecond)
+}
+
+func main() {}
+`)
+	var out, errb strings.Builder
+	code := run([]string{"-C", dir, "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run on seeded violation = %d, want 1 (stdout: %s, stderr: %s)", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "ctxplumb") || !strings.Contains(out.String(), "NapContext") {
+		t.Errorf("diagnostic does not name the analyzer and the missing variant:\n%s", out.String())
+	}
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	dir := writeModule(t, `package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("clean")
+}
+`)
+	var out, errb strings.Builder
+	if code := run([]string{"-C", dir, "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("run on clean module = %d, want 0 (stdout: %s, stderr: %s)", code, out.String(), errb.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := writeModule(t, `package main
+
+import "time"
+
+func Nap() {
+	time.Sleep(time.Millisecond)
+}
+
+func main() {}
+`)
+	var out, errb strings.Builder
+	if code := run([]string{"-C", dir, "-json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("run -json = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, `"analyzer": "ctxplumb"`) || !strings.Contains(s, `"line"`) {
+		t.Errorf("JSON output missing expected fields:\n%s", s)
+	}
+}

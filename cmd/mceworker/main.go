@@ -41,9 +41,11 @@ func main() {
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	drained := make(chan struct{})
+	//lint:ignore goroutineleak the signal handler lives for the whole process by design; it exits with main
 	go func() {
 		s := <-sig
 		fmt.Printf("mceworker: %v received, draining in-flight tasks (repeat to force exit)\n", s)
+		//lint:ignore goroutineleak the force-exit watcher lives until os.Exit; that is its entire job
 		go func() {
 			s := <-sig
 			fmt.Fprintf(os.Stderr, "mceworker: %v received again, forcing exit\n", s)

@@ -173,6 +173,15 @@ func (c *Client) DialReport() DialReport {
 // With AutoReconnect, unreachable addresses are remembered and adopted by
 // the background reconnect loop as soon as their workers come up.
 func Dial(addrs []string, opts ClientOptions) (*Client, error) {
+	return DialContext(context.Background(), addrs, opts)
+}
+
+// DialContext is Dial with cancellation: cancelling ctx abandons the
+// remaining connection attempts (each individual attempt is still bounded
+// by DialTimeout, and a ctx deadline earlier than the dial budget tightens
+// the handshake deadline too). The context governs dialling only, not the
+// returned client's lifetime — background reconnects use their own budget.
+func DialContext(ctx context.Context, addrs []string, opts ClientOptions) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("cluster: no worker addresses")
 	}
@@ -202,7 +211,10 @@ func Dial(addrs []string, opts ClientOptions) (*Client, error) {
 	var dialErrs []error
 	for _, addr := range addrs {
 		for i := 0; i < conns; i++ {
-			wc, err := dialWorker(addr, opts.DialTimeout, opts.Compress)
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("cluster: dial cancelled: %w", err)
+			}
+			wc, err := dialWorkerContext(ctx, addr, opts.DialTimeout, opts.Compress)
 			if err != nil {
 				dialErrs = append(dialErrs, err)
 				c.report.Failures = append(c.report.Failures, DialFailure{Addr: addr, Err: err})
@@ -232,13 +244,23 @@ func Dial(addrs []string, opts ClientOptions) (*Client, error) {
 }
 
 func dialWorker(addr string, timeout time.Duration, compress bool) (*workerConn, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return dialWorkerContext(context.Background(), addr, timeout, compress)
+}
+
+func dialWorkerContext(ctx context.Context, addr string, timeout time.Duration, compress bool) (*workerConn, error) {
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 	}
-	// The handshake shares the dial budget, so a worker that accepts but
-	// never answers cannot stall Dial forever.
-	conn.SetDeadline(time.Now().Add(timeout))
+	// The handshake shares the dial budget (tightened by an earlier ctx
+	// deadline), so a worker that accepts but never answers cannot stall
+	// Dial forever.
+	deadline := time.Now().Add(timeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(deadline) {
+		deadline = cd
+	}
+	conn.SetDeadline(deadline)
 	defer conn.SetDeadline(time.Time{})
 	wc := &workerConn{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
 	if err := wc.enc.Encode(hello{Version: protocolVersion, Compress: compress}); err != nil {

@@ -73,3 +73,34 @@ func TestContextExecutorPreferred(t *testing.T) {
 		t.Fatal("ContextExecutor implementation was never used")
 	}
 }
+
+// TestAnalyzeBlocksDelegatesToContext pins the non-ctx → ctx delegation:
+// AnalyzeBlocks must be exactly AnalyzeBlocksContext(Background), so both
+// return the same clique family for the same block list.
+func TestAnalyzeBlocksDelegatesToContext(t *testing.T) {
+	g := gen.HolmeKim(120, 4, 0.6, 47)
+	feasible, _ := decomp.Cut(g, g.MaxDegree()+1)
+	blocks := decomp.Blocks(g, feasible, g.MaxDegree()+1, decomp.Options{})
+	combos := make([]mcealg.Combo, len(blocks))
+	for i := range combos {
+		combos[i] = mcealg.Combo{Alg: mcealg.Tomita, Struct: mcealg.BitSets}
+	}
+	exec := &LocalExecutor{}
+	plain, err := exec.AnalyzeBlocks(blocks, combos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxed, err := exec.AnalyzeBlocksContext(context.Background(), blocks, combos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != len(ctxed) {
+		t.Fatalf("AnalyzeBlocks returned %d block results, AnalyzeBlocksContext %d", len(plain), len(ctxed))
+	}
+	for i := range plain {
+		if len(plain[i]) != len(ctxed[i]) {
+			t.Fatalf("block %d: %d cliques without context, %d with background context",
+				i, len(plain[i]), len(ctxed[i]))
+		}
+	}
+}

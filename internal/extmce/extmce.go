@@ -305,19 +305,22 @@ func analyzeChunks(dg *diskgraph.Graph, chunks [][]int32, base int, kernelChunk 
 	}
 
 	loaded := make(chan loadedBlock, prefetch)
+	done := make(chan struct{})
+	defer close(done)
 	go func() {
 		defer close(loaded)
 		for ci := range chunks {
-			loaded <- load(ci)
+			select {
+			case loaded <- load(ci):
+			case <-done:
+				// The consumer bailed (analysis error): stop loading so the
+				// goroutine exits instead of blocking on a full channel.
+				return
+			}
 		}
 	}()
 	for lb := range loaded {
 		if err := analyze(lb); err != nil {
-			// Drain the loader so its goroutine exits.
-			go func() {
-				for range loaded {
-				}
-			}()
 			return err
 		}
 	}

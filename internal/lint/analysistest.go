@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+)
+
+// This file is the suite's analysistest stand-in: fixtures under testdata
+// carry `// want "regexp"` annotations on the lines an analyzer must flag,
+// and ExpectDiagnostics verifies the analyzer's findings against them — both
+// directions: every want must be matched and every finding must be wanted.
+// lint:ignore directives are honoured exactly as in production, so fixtures
+// can also pin the suppression behaviour.
+
+// TB is the subset of *testing.T the harness needs, kept as an interface so
+// this file stays outside the _test build and the cmd/mcevet driver can
+// reuse RunFixture for self-checks.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var wantArgRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// expectation is one want annotation: a regexp the diagnostic message on
+// that line must match.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts the annotations of one fixture package from its
+// comments.
+func parseWants(pkg *Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRE.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					return nil, fmt.Errorf("%s: malformed want comment %q (need a quoted or backquoted pattern)", pos, c.Text)
+				}
+				for _, a := range args {
+					pat := a[1]
+					if a[2] != "" {
+						pat = a[2]
+					} else {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// RunFixture loads the given fixture files (paths relative to the package's
+// testdata directory) as one package, runs the analyzer, and checks the
+// diagnostics against the // want annotations.
+func RunFixture(t TB, a *Analyzer, fixtures ...string) {
+	t.Helper()
+	moduleDir := moduleRoot()
+	paths := make([]string, len(fixtures))
+	for i, fx := range fixtures {
+		paths[i] = filepath.Join(moduleDir, "internal", "lint", "testdata", fx)
+	}
+	pkg, err := LoadFiles(moduleDir, paths...)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", fixtures, err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	wants, err := parseWants(pkg)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic:\n  %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// moduleRoot locates the repository root from this source file's location,
+// so tests work regardless of the package the harness is invoked from.
+func moduleRoot() string {
+	_, file, _, _ := runtime.Caller(0)
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}

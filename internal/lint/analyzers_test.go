@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnalyzersOnFixtures drives every analyzer over its annotated fixtures:
+// each case has at least one flagged and one clean file, and the // want
+// annotations are checked in both directions (missing and unexpected
+// findings both fail). Fixture sets in separate sublists are loaded as
+// separate packages — wiretypes needs that, because gob.Register in the
+// clean fixture would exempt the flagged one's interface field.
+func TestAnalyzersOnFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		loads    [][]string
+	}{
+		{CtxPlumb, [][]string{{"ctxplumb/flagged.go", "ctxplumb/clean.go"}}},
+		{LockBalance, [][]string{{"lockbalance/flagged.go", "lockbalance/clean.go"}}},
+		{SortedAdj, [][]string{{"sortedadj/flagged.go", "sortedadj/clean.go"}}},
+		{GoroutineLeak, [][]string{{"goroutineleak/flagged.go", "goroutineleak/clean.go"}}},
+		{WireTypes, [][]string{{"wiretypes/flagged.go"}, {"wiretypes/clean.go"}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.analyzer.Name, func(t *testing.T) {
+			t.Parallel()
+			for _, files := range tc.loads {
+				RunFixture(t, tc.analyzer, files...)
+			}
+		})
+	}
+}
+
+// TestSuiteIsComplete pins the advertised analyzer set: the Makefile gate
+// and the docs both promise these five.
+func TestSuiteIsComplete(t *testing.T) {
+	want := []string{"ctxplumb", "lockbalance", "sortedadj", "goroutineleak", "wiretypes"}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing Doc or Run", a.Name)
+		}
+	}
+}
+
+// TestSelfClean runs the full suite over the repo itself: the tree must stay
+// green, because make check gates merges on exactly this invocation.
+func TestSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	pkgs, err := Load(moduleRoot(), "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := RunAnalyzers(pkgs, Analyzers())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("\n  " + d.String())
+		}
+		t.Errorf("the tree has %d unfixed finding(s); fix them or add a justified lint:ignore:%s", len(diags), b.String())
+	}
+}

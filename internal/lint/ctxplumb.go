@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPlumb enforces the cancellation contract introduced in PR 1: every
+// exported function that blocks — dials or listens on the network, sleeps,
+// or spawns goroutines — must come as a ctx/non-ctx pair, with the non-ctx
+// form a one-line delegation to the Context variant (as Enumerate delegates
+// to EnumerateContext). Blocking work implemented only behind a non-ctx
+// entry point is uncancellable, and an uncancellable distributed run is
+// exactly the hung-cluster failure mode the PR 1 deadlines exist to rule
+// out.
+var CtxPlumb = &Analyzer{
+	Name: "ctxplumb",
+	Doc: "exported functions that dial, sleep or spawn goroutines must have a " +
+		"Context variant and delegate to it",
+	Run: runCtxPlumb,
+}
+
+func runCtxPlumb(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// Index every declared function by receiver-qualified name, so the
+	// sibling lookup sees methods of the same type only.
+	decls := make(map[string]*ast.FuncDecl)
+	key := func(d *ast.FuncDecl) string {
+		return recvTypeName(info, d) + "." + d.Name.Name
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				decls[key(fd)] = fd
+			}
+		}
+	}
+
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Context") {
+				continue
+			}
+			obj, ok := info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := obj.Type().(*types.Signature)
+			if hasCtxParam(sig) {
+				continue
+			}
+			what := blockingOp(info, fd.Body)
+			if what == "" {
+				continue
+			}
+
+			want := fd.Name.Name + "Context"
+			sibling, ok := decls[recvTypeName(info, fd)+"."+want]
+			if !ok {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s %s but has no %s variant taking a context.Context",
+					fd.Name.Name, what, want)
+				continue
+			}
+			sobj, _ := info.Defs[sibling.Name].(*types.Func)
+			if sobj == nil || !hasCtxParam(sobj.Type().(*types.Signature)) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s %s but %s does not take a context.Context",
+					fd.Name.Name, what, want)
+				continue
+			}
+			if !delegatesTo(info, fd, sobj) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported %s %s but does not delegate to %s(context.Background(), ...)",
+					fd.Name.Name, what, want)
+			}
+		}
+	}
+	return nil
+}
+
+// blockingOp scans a function body for the operations that make an API
+// blocking in the sense the contract cares about, and names the first one
+// found ("" when clean). Nested function literals are included: a go
+// statement or dial inside a closure still runs on the caller's behalf.
+func blockingOp(info *types.Info, body *ast.BlockStmt) string {
+	found := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			found = "spawns goroutines"
+			return false
+		case *ast.CallExpr:
+			for _, c := range []struct{ pkg, fn, what string }{
+				{"net", "Dial", "dials"},
+				{"net", "DialTimeout", "dials"},
+				{"net", "DialUDP", "dials"},
+				{"net", "DialTCP", "dials"},
+				{"net", "Listen", "listens"},
+				{"net", "ListenTCP", "listens"},
+				{"net", "ListenPacket", "listens"},
+				{"time", "Sleep", "sleeps"},
+			} {
+				if isPkgFunc(info, n, c.pkg, c.fn) {
+					found = c.what
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// delegatesTo reports whether the function body is a single statement that
+// calls target with context.Background() or context.TODO() as the context
+// argument.
+func delegatesTo(info *types.Info, fd *ast.FuncDecl, target *types.Func) bool {
+	if len(fd.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch s := fd.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		call, _ = ast.Unparen(s.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+	}
+	if call == nil || calleeOf(info, call) != target {
+		return false
+	}
+	for _, arg := range call.Args {
+		if c, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+			if isPkgFunc(info, c, "context", "Background") || isPkgFunc(info, c, "context", "TODO") {
+				return true
+			}
+		}
+	}
+	return false
+}

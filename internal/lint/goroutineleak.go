@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLeak flags goroutine literals that pump channels with no way to
+// stop. A `go func` literal that sends to or receives from a channel
+// captured from the enclosing scope blocks forever once its peer stops
+// participating — the classic leak that accumulates across Enumerate calls
+// in a long-lived server. The literal passes when it carries any of the
+// accepted cancellation mechanisms:
+//
+//   - a select with a case receiving from a context's Done() channel,
+//   - a select with a case receiving from a done-style channel (element
+//     type struct{}) or with a default (non-blocking),
+//   - ranging over a captured channel (terminates when the producer closes),
+//   - a direct receive from a struct{}-element channel (a blocking wait for
+//     a done signal is itself the termination path).
+//
+// Channel operations inside defer statements are exempt: they run at
+// goroutine exit (semaphore releases, wg tokens), after the lifetime this
+// analyzer reasons about.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc: "a go func literal that sends/receives on captured channels must " +
+		"select on a ctx or done channel, or range over a closable channel",
+	Run: runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			captured := capturedChannelOps(info, lit)
+			if len(captured) == 0 {
+				return true
+			}
+			if hasCancellationPath(info, lit) {
+				return true
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine blocks on captured channel %s with no cancellation path (no ctx.Done/done-channel select, no range over a closable channel)",
+				strings.Join(captured, ", "))
+			return true
+		})
+	}
+	return nil
+}
+
+// capturedChannelOps lists (by name) the captured channels the literal
+// blocks on outside defer statements.
+func capturedChannelOps(info *types.Info, lit *ast.FuncLit) []string {
+	isCaptured := func(e ast.Expr) (*types.Var, bool) {
+		v := usedVar(info, e)
+		if v == nil || !isChanType(v.Type()) {
+			return nil, false
+		}
+		// Captured: declared outside the literal's extent. Parameters and
+		// locals of the literal are its own lifetime to manage.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return nil, false
+		}
+		return v, true
+	}
+	seen := make(map[*types.Var]bool)
+	var names []string
+	add := func(v *types.Var) {
+		if !seen[v] {
+			seen[v] = true
+			names = append(names, v.Name())
+		}
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				return false // exit-time cleanup, out of scope
+			case *ast.SendStmt:
+				if v, ok := isCaptured(m.Chan); ok {
+					add(v)
+				}
+			case *ast.UnaryExpr:
+				if m.Op.String() == "<-" {
+					if v, ok := isCaptured(m.X); ok {
+						// A bare receive from a struct{} channel is a wait
+						// for a done signal, not a pump — the accepted
+						// termination idiom, never a finding.
+						if !isDoneChan(v.Type()) {
+							add(v)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(lit.Body)
+	return names
+}
+
+// isDoneChan reports whether t is a channel of struct{} (the done-channel
+// convention).
+func isDoneChan(t types.Type) bool {
+	ch, ok := types.Unalias(t).Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// hasCancellationPath reports whether the literal body contains any accepted
+// termination mechanism.
+func hasCancellationPath(info *types.Info, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok && isChanType(tv.Type) {
+				found = true // terminates when the channel is closed
+				return false
+			}
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				comm, ok := cl.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if comm.Comm == nil {
+					found = true // default case: non-blocking
+					return false
+				}
+				if recvChan := commRecvChan(comm.Comm); recvChan != nil {
+					if isDoneCall(info, recvChan) {
+						found = true
+						return false
+					}
+					if tv, ok := info.Types[recvChan]; ok && isDoneChan(tv.Type) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				if isDoneCall(info, n.X) {
+					found = true
+					return false
+				}
+				if tv, ok := info.Types[n.X]; ok && isDoneChan(tv.Type) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// commRecvChan extracts the channel expression of a receive comm clause.
+func commRecvChan(s ast.Stmt) ast.Expr {
+	var rhs ast.Expr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		rhs = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+	}
+	u, ok := ast.Unparen(rhs).(*ast.UnaryExpr)
+	if !ok || u.Op.String() != "<-" {
+		return nil
+	}
+	return u.X
+}
+
+// isDoneCall reports whether e is a call of a method named Done returning a
+// receive-only channel — context.Context.Done and look-alikes.
+func isDoneCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Name() != "Done" {
+		return false
+	}
+	if tv, ok := info.Types[call]; ok {
+		return isChanType(tv.Type)
+	}
+	return false
+}

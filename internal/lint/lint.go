@@ -1,0 +1,187 @@
+// Package lint is a repo-specific static-analysis suite: a small, dependency
+// free re-implementation of the golang.org/x/tools/go/analysis model (the
+// builder has no network, so the real module cannot be vendored) plus five
+// analyzers that machine-check invariants the engine's correctness argument
+// leans on:
+//
+//   - ctxplumb: exported blocking APIs must come in ctx/non-ctx pairs with
+//     the non-ctx form delegating (the PR 1 cancellation contract);
+//   - lockbalance: every manual mu.Lock() must be released on every return
+//     path (the cluster/core mutex discipline);
+//   - sortedadj: adjacency slices returned by graph.Neighbors are read-only
+//     outside internal/graph (the binary-search sortedness invariant behind
+//     HasEdge, hence behind Lemma 1 and Theorem 1);
+//   - goroutineleak: goroutine literals that pump captured channels must
+//     carry a cancellation path (ctx.Done, a done channel, or channel close);
+//   - wiretypes: structs crossing the gob wire protocol must survive the
+//     round trip losslessly (no silently-dropped or unencodable fields).
+//
+// The suite runs via cmd/mcevet (standalone driver, `make lint`) and in the
+// analyzers' own analysistest-style fixture tests.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, mirroring analysis.Analyzer: Run inspects a
+// single package through its Pass and reports findings.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and lint:ignore
+	// directives; it is a lowercase single word.
+	Name string
+	// Doc is a one-paragraph description: the invariant protected and why
+	// the repo cares.
+	Doc string
+	// Run performs the check. It reports findings through the Pass and
+	// returns an error only for analysis failures, never for findings.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package, mirroring analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{CtxPlumb, LockBalance, SortedAdj, GoroutineLeak, WireTypes}
+}
+
+// ignoreDirective is a parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers []string // names, or ["*"]
+	line      int      // the line the directive suppresses (its own or next)
+	file      string
+	justified bool
+	pos       token.Pos
+}
+
+var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
+
+// parseIgnores extracts every lint:ignore directive of a file. A directive
+// suppresses matching diagnostics on its own line (trailing comment) or on
+// the first following non-comment line (preceding comment). The analyzer
+// list is comma-separated; "*" matches all. A directive must carry a
+// justification — the why is the point — or it is itself reported.
+func parseIgnores(pkg *Package, f *ast.File) []ignoreDirective {
+	fset := pkg.Fset
+	var out []ignoreDirective
+	for _, cg := range f.Comments {
+		for i, c := range cg.List {
+			m := ignoreRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			// The suppressed line: the last comment line of the group maps
+			// to the next source line; earlier lines and trailing comments
+			// map to their own line. Covering both the directive's line and
+			// the next handles every placement without position bookkeeping.
+			line := pos.Line
+			if i == len(cg.List)-1 {
+				line = fset.Position(cg.End()).Line
+			}
+			out = append(out, ignoreDirective{
+				analyzers: strings.Split(m[1], ","),
+				line:      line,
+				file:      pos.Filename,
+				justified: strings.TrimSpace(m[2]) != "",
+				pos:       c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+func (d *ignoreDirective) matches(diag Diagnostic) bool {
+	if diag.Pos.Filename != d.file || (diag.Pos.Line != d.line && diag.Pos.Line != d.line+1) {
+		return false
+	}
+	for _, name := range d.analyzers {
+		if name == "*" || name == diag.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// RunAnalyzers applies the analyzers to every package, filters findings
+// through the lint:ignore directives, and returns the remainder sorted by
+// position. Unjustified directives are reported as findings themselves, so
+// an ignore can never silently rot into a blanket waiver.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var ignores []ignoreDirective
+		for _, f := range pkg.Files {
+			ignores = append(ignores, parseIgnores(pkg, f)...)
+		}
+		for _, d := range ignores {
+			if !d.justified {
+				diags = append(diags, Diagnostic{
+					Analyzer: "lint",
+					Pos:      pkg.Fset.Position(d.pos),
+					Message:  "lint:ignore directive needs a justification after the analyzer name",
+				})
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		next:
+			for _, diag := range pass.diags {
+				for _, d := range ignores {
+					if d.justified && d.matches(diag) {
+						continue next
+					}
+				}
+				diags = append(diags, diag)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked Go package, the unit handed to analyzers.
+type Package struct {
+	// PkgPath is the import path ("mce/internal/cluster").
+	PkgPath string
+	// Dir is the directory holding the sources.
+	Dir string
+	// Fset positions every file of the load; shared across packages of one
+	// Load call so diagnostics from different packages sort together.
+	Fset  *token.FileSet
+	Files []*ast.File
+	// Types and Info carry the go/types results; analyzers rely on both.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// exportLookup resolves import paths to gc export data by shelling out to
+// `go list -export`. The toolchain writes export data into the build cache,
+// so the lookup works offline and needs no GOPATH layout — exactly what a
+// vendorless module on an air-gapped builder needs. Results are cached per
+// importer, and the underlying gc importer additionally caches decoded
+// packages, so each dependency costs one subprocess per process.
+type exportLookup struct {
+	dir string
+
+	mu    sync.Mutex
+	files map[string]string
+}
+
+func (l *exportLookup) lookup(path string) (io.ReadCloser, error) {
+	l.mu.Lock()
+	file, ok := l.files[path]
+	l.mu.Unlock()
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		cmd.Dir = l.dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("lint: export data for %s: %v (%s)", path, err, strings.TrimSpace(stderr.String()))
+		}
+		file = strings.TrimSpace(string(out))
+		if file == "" {
+			return nil, fmt.Errorf("lint: no export data for %s (does it build?)", path)
+		}
+		l.mu.Lock()
+		l.files[path] = file
+		l.mu.Unlock()
+	}
+	return os.Open(file)
+}
+
+// newImporter returns a types.Importer that resolves every import — stdlib
+// and module-internal alike — through the build cache's export data. dir must
+// be inside the module so `go list` sees the right go.mod.
+func newImporter(dir string, fset *token.FileSet) types.Importer {
+	l := &exportLookup{dir: dir, files: make(map[string]string)}
+	return importer.ForCompiler(fset, "gc", l.lookup)
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists the patterns with the go tool and type-checks every matched
+// package (non-test files only, mirroring `go vet`'s default unit). dir is
+// the directory the patterns are resolved in, typically the module root.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v (%s)", strings.Join(patterns, " "), err, strings.TrimSpace(stderr.String()))
+	}
+	var listed []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		listed = append(listed, p)
+	}
+
+	fset := token.NewFileSet()
+	imp := newImporter(dir, fset)
+	var pkgs []*Package
+	for _, lp := range listed {
+		if lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		files := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			files[i] = filepath.Join(lp.Dir, f)
+		}
+		pkg, err := check(lp.ImportPath, lp.Dir, fset, imp, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// LoadFiles parses and type-checks an explicit file list as one package —
+// the fixture path used by the analyzer tests, whose sources live under
+// testdata where the go tool does not list them. moduleDir anchors import
+// resolution (fixtures import both stdlib and mce packages).
+func LoadFiles(moduleDir string, paths ...string) (*Package, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("lint: LoadFiles needs at least one file")
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(moduleDir, fset)
+	pkg, err := check("fixture", filepath.Dir(paths[0]), fset, imp, paths)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+// check parses files and runs the type checker, returning a ready Package.
+func check(pkgPath, dir string, fset *token.FileSet, imp types.Importer, paths []string) (*Package, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SortedAdj protects the adjacency-sortedness invariant. Graph.Neighbors
+// returns a slice aliasing the graph's backing storage, and every membership
+// test in the engine — graph.HasEdge's binary search, the Lemma 1 filter,
+// the block-growth adjacency counts — assumes that storage stays sorted and
+// deduplicated exactly as the Builder normalised it. A single in-place write
+// or re-sort outside internal/graph silently breaks HasEdge for unrelated
+// queries, which surfaces as dropped or duplicated cliques, not as a crash.
+// The analyzer therefore flags definite mutations (element assignment,
+// sort.*, slices.Sort*, append, copy-into, clear) of any variable bound to a
+// Neighbors result in every package except internal/graph itself, which owns
+// the invariant and normalises inside its constructors.
+var SortedAdj = &Analyzer{
+	Name: "sortedadj",
+	Doc: "slices returned by graph.Neighbors alias graph storage and must " +
+		"not be mutated outside internal/graph",
+	Run: runSortedAdj,
+}
+
+// graphPkgPath is the package that owns the adjacency storage.
+const graphPkgPath = "mce/internal/graph"
+
+func runSortedAdj(pass *Pass) error {
+	if pass.Pkg.Types.Path() == graphPkgPath {
+		return nil
+	}
+	info := pass.Pkg.Info
+
+	// Pass 1: find variables bound to Neighbors results. A variable that is
+	// also assigned from any other expression (typically an explicit copy)
+	// is dropped again — flow-insensitive, biased against false positives.
+	tainted := make(map[*types.Var]bool)
+	reassigned := make(map[*types.Var]bool)
+	note := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj, ok := info.Defs[id].(*types.Var)
+		if !ok {
+			obj, ok = info.Uses[id].(*types.Var)
+		}
+		if !ok || obj == nil {
+			return
+		}
+		if isNeighborsCall(info, rhs) {
+			tainted[obj] = true
+		} else {
+			reassigned[obj] = true
+		}
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						note(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						note(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	isAdj := func(e ast.Expr) bool {
+		if isNeighborsCall(info, e) {
+			return true // direct g.Neighbors(v)[i] = x / sort(g.Neighbors(v))
+		}
+		v := usedVar(info, e)
+		return v != nil && tainted[v] && !reassigned[v]
+	}
+
+	// Pass 2: flag definite mutations of adjacency-aliasing expressions.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok && isAdj(ix.X) {
+						pass.Reportf(lhs.Pos(),
+							"write into adjacency slice returned by graph.Neighbors (aliases graph storage; breaks the sorted invariant behind HasEdge)")
+					}
+				}
+			case *ast.IncDecStmt:
+				if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok && isAdj(ix.X) {
+					pass.Reportf(n.Pos(),
+						"write into adjacency slice returned by graph.Neighbors (aliases graph storage; breaks the sorted invariant behind HasEdge)")
+				}
+			case *ast.CallExpr:
+				if arg, verb := mutatingCall(info, n, isAdj); arg != nil {
+					pass.Reportf(arg.Pos(),
+						"%s of adjacency slice returned by graph.Neighbors (aliases graph storage; breaks the sorted invariant behind HasEdge)", verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isNeighborsCall reports whether e is a call to (*graph.Graph).Neighbors.
+func isNeighborsCall(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Name() != "Neighbors" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return isNamed(sig.Recv().Type(), graphPkgPath, "Graph")
+}
+
+// mutatingCall reports the adjacency argument a call would write through,
+// together with a verb for the diagnostic.
+func mutatingCall(info *types.Info, call *ast.CallExpr, isAdj func(ast.Expr) bool) (ast.Expr, string) {
+	if len(call.Args) == 0 {
+		return nil, ""
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				// append may write into the shared backing array when
+				// capacity allows; growing a neighbour list is never
+				// legitimate outside the builder anyway.
+				if isAdj(call.Args[0]) {
+					return call.Args[0], "append"
+				}
+			case "copy", "clear":
+				if isAdj(call.Args[0]) {
+					return call.Args[0], id.Name + " into"
+				}
+			}
+		}
+	}
+	for _, c := range []struct{ pkg, fn string }{
+		{"sort", "Slice"}, {"sort", "SliceStable"}, {"sort", "Sort"}, {"sort", "Ints"},
+		{"slices", "Sort"}, {"slices", "SortFunc"}, {"slices", "SortStableFunc"}, {"slices", "Reverse"},
+	} {
+		if isPkgFunc(info, call, c.pkg, c.fn) && isAdj(call.Args[0]) {
+			return call.Args[0], c.pkg + "." + c.fn
+		}
+	}
+	return nil, ""
+}

@@ -1,0 +1,41 @@
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// Wait delegates to WaitContext exactly as the contract demands.
+func Wait(d time.Duration) error {
+	return WaitContext(context.Background(), d)
+}
+
+// WaitContext carries the context, so it is exempt however it blocks.
+func WaitContext(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Run already takes a context (not even in first position): exempt.
+func Run(name string, ctx context.Context) {
+	_ = name
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// napQuietly is unexported; the contract covers the public API only.
+func napQuietly() {
+	time.Sleep(time.Millisecond)
+}
+
+// Describe never blocks, so it needs no variant.
+func Describe() string {
+	return "fixture"
+}

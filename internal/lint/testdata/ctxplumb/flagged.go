@@ -1,0 +1,47 @@
+package fixture
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// SleepyScan blocks but offers no Context variant at all.
+func SleepyScan() { // want `no SleepyScanContext variant`
+	time.Sleep(time.Millisecond)
+}
+
+// Probe has the sibling but duplicates the blocking logic instead of
+// delegating to it.
+func Probe(addr string) error { // want `does not delegate to ProbeContext`
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+// ProbeContext is the variant Probe should delegate to.
+func ProbeContext(ctx context.Context, addr string) error {
+	var d net.Dialer
+	c, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	return c.Close()
+}
+
+type Pool struct{ jobs chan int }
+
+// Start spawns workers; the sibling exists but takes no context.
+func (p *Pool) Start() { // want `StartContext does not take a context.Context`
+	go func() {
+		for range p.jobs {
+		}
+	}()
+}
+
+// StartContext is misnamed: no context parameter.
+func (p *Pool) StartContext(n int) {
+	_ = n
+}

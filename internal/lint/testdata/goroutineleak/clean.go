@@ -1,0 +1,74 @@
+package fixture
+
+import "context"
+
+// ProduceCtx stops when the context is cancelled.
+func ProduceCtx(ctx context.Context, items []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, it := range items {
+			select {
+			case out <- it:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// ProduceDone stops when the done channel closes.
+func ProduceDone(done chan struct{}, items []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, it := range items {
+			select {
+			case out <- it:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Consume terminates when the producer closes the channel.
+func Consume(in chan int, sink func(int)) {
+	go func() {
+		for v := range in {
+			sink(v)
+		}
+	}()
+}
+
+// TryPush is non-blocking: the select has a default.
+func TryPush(out chan int, v int) {
+	go func() {
+		select {
+		case out <- v:
+		default:
+		}
+	}()
+}
+
+// WaitThen blocks only on a done-style struct{} channel — the termination
+// idiom itself.
+func WaitThen(done chan struct{}, f func()) {
+	go func() {
+		<-done
+		f()
+	}()
+}
+
+// LocalOnly owns its channel: the goroutine's channel is declared inside.
+func LocalOnly(n int) {
+	go func() {
+		ch := make(chan int, n)
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+	}()
+}

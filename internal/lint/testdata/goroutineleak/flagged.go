@@ -1,0 +1,25 @@
+package fixture
+
+// Produce pumps results into a captured channel with no way to stop: if the
+// consumer returns early, the goroutine blocks on the send forever.
+func Produce(items []int) <-chan int {
+	out := make(chan int)
+	go func() { // want `goroutine blocks on captured channel out with no cancellation path`
+		for _, it := range items {
+			out <- it
+		}
+		close(out)
+	}()
+	return out
+}
+
+// Relay receives from one captured channel and sends on another, with no
+// cancellation on either side.
+func Relay(in chan int, out chan int) {
+	go func() { // want `goroutine blocks on captured channel in, out with no cancellation path`
+		for {
+			v := <-in
+			out <- v
+		}
+	}()
+}

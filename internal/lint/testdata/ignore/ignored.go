@@ -1,0 +1,15 @@
+package fixture
+
+import "time"
+
+// Blocked violates ctxplumb, but the justified directive suppresses it.
+//
+//lint:ignore ctxplumb fixture: demonstrates suppression of a real finding
+func Blocked() {
+	time.Sleep(time.Millisecond)
+}
+
+// Loud is the control: same violation, no directive.
+func Loud() { // want `no LoudContext variant`
+	time.Sleep(time.Millisecond)
+}

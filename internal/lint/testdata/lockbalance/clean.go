@@ -1,0 +1,61 @@
+package fixture
+
+import "sync"
+
+type Counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Add uses the canonical pairing.
+func (c *Counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+}
+
+// Get releases the manual lock on every path, early return included.
+func (c *Counter) Get(fast bool) int {
+	c.mu.Lock()
+	if fast {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	n := c.n * 2
+	c.mu.Unlock()
+	return n
+}
+
+// Peek balances a read lock through both select-free branches.
+func (c *Counter) Peek(which bool) int {
+	c.rw.RLock()
+	var n int
+	if which {
+		n = c.n
+	} else {
+		n = -c.n
+	}
+	c.rw.RUnlock()
+	return n
+}
+
+// Drain locks and unlocks inside each loop iteration.
+func (c *Counter) Drain(rounds int) {
+	for i := 0; i < rounds; i++ {
+		c.mu.Lock()
+		c.n--
+		c.mu.Unlock()
+	}
+}
+
+// Reset registers the deferred unlock later than the Lock, which still
+// covers every subsequent exit.
+func (c *Counter) Reset() int {
+	c.mu.Lock()
+	old := c.n
+	defer c.mu.Unlock()
+	c.n = 0
+	return old
+}

@@ -1,0 +1,38 @@
+package fixture
+
+import "sync"
+
+type Registry struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+}
+
+// Lookup leaks the lock on the early return.
+func (r *Registry) Lookup(key string) (int, bool) {
+	r.mu.Lock() // want `r\.mu\.Lock\(\) is not immediately deferred and is not released before this return`
+	v, ok := r.items[key]
+	if !ok {
+		return 0, false
+	}
+	r.mu.Unlock()
+	return v, true
+}
+
+// Bump never unlocks at all: the fall-through exit still holds the lock.
+func (r *Registry) Bump(key string) {
+	r.mu.Lock() // want `r\.mu\.Lock\(\) is not immediately deferred and is not released before function exit`
+	r.items[key]++
+}
+
+// Snapshot leaks the read lock on one branch of the switch.
+func (r *Registry) Snapshot(mode int) int {
+	r.rw.RLock() // want `r\.rw\.RLock\(\) is not immediately deferred and is not released before this return`
+	switch mode {
+	case 0:
+		r.rw.RUnlock()
+		return 0
+	default:
+		return len(r.items)
+	}
+}

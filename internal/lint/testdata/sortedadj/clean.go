@@ -1,0 +1,32 @@
+package fixture
+
+import (
+	"sort"
+
+	"mce/internal/graph"
+)
+
+// DegreeSum only reads the adjacency.
+func DegreeSum(g *graph.Graph, v int32) int {
+	total := 0
+	for _, w := range g.Neighbors(v) {
+		total += int(w)
+	}
+	return total
+}
+
+// SortedCopy copies first; mutating the copy is fine, including after the
+// variable initially aliased the storage.
+func SortedCopy(g *graph.Graph, v int32) []int32 {
+	adj := g.Neighbors(v)
+	adj = append([]int32(nil), adj...)
+	sort.Slice(adj, func(i, j int) bool { return adj[i] > adj[j] })
+	adj[0] = 0
+	return adj
+}
+
+// OtherSlices are untouched by the analyzer.
+func OtherSlices(xs []int32) {
+	xs[0] = 1
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

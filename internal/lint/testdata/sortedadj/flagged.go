@@ -1,0 +1,36 @@
+package fixture
+
+import (
+	"sort"
+
+	"mce/internal/graph"
+)
+
+// Relabel writes straight into the graph's adjacency storage.
+func Relabel(g *graph.Graph, v int32) {
+	adj := g.Neighbors(v)
+	adj[0] = 7 // want `write into adjacency slice`
+}
+
+// Reorder re-sorts the shared storage, breaking the binary-search order for
+// every other reader.
+func Reorder(g *graph.Graph, v int32) {
+	adj := g.Neighbors(v)
+	sort.Slice(adj, func(i, j int) bool { return adj[i] > adj[j] }) // want `sort.Slice of adjacency slice`
+}
+
+// Extend appends through the alias; with spare capacity this writes into
+// the next node's neighbour list.
+func Extend(g *graph.Graph, v, w int32) []int32 {
+	return append(g.Neighbors(v), w) // want `append of adjacency slice`
+}
+
+// Overwrite copies into the alias.
+func Overwrite(g *graph.Graph, v int32, src []int32) {
+	copy(g.Neighbors(v), src) // want `copy into of adjacency slice`
+}
+
+// Direct mutates without even naming a variable.
+func Direct(g *graph.Graph, v int32) {
+	g.Neighbors(v)[0]++ // want `write into adjacency slice`
+}

@@ -1,0 +1,54 @@
+package fixture
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strconv"
+)
+
+// goodTask round-trips losslessly: every field exported and encodable,
+// nested struct included.
+type goodTask struct {
+	ID      int
+	Edges   [][2]int32
+	Classes map[string][]int32
+	Meta    header
+}
+
+type header struct {
+	Version int
+	Sum     uint32
+}
+
+// sealed owns its encoding, so its unexported fields are gob's problem no
+// longer.
+type sealed struct {
+	n int
+}
+
+func (s sealed) GobEncode() ([]byte, error) { return []byte(strconv.Itoa(s.n)), nil }
+func (s *sealed) GobDecode(b []byte) error  { n, err := strconv.Atoi(string(b)); s.n = n; return err }
+
+// tagged carries an interface field, but the package registers the concrete
+// implementations.
+type tagged struct {
+	ID   int
+	Body any
+}
+
+func init() {
+	gob.Register(header{})
+}
+
+// SendAll exercises every clean shape.
+func SendAll() error {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(&goodTask{ID: 1}); err != nil {
+		return err
+	}
+	if err := enc.Encode(sealed{n: 2}); err != nil {
+		return err
+	}
+	return enc.Encode(&tagged{ID: 3, Body: header{Version: 1}})
+}

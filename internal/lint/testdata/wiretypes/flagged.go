@@ -1,0 +1,35 @@
+package fixture
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+// badTask mixes every kind of field gob mishandles.
+type badTask struct {
+	ID       int
+	seq      int // silently dropped: unexported
+	Callback func() error
+	Notify   chan int
+	Payload  any
+}
+
+type opaque struct {
+	a, b int
+}
+
+// Send ships a badTask over a gob stream.
+func Send() error {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	t := badTask{ID: 1}
+	return enc.Encode(&t) // want `unexported field \.seq is silently dropped` `field \.Callback is a function` `field \.Notify is a channel` `field \.Payload is an interface but the package never calls gob.Register`
+}
+
+// Receive decodes an opaque value whose every field gob drops.
+func Receive(data []byte) (opaque, error) {
+	var o opaque
+	dec := gob.NewDecoder(bytes.NewReader(data))
+	err := dec.Decode(&o) // want `wire type opaque has no exported fields` `unexported field \.a` `unexported field \.b`
+	return o, err
+}

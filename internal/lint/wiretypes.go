@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// WireTypes guards the cluster wire protocol. Blocks and cliques cross the
+// coordinator/worker boundary through encoding/gob (internal/cluster/wire.go)
+// with a CRC-32 over the *semantic* payload — so a field gob silently drops
+// is invisible to the checksum and to the tests that compare in-process
+// results, and surfaces only as a wrong clique set on a real cluster. The
+// analyzer inspects every type passed to a gob Encode/Decode/Register call
+// in the package and reports:
+//
+//   - unexported struct fields (gob silently skips them),
+//   - function- and channel-typed fields (gob refuses them at runtime,
+//     turning the first real task into a transport error),
+//   - interface-typed fields when the package never calls gob.Register
+//     (decode fails on the first concrete value),
+//   - structs with no exported fields at all (the value encodes as nothing).
+//
+// Types that implement GobEncoder or encoding.BinaryMarshaler own their
+// encoding and are exempt.
+var WireTypes = &Analyzer{
+	Name: "wiretypes",
+	Doc: "types crossing the gob wire protocol must round-trip losslessly: " +
+		"no unexported, func, chan, or unregistered interface fields",
+	Run: runWireTypes,
+}
+
+func runWireTypes(pass *Pass) error {
+	info := pass.Pkg.Info
+
+	// Does the package register any concrete implementations?
+	hasRegister := false
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeOf(info, call); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "encoding/gob" && (fn.Name() == "Register" || fn.Name() == "RegisterName") {
+				hasRegister = true
+			}
+			return true
+		})
+	}
+
+	checked := make(map[*types.Named]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeOf(info, call)
+			if fn == nil || len(call.Args) == 0 {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return true
+			}
+			recv := sig.Recv().Type()
+			isEnc := isNamed(recv, "encoding/gob", "Encoder") && fn.Name() == "Encode"
+			isDec := isNamed(recv, "encoding/gob", "Decoder") && fn.Name() == "Decode"
+			if !isEnc && !isDec {
+				return true
+			}
+			tv, ok := info.Types[call.Args[0]]
+			if !ok {
+				return true
+			}
+			t := tv.Type
+			// Unwrap the &v / *v the caller hands to gob.
+			for {
+				if p, okp := types.Unalias(t).(*types.Pointer); okp {
+					t = p.Elem()
+					continue
+				}
+				break
+			}
+			named := namedType(t)
+			if named == nil || checked[named] {
+				return true
+			}
+			checked[named] = true
+			checkWireType(pass, call.Pos(), named, hasRegister)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWireType validates one type against gob's silent-loss rules,
+// recursing through exported struct fields, slices, arrays, maps and
+// pointers.
+func checkWireType(pass *Pass, callPos token.Pos, named *types.Named, hasRegister bool) {
+	seen := make(map[types.Type]bool)
+	var walk func(t types.Type, path string)
+	walk = func(t types.Type, path string) {
+		t = types.Unalias(t)
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		if n, ok := t.(*types.Named); ok {
+			if selfEncoding(n) {
+				return
+			}
+			walk(n.Underlying(), path)
+			return
+		}
+		switch u := t.(type) {
+		case *types.Pointer:
+			walk(u.Elem(), path)
+		case *types.Slice:
+			walk(u.Elem(), path+"[]")
+		case *types.Array:
+			walk(u.Elem(), path+"[]")
+		case *types.Map:
+			walk(u.Key(), path+" map key")
+			walk(u.Elem(), path+" map value")
+		case *types.Chan:
+			pass.Reportf(callPos,
+				"wire type %s: %s is a channel; gob cannot encode it and the first task will fail in flight",
+				named.Obj().Name(), describe(path, "field"))
+		case *types.Signature:
+			pass.Reportf(callPos,
+				"wire type %s: %s is a function; gob cannot encode it and the first task will fail in flight",
+				named.Obj().Name(), describe(path, "field"))
+		case *types.Interface:
+			if u.NumMethods() == 0 && path == "" {
+				return // Encode(any) at the top level is gob's own API shape
+			}
+			if !hasRegister {
+				pass.Reportf(callPos,
+					"wire type %s: %s is an interface but the package never calls gob.Register; decoding the first concrete value will fail",
+					named.Obj().Name(), describe(path, "field"))
+			}
+		case *types.Struct:
+			exported := 0
+			for i := 0; i < u.NumFields(); i++ {
+				f := u.Field(i)
+				if !f.Exported() {
+					pass.Reportf(callPos,
+						"wire type %s: unexported field %s is silently dropped by gob (invisible to the CRC and to same-process tests)",
+						named.Obj().Name(), path+"."+f.Name())
+					continue
+				}
+				exported++
+				walk(f.Type(), path+"."+f.Name())
+			}
+			if exported == 0 && u.NumFields() > 0 {
+				pass.Reportf(callPos,
+					"wire type %s%s has no exported fields; gob encodes it as nothing",
+					named.Obj().Name(), path)
+			}
+		}
+	}
+	walk(named, "")
+}
+
+func describe(path, kind string) string {
+	if path == "" {
+		if kind == "" {
+			return "the value"
+		}
+		return "the " + kind
+	}
+	return "field " + path
+}
+
+// selfEncoding reports whether the type (or its pointer) implements
+// GobEncoder/GobDecoder or encoding.BinaryMarshaler/BinaryUnmarshaler, in
+// which case gob delegates and the field rules do not apply.
+func selfEncoding(n *types.Named) bool {
+	for _, name := range []string{"GobEncode", "GobDecode", "MarshalBinary", "UnmarshalBinary"} {
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(n), true, n.Obj().Pkg(), name)
+		if _, ok := obj.(*types.Func); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -313,7 +313,7 @@ func Enumerate(g *Graph, opts ...Option) (*Result, error) {
 // the run between recursion levels and cancels block batches already in
 // flight, locally and on remote workers.
 func EnumerateContext(ctx context.Context, g *Graph, opts ...Option) (*Result, error) {
-	cfg, client, err := setup(opts)
+	cfg, client, err := setup(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -323,8 +323,10 @@ func EnumerateContext(ctx context.Context, g *Graph, opts ...Option) (*Result, e
 	return core.FindMaxCliquesContext(ctx, g, cfg.core)
 }
 
-// setup resolves the options and dials workers when requested.
-func setup(opts []Option) (*config, *cluster.Client, error) {
+// setup resolves the options and dials workers when requested; ctx bounds
+// the dialling, so a caller's cancellation is honoured before the first
+// block ships.
+func setup(ctx context.Context, opts []Option) (*config, *cluster.Client, error) {
 	var cfg config
 	for _, opt := range opts {
 		if err := opt(&cfg); err != nil {
@@ -334,7 +336,7 @@ func setup(opts []Option) (*config, *cluster.Client, error) {
 	if len(cfg.workers) == 0 {
 		return &cfg, nil, nil
 	}
-	client, err := cluster.Dial(cfg.workers, cfg.cliOpts)
+	client, err := cluster.DialContext(ctx, cfg.workers, cfg.cliOpts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -365,7 +367,7 @@ func EnumerateStream(g *Graph, emit func(clique []int32, hubLevel int), opts ...
 // EnumerateStreamContext is EnumerateStream with cancellation, mirroring
 // EnumerateContext.
 func EnumerateStreamContext(ctx context.Context, g *Graph, emit func(clique []int32, hubLevel int), opts ...Option) (*Stats, error) {
-	cfg, client, err := setup(opts)
+	cfg, client, err := setup(ctx, opts)
 	if err != nil {
 		return nil, err
 	}
