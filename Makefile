@@ -1,11 +1,17 @@
 GO ?= go
 
-.PHONY: all build test vet lint race vulncheck fuzz-smoke check bench
+.PHONY: all build test vet lint fmt race vulncheck fuzz-smoke bench-smoke bench-baseline check bench
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# Fails when any file needs gofmt; CI runs the same gate.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needs to run on:"; echo "$$out"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -40,7 +46,16 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTriples -fuzztime=10s ./internal/gio
 	$(GO) test -run=Fuzz -fuzz=FuzzLoadBoundedAgreesWithLoad -fuzztime=10s ./internal/gio
 
-check: build lint test race vulncheck
+# The CI benchmark gate: deterministic workload, machine-normalized timing,
+# ±30% tolerance against the checked-in baseline (cmd/mcebench/smoke.go).
+bench-smoke: build
+	$(GO) run ./cmd/mcebench -smoke -out BENCH_3.json -baseline .github/bench-baseline.json
+
+# Refresh the baseline after an intentional performance change.
+bench-baseline: build
+	$(GO) run ./cmd/mcebench -smoke -smoke-runs 5 -out .github/bench-baseline.json
+
+check: build fmt lint test race vulncheck bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

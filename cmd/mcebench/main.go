@@ -11,6 +11,11 @@
 //
 // Experiment IDs follow DESIGN.md §4: t1 t2 t3 f3 f4 f6 f7 f8 f9 f10 f11
 // x1 x2 x3 x4.
+//
+// The -smoke mode is the CI benchmark gate: a deterministic Holme–Kim
+// workload timed best-of-N, normalized by a calibration run, written as a
+// JSON report (-out) and compared against a checked-in baseline
+// (-baseline, -regress). See smoke.go.
 package main
 
 import (
@@ -51,8 +56,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	expFlag := fs.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	list := fs.Bool("list", false, "list experiments and exit")
+	smoke := fs.Bool("smoke", false, "run the CI benchmark smoke workload instead of the experiments")
+	smokeOut := fs.String("out", "", "with -smoke: write the report JSON to this file")
+	baseline := fs.String("baseline", "", "with -smoke: gate against this baseline report JSON")
+	regress := fs.Float64("regress", 0.30, "with -smoke: max allowed normalized-time regression fraction")
+	smokeRuns := fs.Int("smoke-runs", 3, "with -smoke: best-of-N timed runs")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *smoke {
+		return runSmoke(stdout, stderr, *smokeOut, *baseline, *regress, *smokeRuns)
 	}
 
 	exps := index()

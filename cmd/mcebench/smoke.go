@@ -1,0 +1,199 @@
+// The -smoke mode is the CI benchmark gate: a small deterministic workload
+// whose best-of-N wall time is normalized by a calibration run on the same
+// machine, so the checked-in baseline is portable across runner hardware.
+// The gate fails when the normalized time regresses past -regress, or when
+// the clique count drifts from the baseline (a correctness canary: the
+// workload is fully deterministic, so any drift is a bug, not noise).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mce/internal/core"
+	"mce/internal/gen"
+	"mce/internal/telemetry"
+)
+
+// The smoke workload and the calibration workload are both Holme–Kim graphs
+// (the corpus generator): the calibration one is small enough to be noise
+// but big enough to exercise the same decomposition + block-analysis path,
+// so the wall/calib ratio cancels out machine speed.
+const (
+	smokeNodes = 5000
+	smokeDeg   = 6
+	smokeTriad = 0.7
+	smokeSeed  = 42
+	smokeRatio = 0.3
+
+	calibNodes = 1200
+	calibDeg   = 5
+	calibTriad = 0.6
+	calibSeed  = 7
+
+	smokeSchema = 1
+)
+
+// smokeGraph pins the workload identity into the report; a baseline from a
+// different workload must not silently gate a new one.
+type smokeGraph struct {
+	Nodes int     `json:"nodes"`
+	Deg   int     `json:"deg"`
+	Triad float64 `json:"triad"`
+	Seed  int64   `json:"seed"`
+	Ratio float64 `json:"ratio"`
+}
+
+type smokeReport struct {
+	Schema     int                `json:"schema"`
+	Graph      smokeGraph         `json:"graph"`
+	Cliques    int                `json:"cliques"`
+	Runs       int                `json:"runs"`
+	BestWallNs int64              `json:"best_wall_ns"`
+	CalibNs    int64              `json:"calib_ns"`
+	Normalized float64            `json:"normalized"`
+	Telemetry  telemetry.Snapshot `json:"telemetry"`
+}
+
+// bestWall runs f n times and keeps the fastest wall time — best-of-N is the
+// standard way to strip scheduler noise from a single-threaded benchmark.
+func bestWall(n int, f func() error) (time.Duration, error) {
+	var best time.Duration
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+func runSmoke(stdout, stderr io.Writer, outPath, baselinePath string, regress float64, runs int) int {
+	if runs < 1 {
+		fmt.Fprintln(stderr, "mcebench: -smoke-runs must be at least 1")
+		return 2
+	}
+	if regress <= 0 {
+		fmt.Fprintln(stderr, "mcebench: -regress must be positive")
+		return 2
+	}
+
+	g := gen.HolmeKim(smokeNodes, smokeDeg, smokeTriad, smokeSeed)
+	cg := gen.HolmeKim(calibNodes, calibDeg, calibTriad, calibSeed)
+	opts := core.Options{BlockRatio: smokeRatio, Parallelism: 1}
+
+	calib, err := bestWall(runs, func() error {
+		_, err := core.FindMaxCliques(cg, opts)
+		return err
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mcebench: calibration:", err)
+		return 1
+	}
+
+	// Timed runs go through the uninstrumented default path — that is what
+	// the gate protects. Determinism is checked across the N runs.
+	cliques := -1
+	wall, err := bestWall(runs, func() error {
+		res, err := core.FindMaxCliques(g, opts)
+		if err != nil {
+			return err
+		}
+		if cliques >= 0 && res.Stats.TotalCliques != cliques {
+			return fmt.Errorf("nondeterministic clique count: %d then %d", cliques, res.Stats.TotalCliques)
+		}
+		cliques = res.Stats.TotalCliques
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "mcebench:", err)
+		return 1
+	}
+
+	// One extra instrumented run feeds the artifact's telemetry section
+	// (blocks, recursion nodes, filter work) without polluting the timing.
+	eng := telemetry.NewEngine()
+	instr := opts
+	instr.Metrics = eng
+	if _, err := core.FindMaxCliques(g, instr); err != nil {
+		fmt.Fprintln(stderr, "mcebench: instrumented run:", err)
+		return 1
+	}
+
+	rep := smokeReport{
+		Schema:     smokeSchema,
+		Graph:      smokeGraph{Nodes: smokeNodes, Deg: smokeDeg, Triad: smokeTriad, Seed: smokeSeed, Ratio: smokeRatio},
+		Cliques:    cliques,
+		Runs:       runs,
+		BestWallNs: wall.Nanoseconds(),
+		CalibNs:    calib.Nanoseconds(),
+		Normalized: float64(wall) / float64(calib),
+		Telemetry:  eng.Snapshot(),
+	}
+	fmt.Fprintf(stdout, "smoke: %d cliques, best of %d: %v (calib %v, normalized %.3f)\n",
+		rep.Cliques, rep.Runs, wall.Round(time.Millisecond), calib.Round(time.Millisecond), rep.Normalized)
+
+	// The report is written before the gate runs, so CI can always upload
+	// the artifact — a failing gate still leaves evidence behind.
+	if outPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "mcebench:", err)
+			return 1
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "mcebench:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "smoke: report written to %s\n", outPath)
+	}
+
+	if baselinePath != "" {
+		if err := gateAgainstBaseline(stdout, rep, baselinePath, regress); err != nil {
+			fmt.Fprintln(stderr, "mcebench: benchmark gate:", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// gateAgainstBaseline compares the fresh report with the checked-in one.
+// Clique counts must match exactly (the workload is deterministic); the
+// normalized wall time may drift up to the regress fraction.
+func gateAgainstBaseline(stdout io.Writer, rep smokeReport, path string, regress float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base smokeReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Schema != rep.Schema {
+		return fmt.Errorf("baseline schema %d, tool speaks %d — regenerate the baseline", base.Schema, rep.Schema)
+	}
+	if base.Graph != rep.Graph {
+		return fmt.Errorf("baseline ran workload %+v, this run %+v — regenerate the baseline", base.Graph, rep.Graph)
+	}
+	if base.Cliques != rep.Cliques {
+		return fmt.Errorf("clique count %d differs from baseline %d on a deterministic workload — correctness regression",
+			rep.Cliques, base.Cliques)
+	}
+	if base.Normalized <= 0 {
+		return fmt.Errorf("baseline normalized time %.3f is not positive — regenerate the baseline", base.Normalized)
+	}
+	ratio := rep.Normalized / base.Normalized
+	if ratio > 1+regress {
+		return fmt.Errorf("normalized time %.3f is %.0f%% over baseline %.3f (limit +%.0f%%)",
+			rep.Normalized, 100*(ratio-1), base.Normalized, 100*regress)
+	}
+	fmt.Fprintf(stdout, "smoke: gate passed, normalized %.3f vs baseline %.3f (%+.0f%%, limit +%.0f%%)\n",
+		rep.Normalized, base.Normalized, 100*(ratio-1), 100*regress)
+	return nil
+}

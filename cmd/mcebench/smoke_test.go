@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smokeOnce runs the smoke mode with one timed run (plenty for correctness;
+// CI uses best-of-N) and returns the parsed report.
+func smokeOnce(t *testing.T, extra ...string) (smokeReport, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "smoke.json")
+	args := append([]string{"-smoke", "-smoke-runs", "1", "-out", path}, extra...)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("smoke exit %d: %s%s", code, stdout.String(), stderr.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep smokeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, data)
+	}
+	return rep, path
+}
+
+func TestSmokeReport(t *testing.T) {
+	rep, _ := smokeOnce(t)
+	if rep.Schema != smokeSchema {
+		t.Errorf("schema = %d, want %d", rep.Schema, smokeSchema)
+	}
+	if rep.Cliques <= 0 || rep.BestWallNs <= 0 || rep.CalibNs <= 0 || rep.Normalized <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	// The instrumented run populates the artifact's telemetry section.
+	if rep.Telemetry.BlocksBuilt == 0 || rep.Telemetry.RecursionNodes == 0 {
+		t.Fatalf("telemetry section empty: %+v", rep.Telemetry)
+	}
+	if rep.Telemetry.CliquesFound-rep.Telemetry.HubCliquesFiltered != int64(rep.Cliques) {
+		t.Fatalf("telemetry cliques %d−%d disagree with report %d",
+			rep.Telemetry.CliquesFound, rep.Telemetry.HubCliquesFiltered, rep.Cliques)
+	}
+}
+
+func TestSmokeGate(t *testing.T) {
+	rep, path := smokeOnce(t)
+
+	// Gating a run against its own report passes.
+	var stdout bytes.Buffer
+	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", path}, &stdout, io.Discard); code != 0 {
+		t.Fatalf("self-gate failed: %s", stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "gate passed") {
+		t.Fatalf("no gate verdict in output: %s", stdout.String())
+	}
+
+	// A baseline claiming a much faster normalized time trips the gate.
+	fast := rep
+	fast.Normalized = rep.Normalized / 10
+	writeBaseline(t, path, fast)
+	var stderr bytes.Buffer
+	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", path}, io.Discard, &stderr); code != 1 {
+		t.Fatalf("regression not caught (exit %d): %s", 0, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "over baseline") {
+		t.Fatalf("unexpected gate error: %s", stderr.String())
+	}
+
+	// A clique-count drift is a correctness failure regardless of timing.
+	wrong := rep
+	wrong.Cliques++
+	writeBaseline(t, path, wrong)
+	stderr.Reset()
+	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", path}, io.Discard, &stderr); code != 1 {
+		t.Fatal("clique-count drift not caught")
+	}
+	if !strings.Contains(stderr.String(), "correctness regression") {
+		t.Fatalf("unexpected gate error: %s", stderr.String())
+	}
+
+	// A baseline for a different workload refuses to gate at all.
+	other := rep
+	other.Graph.Seed++
+	writeBaseline(t, path, other)
+	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", path}, io.Discard, io.Discard); code != 1 {
+		t.Fatal("workload mismatch not caught")
+	}
+}
+
+func writeBaseline(t *testing.T, path string, rep smokeReport) {
+	t.Helper()
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmokeBadInputs(t *testing.T) {
+	if code := run([]string{"-smoke", "-smoke-runs", "0"}, io.Discard, io.Discard); code != 2 {
+		t.Errorf("-smoke-runs 0 exit = %d, want 2", code)
+	}
+	if code := run([]string{"-smoke", "-regress", "-1"}, io.Discard, io.Discard); code != 2 {
+		t.Errorf("-regress -1 exit = %d, want 2", code)
+	}
+	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", "/no/such/file.json"}, io.Discard, io.Discard); code != 1 {
+		t.Errorf("missing baseline exit = %d, want 1", code)
+	}
+}

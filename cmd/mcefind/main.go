@@ -24,6 +24,8 @@
 //	-communities k    print k-clique communities instead of cliques
 //	-format f         clique output format: text (default) or jsonl
 //	-stream           stream cliques as they are found (bounded memory)
+//	-debug-addr a     serve live JSON telemetry (/debug/vars) and pprof
+//	                  (/debug/pprof/) on this HTTP address while running
 //
 // Output: one clique per line, members space-separated (or one JSON array
 // per line with -format jsonl).
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"mce"
+	"mce/internal/telemetry"
 )
 
 func main() {
@@ -50,22 +53,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mcefind", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		m         = fs.Int("m", 0, "block size (0 = derive from -ratio)")
-		ratio     = fs.Float64("ratio", 0, "m/d ratio (0 = default 0.5)")
-		algorithm = fs.String("algorithm", "", "pin the MCE algorithm")
-		structure = fs.String("structure", "", "pin the adjacency structure")
+		m           = fs.Int("m", 0, "block size (0 = derive from -ratio)")
+		ratio       = fs.Float64("ratio", 0, "m/d ratio (0 = default 0.5)")
+		algorithm   = fs.String("algorithm", "", "pin the MCE algorithm")
+		structure   = fs.String("structure", "", "pin the adjacency structure")
 		workers     = fs.String("workers", "", "comma-separated worker addresses")
 		taskTimeout = fs.Duration("task-timeout", 0, "per-task round-trip deadline (0 = derived, negative = disabled)")
 		taskRetries = fs.Int("task-retries", 0, "per-block transport-failure budget (0 = default 3, negative = unlimited)")
 		reconnect   = fs.Bool("reconnect", false, "auto-reconnect dead workers with exponential backoff")
 		par         = fs.Int("p", 0, "local parallelism")
-		minSize   = fs.Int("min", 1, "minimum clique size to print")
-		countOnly = fs.Bool("count", false, "print only the clique count")
-		stats     = fs.Bool("stats", false, "print run statistics to stderr")
-		labels    = fs.Bool("labels", false, "print original labels")
-		commK     = fs.Int("communities", 0, "print k-clique communities for this k instead of cliques")
-		format    = fs.String("format", "text", "clique output format: text or jsonl")
-		stream    = fs.Bool("stream", false, "stream cliques as they are found (bounded memory)")
+		minSize     = fs.Int("min", 1, "minimum clique size to print")
+		countOnly   = fs.Bool("count", false, "print only the clique count")
+		stats       = fs.Bool("stats", false, "print run statistics to stderr")
+		labels      = fs.Bool("labels", false, "print original labels")
+		commK       = fs.Int("communities", 0, "print k-clique communities for this k instead of cliques")
+		format      = fs.String("format", "text", "clique output format: text or jsonl")
+		stream      = fs.Bool("stream", false, "stream cliques as they are found (bounded memory)")
+		debugAddr   = fs.String("debug-addr", "", "serve JSON telemetry and pprof on this HTTP address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -133,6 +137,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts = append(opts, mce.WithParallelism(*par))
 	}
 
+	// The debug server and the run share one engine, so /debug/vars shows
+	// the enumeration's live counters; -stats reuses the same snapshot.
+	var eng *mce.TelemetryEngine
+	if *debugAddr != "" || *stats {
+		eng = mce.NewTelemetryEngine()
+		opts = append(opts, mce.WithTelemetryEngine(eng))
+	}
+	if *debugAddr != "" {
+		addr, stopDebug, err := telemetry.ServeDebug(*debugAddr, eng.Snapshot)
+		if err != nil {
+			fmt.Fprintln(stderr, "mcefind:", err)
+			return 1
+		}
+		defer stopDebug()
+		fmt.Fprintf(stderr, "mcefind: debug endpoints on http://%s/debug/vars and /debug/pprof/\n", addr)
+	}
+
 	name := func(v int32) string {
 		if *labels {
 			return labelMap.Label(v)
@@ -160,6 +181,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *stats {
 			fmt.Fprintf(stderr, "streamed %d cliques over %d levels\n",
 				st.TotalCliques, len(st.Levels))
+			printTelemetry(stderr, st.Telemetry)
 		}
 		return 0
 	}
@@ -178,10 +200,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			g.N(), g.M(), s.MaxDegree, s.BlockSize, len(s.Levels),
 			s.TotalCliques, s.HubCliques, s.CoreFallback, elapsed.Round(time.Millisecond))
 		for i, lvl := range s.Levels {
-			fmt.Fprintf(stderr, "  level %d: nodes=%d feasible=%d hubs=%d blocks=%d cliques=%d decomp=%v analysis=%v\n",
-				i, lvl.Nodes, lvl.Feasible, lvl.Hubs, lvl.Blocks, lvl.Cliques,
+			fmt.Fprintf(stderr, "  level %d: nodes=%d feasible=%d hubs=%d blocks=%d kernel=%d border=%d visited=%d cliques=%d decomp=%v analysis=%v\n",
+				i, lvl.Nodes, lvl.Feasible, lvl.Hubs, lvl.Blocks,
+				lvl.Kernel, lvl.Border, lvl.Visited, lvl.Cliques,
 				lvl.Decomp.Round(time.Millisecond), lvl.Analysis.Round(time.Millisecond))
 		}
+		printTelemetry(stderr, s.Telemetry)
 	}
 
 	if *commK > 0 {
@@ -222,6 +246,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 		writeClique(w, c, *format, name)
 	}
 	return 0
+}
+
+// printTelemetry summarises a run's final telemetry snapshot on stderr:
+// engine counters, the per-block latency distribution and the decision
+// tree's combo pick distribution.
+func printTelemetry(w io.Writer, s *mce.TelemetrySnapshot) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(w, "telemetry: recursion-nodes=%d pivots=%d filter=%v filtered-hub-cliques=%d\n",
+		s.RecursionNodes, s.PivotSelections,
+		time.Duration(s.FilterNs).Round(time.Microsecond), s.HubCliquesFiltered)
+	if s.BlockNs.Count > 0 {
+		fmt.Fprintf(w, "telemetry: block latency mean=%v p50=%v p95=%v max=%v\n",
+			time.Duration(s.BlockNs.Mean()).Round(time.Microsecond),
+			time.Duration(s.BlockNs.Quantile(0.5)).Round(time.Microsecond),
+			time.Duration(s.BlockNs.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(s.BlockNs.Max).Round(time.Microsecond))
+	}
+	if s.BytesSent > 0 || s.BytesReceived > 0 {
+		fmt.Fprintf(w, "telemetry: wire sent=%dB received=%dB round-trips=%d retries=%d reconnects=%d\n",
+			s.BytesSent, s.BytesReceived, s.RoundTripNs.Count, s.TaskRetries, s.Reconnects)
+	}
+	for _, c := range s.Combos {
+		fmt.Fprintf(w, "  combo %s: picks=%d blocks=%d total=%v\n",
+			c.Combo, c.Picks, c.Blocks, time.Duration(c.TotalNs).Round(time.Microsecond))
+	}
 }
 
 // writeClique renders one clique in the selected format: space-separated

@@ -219,3 +219,36 @@ func TestDiskGraphInput(t *testing.T) {
 		t.Fatal("missing disk graph accepted")
 	}
 }
+
+func TestStatsTelemetryLines(t *testing.T) {
+	p := writeTriangleTail(t)
+	code, _, errs := runCmd(t, "-stats", "-count", p)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if !strings.Contains(errs, "telemetry: recursion-nodes=") {
+		t.Fatalf("no telemetry summary in stats: %q", errs)
+	}
+	if !strings.Contains(errs, "combo ") {
+		t.Fatalf("no combo distribution in stats: %q", errs)
+	}
+	if !strings.Contains(errs, "kernel=") {
+		t.Fatalf("no kernel/border/visited in level stats: %q", errs)
+	}
+}
+
+func TestDebugAddrFlag(t *testing.T) {
+	p := writeTriangleTail(t)
+	code, _, errs := runCmd(t, "-debug-addr", "127.0.0.1:0", "-count", p)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errs)
+	}
+	if !strings.Contains(errs, "debug endpoints on http://") {
+		t.Fatalf("no debug banner: %q", errs)
+	}
+	// An unusable address fails fast instead of running without telemetry.
+	code, _, _ = runCmd(t, "-debug-addr", "256.256.256.256:99999", "-count", p)
+	if code != 1 {
+		t.Fatalf("bad debug addr exit = %d, want 1", code)
+	}
+}

@@ -13,12 +13,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"mce"
 	"mce/internal/experiments"
 	"mce/internal/quality"
+	"mce/internal/telemetry"
 )
 
 func main() {
@@ -56,28 +58,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "alpha (MLE)  %.2f (tail of %d nodes)\n", alpha, tail)
 	}
 
-	// Truncated degree distribution, Figure 6 style.
-	degs := mce.Degrees(g)
-	counts := make([]int, 22)
-	low := 0
-	for _, d := range degs {
-		switch {
-		case d <= 20:
-			counts[d]++
-			if d >= 1 {
-				low++
-			}
-		default:
-			counts[21]++
-		}
+	// Resolve the requested ratios and their block sizes up front: the m
+	// values double as exact histogram boundaries below.
+	type split struct {
+		r float64
+		m int
 	}
-	fmt.Fprintf(stdout, "degree histogram (0..20, >20): %v\n", counts)
-	if s.Nodes > 0 {
-		fmt.Fprintf(stdout, "low-degree share (1..20): %.1f%%\n", 100*float64(low)/float64(s.Nodes))
-	}
-
-	// Feasible/hub split per requested block ratio.
-	fmt.Fprintf(stdout, "\n%-8s %8s %10s %10s %9s\n", "m/d", "m", "feasible", "hubs", "hub%")
+	var splits []split
 	for _, tok := range strings.Split(*ratios, ",") {
 		r, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 		if err != nil || r <= 0 || r > 1 {
@@ -88,16 +75,62 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if m < 2 {
 			m = 2
 		}
-		feasible, hubs := 0, 0
-		for _, d := range degs {
-			if d < m {
-				feasible++
-			} else {
-				hubs++
-			}
+		splits = append(splits, split{r: r, m: m})
+	}
+
+	// One telemetry histogram carries every degree-derived statistic: the
+	// bounds are the Figure 6 buckets (1..21, i.e. degrees 0..20 plus >20)
+	// merged with each requested m, so the truncated distribution, the
+	// low-degree share and every feasible/hub split read off the same
+	// snapshot exactly (CountBelow is exact at bucket boundaries).
+	boundSet := map[int64]bool{}
+	for b := int64(1); b <= 21; b++ {
+		boundSet[b] = true
+	}
+	for _, sp := range splits {
+		boundSet[int64(sp.m)] = true
+	}
+	bounds := make([]int64, 0, len(boundSet))
+	for b := range boundSet {
+		bounds = append(bounds, b)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	degHist := telemetry.NewHistogram(bounds)
+	for _, d := range mce.Degrees(g) {
+		degHist.Observe(int64(d))
+	}
+	snap := degHist.Snapshot()
+
+	// Truncated degree distribution, Figure 6 style.
+	counts := make([]int64, 22)
+	prev := int64(0)
+	for d := 0; d <= 20; d++ {
+		below, _ := snap.CountBelow(int64(d) + 1)
+		counts[d] = below - prev
+		prev = below
+	}
+	counts[21] = snap.Count - prev
+	fmt.Fprintf(stdout, "degree histogram (0..20, >20): %v\n", counts)
+	if s.Nodes > 0 {
+		upTo20, _ := snap.CountBelow(21)
+		isolated, _ := snap.CountBelow(1)
+		fmt.Fprintf(stdout, "low-degree share (1..20): %.1f%%\n",
+			100*float64(upTo20-isolated)/float64(s.Nodes))
+	}
+
+	// Feasible/hub split per requested block ratio: feasible means
+	// degree < m, which is CountBelow(m) on the shared histogram.
+	fmt.Fprintf(stdout, "\n%-8s %8s %10s %10s %9s\n", "m/d", "m", "feasible", "hubs", "hub%")
+	for _, sp := range splits {
+		feasible, exact := snap.CountBelow(int64(sp.m))
+		if !exact {
+			// Unreachable: every m is a bucket boundary by construction.
+			fmt.Fprintf(stderr, "mcestats: internal error: inexact split at m=%d\n", sp.m)
+			return 1
 		}
+		hubs := snap.Count - feasible
 		fmt.Fprintf(stdout, "%-8.2f %8d %10d %10d %8.2f%%\n",
-			r, m, feasible, hubs, 100*float64(hubs)/float64(s.Nodes))
+			sp.r, sp.m, feasible, hubs, 100*float64(hubs)/float64(s.Nodes))
 	}
 	return 0
 }

@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	mceworker -listen :9876 [-max-conns n] [-drain-timeout d]
+//	mceworker -listen :9876 [-max-conns n] [-drain-timeout d] [-debug-addr :6060]
+//
+// -debug-addr starts an HTTP debug server exposing the worker's live
+// telemetry as JSON at /debug/vars (tasks served, errors, panics, bytes on
+// the wire, per-combo block timings, MCE recursion counters) plus the
+// standard net/http/pprof profiling endpoints under /debug/pprof/.
 //
 // On SIGINT/SIGTERM the worker stops accepting connections, finishes its
 // in-flight tasks (up to -drain-timeout) and ships their results before
@@ -15,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"os"
 	"os/signal"
@@ -22,45 +28,88 @@ import (
 	"time"
 
 	"mce/internal/cluster"
+	"mce/internal/telemetry"
 )
 
 func main() {
-	listen := flag.String("listen", ":9876", "TCP address to listen on")
-	maxConns := flag.Int("max-conns", 0, "max concurrent coordinator connections (0 = unlimited)")
-	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight tasks")
-	flag.Parse()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sig, nil))
+}
+
+// run is main with its environment injected, so tests can drive the worker
+// end to end: args are the command-line arguments, sig delivers shutdown
+// signals, and a non-nil started receives the bound listener and debug
+// addresses once the worker is serving. A second signal on sig force-exits
+// by returning 1 without waiting for the drain.
+func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started chan<- [2]string) int {
+	fs := flag.NewFlagSet("mceworker", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listen := fs.String("listen", ":9876", "TCP address to listen on")
+	maxConns := fs.Int("max-conns", 0, "max concurrent coordinator connections (0 = unlimited)")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight tasks")
+	debugAddr := fs.String("debug-addr", "", "serve JSON telemetry and pprof on this HTTP address (empty = disabled)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mceworker:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mceworker:", err)
+		return 1
 	}
-	fmt.Printf("mceworker: serving block analysis on %s\n", ln.Addr())
+	fmt.Fprintf(stdout, "mceworker: serving block analysis on %s\n", ln.Addr())
 	w := &cluster.Worker{MaxConns: *maxConns, DrainTimeout: *drainTimeout}
 
-	sig := make(chan os.Signal, 2)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	boundDebug := ""
+	if *debugAddr != "" {
+		eng := telemetry.NewEngine()
+		w.Metrics = eng
+		addr, stopDebug, err := telemetry.ServeDebug(*debugAddr, eng.Snapshot)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintln(stderr, "mceworker:", err)
+			return 1
+		}
+		defer stopDebug()
+		boundDebug = addr
+		fmt.Fprintf(stdout, "mceworker: debug endpoints on http://%s/debug/vars and /debug/pprof/\n", addr)
+	}
+	if started != nil {
+		started <- [2]string{ln.Addr().String(), boundDebug}
+	}
+
 	drained := make(chan struct{})
-	//lint:ignore goroutineleak the signal handler lives for the whole process by design; it exits with main
+	forced := make(chan struct{})
+	//lint:ignore goroutineleak the signal handler lives for the whole worker by design; it exits with run
 	go func() {
-		s := <-sig
-		fmt.Printf("mceworker: %v received, draining in-flight tasks (repeat to force exit)\n", s)
-		//lint:ignore goroutineleak the force-exit watcher lives until os.Exit; that is its entire job
+		s, ok := <-sig
+		if !ok {
+			return
+		}
+		fmt.Fprintf(stdout, "mceworker: %v received, draining in-flight tasks (repeat to force exit)\n", s)
+		//lint:ignore goroutineleak the force-exit watcher lives until the process exits; that is its entire job
 		go func() {
-			s := <-sig
-			fmt.Fprintf(os.Stderr, "mceworker: %v received again, forcing exit\n", s)
-			os.Exit(1)
+			if s, ok := <-sig; ok {
+				fmt.Fprintf(stderr, "mceworker: %v received again, forcing exit\n", s)
+				close(forced)
+			}
 		}()
 		w.Close() // blocks until drained (bounded by -drain-timeout)
 		close(drained)
 	}()
 
 	if err := w.Serve(ln); err != nil {
-		fmt.Fprintln(os.Stderr, "mceworker:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mceworker:", err)
+		return 1
 	}
 	// Serve only returns cleanly after Close was called; wait for the
 	// drain so in-flight results reach their coordinators before exit.
-	<-drained
-	fmt.Println("mceworker: drained, bye")
+	select {
+	case <-drained:
+	case <-forced:
+		return 1
+	}
+	fmt.Fprintln(stdout, "mceworker: drained, bye")
+	return 0
 }

@@ -15,6 +15,7 @@ import (
 
 	"mce/internal/decomp"
 	"mce/internal/mcealg"
+	"mce/internal/telemetry"
 )
 
 // ClientOptions tunes the coordinator side of the cluster.
@@ -67,6 +68,10 @@ type ClientOptions struct {
 	// Compress negotiates DEFLATE on every stream after the handshake,
 	// trading CPU for bandwidth on slow interconnects.
 	Compress bool
+	// Metrics, when non-nil, receives coordinator-side telemetry: tasks in
+	// flight, retries, reconnects, poison/corrupt verdicts, bytes on the
+	// wire and the round-trip latency histogram. Nil disables all of it.
+	Metrics *telemetry.Engine
 }
 
 // retryBudget resolves the TaskRetries default; < 0 means unlimited.
@@ -407,6 +412,9 @@ func (c *Client) redialDead() int {
 		c.conns[i] = fresh
 		c.mu.Unlock()
 		revived++
+		if met := c.opts.Metrics; met != nil {
+			met.Reconnects.Inc()
+		}
 		c.offer(fresh)
 	}
 	return revived
@@ -456,6 +464,9 @@ func (c *Client) Reconnect() (int, error) {
 		fresh.busy = wc.busy
 		c.conns[i] = fresh
 		c.mu.Unlock()
+		if met := c.opts.Metrics; met != nil {
+			met.Reconnects.Inc()
+		}
 		c.offer(fresh)
 	}
 	c.mu.Lock()
@@ -584,6 +595,10 @@ func (c *Client) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block
 	for i := range blocks {
 		tasks <- i
 	}
+	met := c.opts.Metrics
+	if met != nil {
+		met.QueueDepth.Add(int64(len(blocks)))
+	}
 	var (
 		completed  int64
 		aliveCount = int64(len(alive))
@@ -625,13 +640,23 @@ func (c *Client) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block
 			case <-done:
 				return
 			case i := <-tasks:
+				if met != nil {
+					met.QueueDepth.Add(-1)
+					met.TasksInFlight.Add(1)
+				}
 				t0 := time.Now()
 				cliques, err := c.roundTrip(ctx, wc, i, &blocks[i], combos[i])
+				if met != nil {
+					met.TasksInFlight.Add(-1)
+				}
 				if err == nil {
 					c.mu.Lock()
 					wc.tasks++
 					wc.busy += time.Since(t0)
 					c.mu.Unlock()
+					if met != nil {
+						met.RoundTripNs.ObserveSince(t0)
+					}
 					out[i] = cliques
 					if atomic.AddInt64(&completed, 1) == int64(len(blocks)) {
 						closeOnce.Do(func() { close(done) })
@@ -649,6 +674,9 @@ func (c *Client) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block
 					// still in sync, keep the connection.
 					fail(clean.err)
 					tasks <- i
+					if met != nil {
+						met.QueueDepth.Add(1)
+					}
 					return
 				}
 				// Transport failure: retire this worker and requeue the
@@ -662,8 +690,15 @@ func (c *Client) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block
 				lastDeath = err
 				errMu.Unlock()
 				if poisoned {
+					if met != nil {
+						met.PoisonTasks.Inc()
+					}
 					fail(&PoisonTaskError{Block: i, Attempts: n, Causes: cs})
 				} else {
+					if met != nil {
+						met.TaskRetries.Inc()
+						met.QueueDepth.Add(1)
+					}
 					tasks <- i
 				}
 				if atomic.AddInt64(&aliveCount, -1) == 0 {
@@ -756,6 +791,11 @@ func (c *Client) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block
 	wg.Wait()
 	close(stopWatch)
 	watchWG.Wait()
+	if met != nil {
+		// Tasks stranded in the queue by a fatal error are no longer
+		// pending work; return the gauge to its pre-batch level.
+		met.QueueDepth.Add(-int64(len(tasks)))
+	}
 
 	// Clear any cancellation deadlines left on surviving connections.
 	c.mu.Lock()
@@ -804,8 +844,12 @@ func (c *Client) roundTrip(ctx context.Context, wc *workerConn, id int, b *decom
 		wc.conn.SetDeadline(time.Now().Add(d))
 		defer wc.conn.SetDeadline(time.Time{})
 	}
+	met := c.opts.Metrics
 	if err := wc.enc.Encode(&t); err != nil {
 		return nil, fmt.Errorf("cluster: send to %s: %w", wc.addr, err)
+	}
+	if met != nil {
+		met.BytesSent.Add(t.wireSize())
 	}
 	if wc.flush != nil {
 		if err := wc.flush(); err != nil {
@@ -816,13 +860,22 @@ func (c *Client) roundTrip(ctx context.Context, wc *workerConn, id int, b *decom
 	if err := wc.dec.Decode(&res); err != nil {
 		return nil, fmt.Errorf("cluster: receive from %s: %w", wc.addr, err)
 	}
+	if met != nil {
+		met.BytesReceived.Add(res.wireSize())
+	}
 	if res.ID != id {
 		return nil, fmt.Errorf("cluster: worker %s answered task %d, want %d", wc.addr, res.ID, id)
 	}
 	if res.Corrupt {
+		if met != nil {
+			met.CorruptResults.Inc()
+		}
 		return nil, fmt.Errorf("cluster: task %d corrupted in flight to %s", id, wc.addr)
 	}
 	if res.Sum != res.payloadSum() {
+		if met != nil {
+			met.CorruptResults.Inc()
+		}
 		return nil, fmt.Errorf("cluster: result %d from %s corrupted in flight (checksum mismatch)", id, wc.addr)
 	}
 	if res.Err != "" {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mce/internal/decomp"
+	"mce/internal/telemetry"
 )
 
 // Worker processes block-analysis tasks for coordinators. The zero value is
@@ -27,6 +28,11 @@ type Worker struct {
 	// finish and ship their results before force-closing the remaining
 	// connections. 0 means 5s.
 	DrainTimeout time.Duration
+	// Metrics, when non-nil, receives worker-side telemetry: tasks served,
+	// errors, panics, bytes on the wire, per-combo block timings and the
+	// MCE recursion counters. Nil disables all instrumentation. Must be set
+	// before Serve.
+	Metrics *telemetry.Engine
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -234,6 +240,7 @@ func (w *Worker) serveConn(conn net.Conn) error {
 		flush = fw.Flush
 	}
 
+	met := w.Metrics
 	for {
 		var t blockTask
 		if err := dec.Decode(&t); err != nil {
@@ -247,11 +254,21 @@ func (w *Worker) serveConn(conn net.Conn) error {
 		if !w.beginTask() {
 			return nil
 		}
-		res := runTask(&t)
+		if met != nil {
+			met.BytesReceived.Add(t.wireSize())
+			met.TasksInFlight.Add(1)
+		}
+		res := runTask(&t, met)
+		if met != nil {
+			met.TasksInFlight.Add(-1)
+		}
 		res.Sum = res.payloadSum()
 		err := enc.Encode(&res)
 		if err == nil && flush != nil {
 			err = flush()
+		}
+		if err == nil && met != nil {
+			met.BytesSent.Add(res.wireSize())
 		}
 		w.endTask()
 		if err != nil {
@@ -263,16 +280,28 @@ func (w *Worker) serveConn(conn net.Conn) error {
 // runTask executes BLOCK-ANALYSIS for one task, capturing errors in-band.
 // A panicking block (malformed task, algorithm bug) is converted into an
 // in-band error instead of killing the worker process, so one poison task
-// cannot take down a node that other coordinators share.
-func runTask(t *blockTask) (res blockResult) {
+// cannot take down a node that other coordinators share. met may be nil.
+func runTask(t *blockTask, met *telemetry.Engine) (res blockResult) {
 	res = blockResult{ID: t.ID}
+	if met != nil {
+		met.TasksServed.Inc()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			res = blockResult{ID: t.ID, Err: fmt.Sprintf("panic in BLOCK-ANALYSIS: %v", r)}
+			if met != nil {
+				met.TaskPanics.Inc()
+			}
+		}
+		if met != nil && (res.Err != "" || res.Corrupt) {
+			met.TaskErrors.Inc()
 		}
 	}()
 	if t.Sum != t.payloadSum() {
 		res.Corrupt = true
+		if met != nil {
+			met.CorruptResults.Inc()
+		}
 		return res
 	}
 	b, combo, err := blockFromTask(t)
@@ -280,11 +309,22 @@ func runTask(t *blockTask) (res blockResult) {
 		res.Err = err.Error()
 		return res
 	}
-	err = decomp.AnalyzeBlock(b, combo, func(c []int32) {
+	var ins *telemetry.BlockInstr
+	var t0 time.Time
+	if met != nil {
+		ins = &telemetry.BlockInstr{}
+		t0 = time.Now()
+	}
+	err = decomp.AnalyzeBlockInstr(b, combo, func(c []int32) {
 		cp := make([]int32, len(c))
 		copy(cp, c)
 		res.Cliques = append(res.Cliques, cp)
-	})
+	}, ins)
+	if met != nil {
+		met.ComboAnalyzed(combo.Index(), combo.Label(), time.Since(t0))
+		met.MergeBlockInstr(ins)
+		met.CliquesFound.Add(int64(len(res.Cliques)))
+	}
 	if err != nil {
 		res.Err = err.Error()
 		res.Cliques = nil

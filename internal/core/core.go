@@ -33,6 +33,7 @@ import (
 	"mce/internal/graph"
 	"mce/internal/kcore"
 	"mce/internal/mcealg"
+	"mce/internal/telemetry"
 )
 
 // Executor runs BLOCK-ANALYSIS for a batch of blocks. combos[i] is the
@@ -95,6 +96,12 @@ type Options struct {
 	// for long runs. It must not block for long and must not call back
 	// into the engine.
 	OnLevel func(LevelStats)
+	// Metrics, when non-nil, receives live telemetry from every phase of
+	// the run (blocks, combo picks, per-block timings, filter time, and —
+	// through the executor — queue depth and algorithm counters). Nil
+	// disables telemetry entirely: every instrumentation site is behind a
+	// nil-check and the block-analysis hot loop allocates nothing extra.
+	Metrics *telemetry.Engine
 }
 
 // Schedule selects the block dispatch order handed to the Executor.
@@ -118,6 +125,11 @@ type LevelStats struct {
 	Feasible, Hubs int
 	// Blocks is the number of second-level blocks.
 	Blocks int
+	// Kernel, Border and Visited sum the three node classes of Algorithm 3
+	// across this level's blocks. Kernel always equals Feasible (every
+	// feasible node is kernel in exactly one block); Border and Visited
+	// measure the duplication the bounded-size decomposition pays.
+	Kernel, Border, Visited int
 	// Cliques counts the cliques found from this level's blocks (before
 	// higher levels' results are filtered against lower ones).
 	Cliques int
@@ -146,6 +158,10 @@ type Stats struct {
 	// recursion level ≥ 1, i.e. cliques made of hub nodes only — the
 	// cliques a hub-neglecting decomposition would lose (Figures 9–11).
 	HubCliques int
+	// Telemetry is the final metrics snapshot of the run when it was
+	// started with a telemetry engine (Options.Metrics, or the mce
+	// package's WithTelemetry/WithProgress options); nil otherwise.
+	Telemetry *telemetry.Snapshot
 }
 
 // Result is the outcome of FindMaxCliques.
@@ -166,6 +182,10 @@ type Result struct {
 type LocalExecutor struct {
 	// Parallelism is the worker count; 0 means GOMAXPROCS.
 	Parallelism int
+	// Metrics, when non-nil, receives per-block telemetry: queue depth,
+	// per-combo timings and the merged mcealg recursion counters. Nil
+	// keeps the worker loop allocation-free.
+	Metrics *telemetry.Engine
 }
 
 // AnalyzeBlocks implements Executor.
@@ -197,21 +217,45 @@ func (e *LocalExecutor) AnalyzeBlocksContext(ctx context.Context, blocks []decom
 		mu       sync.Mutex
 		firstErr error
 	)
+	met := e.Metrics
+	if met != nil {
+		met.QueueDepth.Add(int64(len(blocks)))
+	}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// ins is per-worker scratch: the recursion counts accumulate
+			// without atomics and merge into the engine once per block.
+			var ins *telemetry.BlockInstr
+			if met != nil {
+				ins = &telemetry.BlockInstr{}
+			}
 			for i := range next {
+				if met != nil {
+					met.QueueDepth.Add(-1)
+				}
 				if ctx.Err() != nil {
 					continue // drain the queue without analysing
 				}
+				var t0 time.Time
+				if met != nil {
+					met.TasksInFlight.Add(1)
+					t0 = time.Now()
+				}
 				var cliques [][]int32
-				err := decomp.AnalyzeBlock(&blocks[i], combos[i], func(c []int32) {
+				err := decomp.AnalyzeBlockInstr(&blocks[i], combos[i], func(c []int32) {
 					cp := make([]int32, len(c))
 					copy(cp, c)
 					cliques = append(cliques, cp)
-				})
+				}, ins)
+				if met != nil {
+					idx := combos[i].Index()
+					met.ComboAnalyzed(idx, combos[i].Label(), time.Since(t0))
+					met.MergeBlockInstr(ins)
+					met.TasksInFlight.Add(-1)
+				}
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -270,7 +314,7 @@ func FindMaxCliquesContext(ctx context.Context, g *graph.Graph, opts Options) (*
 	sel := selector(opts)
 	exec := opts.Executor
 	if exec == nil {
-		exec = &LocalExecutor{Parallelism: opts.Parallelism}
+		exec = &LocalExecutor{Parallelism: opts.Parallelism, Metrics: opts.Metrics}
 	}
 
 	res := &Result{Stats: Stats{BlockSize: m, MaxDegree: maxDeg}}
@@ -282,6 +326,10 @@ func FindMaxCliquesContext(ctx context.Context, g *graph.Graph, opts Options) (*
 		if lvl >= 1 {
 			res.Stats.HubCliques++
 		}
+	}
+	if opts.Metrics != nil {
+		snap := opts.Metrics.Snapshot()
+		res.Stats.Telemetry = &snap
 	}
 	return res, nil
 }
@@ -313,6 +361,7 @@ func findRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decomp.
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	met := opts.Metrics
 	start := time.Now()
 	feasible, hubs := decomp.Cut(g, m)
 
@@ -321,13 +370,27 @@ func findRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decomp.
 	// remaining graph is the terminal (m+1)-core. Enumerate it directly —
 	// Lemma 1 still applies with C2 = all maximal cliques of this subgraph.
 	if len(feasible) == 0 || (opts.MaxLevels > 0 && level >= opts.MaxLevels && len(hubs) > 0) {
-		return enumerateCore(g, sel, res, level, start)
+		return enumerateCore(g, sel, res, level, start, met)
 	}
 
 	blocks := decomp.Blocks(g, feasible, m, opts.Block)
 	combos := make([]mcealg.Combo, len(blocks))
+	var kernelSum, borderSum, visitedSum int
 	for i := range blocks {
 		combos[i] = sel(&blocks[i])
+		kernelSum += len(blocks[i].Kernel)
+		borderSum += len(blocks[i].Border)
+		visitedSum += len(blocks[i].Visited)
+		if met != nil {
+			idx := combos[i].Index()
+			met.ComboPicked(idx, combos[i].Label())
+		}
+	}
+	if met != nil {
+		met.BlocksBuilt.Add(int64(len(blocks)))
+		met.KernelNodes.Add(int64(kernelSum))
+		met.BorderNodes.Add(int64(borderSum))
+		met.VisitedNodes.Add(int64(visitedSum))
 	}
 	decompTime := time.Since(start)
 
@@ -348,10 +411,15 @@ func findRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decomp.
 	res.Stats.Levels = append(res.Stats.Levels, LevelStats{
 		Nodes: g.N(), Edges: g.M(),
 		Feasible: len(feasible), Hubs: len(hubs),
-		Blocks:  len(blocks),
+		Blocks: len(blocks),
+		Kernel: kernelSum, Border: borderSum, Visited: visitedSum,
 		Cliques: len(res.Cliques) - cfStart,
 		Decomp:  decompTime, Analysis: analysisTime,
 	})
+	if met != nil {
+		met.CliquesFound.Add(int64(len(res.Cliques) - cfStart))
+		met.LevelsCompleted.Inc()
+	}
 	if opts.OnLevel != nil {
 		opts.OnLevel(res.Stats.Levels[len(res.Stats.Levels)-1])
 	}
@@ -390,15 +458,22 @@ func findRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decomp.
 		ix := filter.NewIndex(res.Cliques[cfStart:])
 		drop = ix.ContainedIn
 	}
+	dropped := 0
 	for i, c := range ch {
-		if !drop(c) {
-			res.Cliques = append(res.Cliques, c)
-			// subRes was built with level+1, so its Level entries are
-			// already absolute recursion depths.
-			res.Level = append(res.Level, subRes.Level[i])
+		if drop(c) {
+			dropped++
+			continue
 		}
+		res.Cliques = append(res.Cliques, c)
+		// subRes was built with level+1, so its Level entries are
+		// already absolute recursion depths.
+		res.Level = append(res.Level, subRes.Level[i])
 	}
 	res.Stats.FilterTime += time.Since(start)
+	if met != nil {
+		met.FilterNs.Add(int64(time.Since(start)))
+		met.HubCliquesFiltered.Add(int64(dropped))
+	}
 	return nil
 }
 
@@ -450,9 +525,12 @@ func analyzeScheduled(ctx context.Context, exec Executor, blocks []decomp.Block,
 }
 
 // enumerateCore handles the terminal core directly with a single MCE run.
-func enumerateCore(g *graph.Graph, sel func(*decomp.Block) mcealg.Combo, res *Result, level int, start time.Time) error {
+func enumerateCore(g *graph.Graph, sel func(*decomp.Block) mcealg.Combo, res *Result, level int, start time.Time, met *telemetry.Engine) error {
 	blk := wholeGraphBlock(g)
 	combo := sel(blk)
+	if met != nil {
+		met.ComboPicked(combo.Index(), combo.Label())
+	}
 	n := 0
 	err := mcealg.Enumerate(g, combo, func(c []int32) {
 		cp := make([]int32, len(c))
@@ -469,6 +547,10 @@ func enumerateCore(g *graph.Graph, sel func(*decomp.Block) mcealg.Combo, res *Re
 		Nodes: g.N(), Edges: g.M(), Hubs: g.N(),
 		Cliques: n, Analysis: time.Since(start),
 	})
+	if met != nil {
+		met.CliquesFound.Add(int64(n))
+		met.LevelsCompleted.Inc()
+	}
 	return nil
 }
 

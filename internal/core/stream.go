@@ -51,11 +51,15 @@ func StreamContext(ctx context.Context, g *graph.Graph, opts Options, emit func(
 	sel := selector(opts)
 	exec := opts.Executor
 	if exec == nil {
-		exec = &LocalExecutor{Parallelism: opts.Parallelism}
+		exec = &LocalExecutor{Parallelism: opts.Parallelism, Metrics: opts.Metrics}
 	}
 	stats := &Stats{BlockSize: m, MaxDegree: maxDeg}
 	if err := streamRecursive(ctx, g, m, sel, exec, opts, stats, 0, emit); err != nil {
 		return nil, err
+	}
+	if opts.Metrics != nil {
+		snap := opts.Metrics.Snapshot()
+		stats.Telemetry = &snap
 	}
 	return stats, nil
 }
@@ -64,12 +68,16 @@ func streamRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decom
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	met := opts.Metrics
 	start := time.Now()
 	feasible, hubs := decomp.Cut(g, m)
 
 	if len(feasible) == 0 || (opts.MaxLevels > 0 && level >= opts.MaxLevels && len(hubs) > 0) {
 		blk := wholeGraphBlock(g)
 		combo := sel(blk)
+		if met != nil {
+			met.ComboPicked(combo.Index(), combo.Label())
+		}
 		n := 0
 		err := mcealg.Enumerate(g, combo, func(c []int32) {
 			emit(c, level)
@@ -84,13 +92,31 @@ func streamRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decom
 			Nodes: g.N(), Edges: g.M(), Hubs: g.N(),
 			Cliques: n, Analysis: time.Since(start),
 		})
+		if met != nil {
+			met.CliquesFound.Add(int64(n))
+			met.LevelsCompleted.Inc()
+		}
 		return nil
 	}
 
 	blocks := decomp.Blocks(g, feasible, m, opts.Block)
 	combos := make([]mcealg.Combo, len(blocks))
+	var kernelSum, borderSum, visitedSum int
 	for i := range blocks {
 		combos[i] = sel(&blocks[i])
+		kernelSum += len(blocks[i].Kernel)
+		borderSum += len(blocks[i].Border)
+		visitedSum += len(blocks[i].Visited)
+		if met != nil {
+			idx := combos[i].Index()
+			met.ComboPicked(idx, combos[i].Label())
+		}
+	}
+	if met != nil {
+		met.BlocksBuilt.Add(int64(len(blocks)))
+		met.KernelNodes.Add(int64(kernelSum))
+		met.BorderNodes.Add(int64(borderSum))
+		met.VisitedNodes.Add(int64(visitedSum))
 	}
 	decompTime := time.Since(start)
 
@@ -111,10 +137,15 @@ func streamRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decom
 	stats.Levels = append(stats.Levels, LevelStats{
 		Nodes: g.N(), Edges: g.M(),
 		Feasible: len(feasible), Hubs: len(hubs),
-		Blocks:  len(blocks),
+		Blocks: len(blocks),
+		Kernel: kernelSum, Border: borderSum, Visited: visitedSum,
 		Cliques: levelCliques,
 		Decomp:  decompTime, Analysis: analysisTime,
 	})
+	if met != nil {
+		met.CliquesFound.Add(int64(levelCliques))
+		met.LevelsCompleted.Inc()
+	}
 	if opts.OnLevel != nil {
 		opts.OnLevel(stats.Levels[len(stats.Levels)-1])
 	}
@@ -136,11 +167,17 @@ func streamRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decom
 		}
 		start := time.Now()
 		keep := !filter.Extensible(g, translated, isFeasible)
-		stats.FilterTime += time.Since(start)
+		elapsed := time.Since(start)
+		stats.FilterTime += elapsed
+		if met != nil {
+			met.FilterNs.Add(int64(elapsed))
+		}
 		if keep {
 			emit(translated, level+1+subLevel)
 			stats.TotalCliques++
 			stats.HubCliques++
+		} else if met != nil {
+			met.HubCliquesFiltered.Inc()
 		}
 	}
 	subStats := &Stats{}

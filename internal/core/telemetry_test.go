@@ -1,0 +1,205 @@
+package core
+
+import (
+	"testing"
+
+	"mce/internal/decomp"
+	"mce/internal/gen"
+	"mce/internal/graph"
+	"mce/internal/mcealg"
+	"mce/internal/telemetry"
+)
+
+// telemetryGraph is a multi-level test input: a Holme–Kim scale-free graph
+// whose hubs force at least one hub recursion at a small m.
+func telemetryGraph() *graph.Graph {
+	return gen.HolmeKim(300, 4, 0.6, 7)
+}
+
+func TestFindMaxCliquesTelemetrySnapshot(t *testing.T) {
+	g := telemetryGraph()
+	eng := telemetry.NewEngine()
+	res, err := FindMaxCliques(g, Options{BlockRatio: 0.3, Metrics: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertComplete(t, g, res)
+
+	s := res.Stats.Telemetry
+	if s == nil {
+		t.Fatal("Stats.Telemetry is nil with Metrics set")
+	}
+	if s.BlocksBuilt == 0 || s.BlocksAnalyzed != s.BlocksBuilt {
+		t.Fatalf("blocks built=%d analysed=%d", s.BlocksBuilt, s.BlocksAnalyzed)
+	}
+	if s.RecursionNodes == 0 || s.PivotSelections == 0 {
+		t.Fatalf("mcealg counters empty: nodes=%d pivots=%d", s.RecursionNodes, s.PivotSelections)
+	}
+	if s.LevelsCompleted != int64(len(res.Stats.Levels)) {
+		t.Fatalf("LevelsCompleted = %d, want %d", s.LevelsCompleted, len(res.Stats.Levels))
+	}
+	if s.QueueDepth != 0 || s.TasksInFlight != 0 {
+		t.Fatalf("gauges not back to zero: queue=%d inflight=%d", s.QueueDepth, s.TasksInFlight)
+	}
+	if s.BlockNs.Count != s.BlocksAnalyzed {
+		t.Fatalf("BlockNs.Count = %d, want %d", s.BlockNs.Count, s.BlocksAnalyzed)
+	}
+	var picks int64
+	for _, c := range s.Combos {
+		picks += c.Picks
+		if c.Combo == "" {
+			t.Fatalf("combo slot without label: %+v", c)
+		}
+	}
+	if picks < s.BlocksBuilt {
+		t.Fatalf("combo picks = %d, want ≥ %d", picks, s.BlocksBuilt)
+	}
+	// CliquesFound counts raw per-level discoveries; the Lemma 1 filter
+	// removes HubCliquesFiltered of them to produce the returned family.
+	if s.CliquesFound-s.HubCliquesFiltered != int64(res.Stats.TotalCliques) {
+		t.Fatalf("found %d − filtered %d ≠ returned %d",
+			s.CliquesFound, s.HubCliquesFiltered, res.Stats.TotalCliques)
+	}
+}
+
+func TestTelemetryNilByDefault(t *testing.T) {
+	res, err := FindMaxCliques(telemetryGraph(), Options{BlockRatio: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Telemetry != nil {
+		t.Fatalf("Stats.Telemetry = %+v without Metrics", res.Stats.Telemetry)
+	}
+}
+
+func TestStreamTelemetrySnapshot(t *testing.T) {
+	g := telemetryGraph()
+	eng := telemetry.NewEngine()
+	n := 0
+	stats, err := Stream(g, Options{BlockRatio: 0.3, Metrics: eng}, func([]int32, int) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := stats.Telemetry
+	if s == nil {
+		t.Fatal("stream Stats.Telemetry is nil with Metrics set")
+	}
+	if s.BlocksBuilt == 0 || s.RecursionNodes == 0 {
+		t.Fatalf("stream telemetry empty: %+v", s)
+	}
+	if s.CliquesFound-s.HubCliquesFiltered != int64(n) {
+		t.Fatalf("found %d − filtered %d ≠ emitted %d", s.CliquesFound, s.HubCliquesFiltered, n)
+	}
+}
+
+// TestLevelStatsAggregation pins the cross-level accounting of Stats.Levels
+// against the run's ground truth: per-level Kernel equals Feasible (every
+// feasible node is kernel in exactly one block), the level clique counts sum
+// to the raw discoveries, and the returned totals match TotalCliques and
+// HubCliques.
+func TestLevelStatsAggregation(t *testing.T) {
+	g := telemetryGraph()
+	eng := telemetry.NewEngine()
+	res, err := FindMaxCliques(g, Options{BlockRatio: 0.25, Metrics: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Levels) < 2 {
+		t.Fatalf("want a multi-level run, got %d levels", len(res.Stats.Levels))
+	}
+	var levelCliques int64
+	for i, lvl := range res.Stats.Levels {
+		if lvl.Blocks > 0 && lvl.Kernel != lvl.Feasible {
+			t.Fatalf("level %d: Kernel %d ≠ Feasible %d", i, lvl.Kernel, lvl.Feasible)
+		}
+		if lvl.Blocks > 0 && lvl.Kernel+lvl.Border+lvl.Visited < lvl.Nodes {
+			// Blocks cover the level's graph: every node is kernel, border
+			// or visited in at least one block.
+			t.Fatalf("level %d: kernel+border+visited %d < nodes %d",
+				i, lvl.Kernel+lvl.Border+lvl.Visited, lvl.Nodes)
+		}
+		levelCliques += int64(lvl.Cliques)
+	}
+	s := res.Stats.Telemetry
+	if levelCliques != s.CliquesFound {
+		t.Fatalf("sum(Levels.Cliques) = %d, telemetry CliquesFound = %d", levelCliques, s.CliquesFound)
+	}
+	if levelCliques-s.HubCliquesFiltered != int64(res.Stats.TotalCliques) {
+		t.Fatalf("levels %d − filtered %d ≠ total %d", levelCliques, s.HubCliquesFiltered, res.Stats.TotalCliques)
+	}
+	hubLevels := 0
+	for _, lvl := range res.Level {
+		if lvl >= 1 {
+			hubLevels++
+		}
+	}
+	if hubLevels != res.Stats.HubCliques {
+		t.Fatalf("Level entries ≥1 = %d, HubCliques = %d", hubLevels, res.Stats.HubCliques)
+	}
+	if res.Stats.TotalCliques != len(res.Cliques) {
+		t.Fatalf("TotalCliques %d ≠ len(Cliques) %d", res.Stats.TotalCliques, len(res.Cliques))
+	}
+}
+
+// TestAnalyzeBlockInstrNilAllocsMatch proves the acceptance criterion that
+// disabled telemetry adds zero allocations to the block-analysis hot loop:
+// AnalyzeBlockInstr with a nil receiver allocates exactly as much as the
+// pre-telemetry AnalyzeBlock entry point.
+func TestAnalyzeBlockInstrNilAllocsMatch(t *testing.T) {
+	g := gen.HolmeKim(200, 5, 0.5, 3)
+	feasible, _ := decomp.Cut(g, 40)
+	blocks := decomp.Blocks(g, feasible, 40, decomp.Options{})
+	if len(blocks) == 0 {
+		t.Fatal("no blocks")
+	}
+	combo := mcealg.Combo{Alg: mcealg.Tomita, Struct: mcealg.BitSets}
+	emit := func([]int32) {}
+	base := testing.AllocsPerRun(20, func() {
+		for i := range blocks {
+			if err := decomp.AnalyzeBlock(&blocks[i], combo, emit); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	instr := testing.AllocsPerRun(20, func() {
+		for i := range blocks {
+			if err := decomp.AnalyzeBlockInstr(&blocks[i], combo, emit, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if instr > base {
+		t.Fatalf("AnalyzeBlockInstr(nil) allocates %v/run, AnalyzeBlock %v/run", instr, base)
+	}
+}
+
+// BenchmarkAnalyzeBlocksTelemetry quantifies the telemetry overhead on the
+// block-analysis loop. The disabled case must report 0 B/op extra versus
+// never instrumenting at all — run with -benchmem to inspect.
+func BenchmarkAnalyzeBlocksTelemetry(b *testing.B) {
+	g := gen.HolmeKim(400, 5, 0.5, 3)
+	feasible, _ := decomp.Cut(g, 60)
+	blocks := decomp.Blocks(g, feasible, 60, decomp.Options{})
+	combos := make([]mcealg.Combo, len(blocks))
+	for i := range blocks {
+		combos[i] = mcealg.Combo{Alg: mcealg.Tomita, Struct: mcealg.BitSets}
+	}
+	emit := func([]int32) {}
+	run := func(b *testing.B, ins *telemetry.BlockInstr, eng *telemetry.Engine) {
+		b.ReportAllocs()
+		for n := 0; n < b.N; n++ {
+			for i := range blocks {
+				if err := decomp.AnalyzeBlockInstr(&blocks[i], combos[i], emit, ins); err != nil {
+					b.Fatal(err)
+				}
+				if eng != nil {
+					eng.MergeBlockInstr(ins)
+				}
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil, nil) })
+	b.Run("enabled", func(b *testing.B) {
+		run(b, &telemetry.BlockInstr{}, telemetry.NewEngine())
+	})
+}

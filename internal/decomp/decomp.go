@@ -19,6 +19,7 @@ import (
 	"mce/internal/bitset"
 	"mce/internal/graph"
 	"mce/internal/mcealg"
+	"mce/internal/telemetry"
 )
 
 // Cut performs the first-level decomposition: it splits the nodes of g into
@@ -248,6 +249,15 @@ func FixedCombo(c mcealg.Combo) ComboSelector {
 // are emitted exactly once per block; across blocks, the visited mechanism
 // guarantees global uniqueness. The slice passed to emit is reused.
 func AnalyzeBlock(b *Block, combo mcealg.Combo, emit func(clique []int32)) error {
+	return AnalyzeBlockInstr(b, combo, emit, nil)
+}
+
+// AnalyzeBlockInstr is AnalyzeBlock with optional instrumentation: when ins
+// is non-nil, the block's MCE recursion-node and pivot-selection counts are
+// added to it after the analysis. A nil ins takes the identical code path
+// with zero extra allocations — the instrumented executors pass nil when
+// telemetry is disabled, keeping the hot loop paper-faithful.
+func AnalyzeBlockInstr(b *Block, combo mcealg.Combo, emit func(clique []int32), ins *telemetry.BlockInstr) error {
 	n := b.Graph.N()
 	// P starts as K ∪ H; V̄ starts as the visited set (line 2–3).
 	P := bitset.New(n)
@@ -290,6 +300,11 @@ func AnalyzeBlock(b *Block, combo mcealg.Combo, emit func(clique []int32)) error
 		// k is done: all cliques through it are found (lines 7–8).
 		P.Remove(k)
 		vbar.Add(k)
+	}
+	if ins != nil {
+		nodes, pivots := runner.Counts()
+		ins.RecursionNodes += nodes
+		ins.PivotSelections += pivots
 	}
 	return nil
 }

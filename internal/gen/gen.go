@@ -12,6 +12,7 @@ package gen
 import (
 	"math"
 	"math/rand"
+	"slices"
 
 	"mce/internal/graph"
 )
@@ -63,7 +64,9 @@ func BarabasiAlbert(n, k int, seed int64) *graph.Graph {
 		for len(targets) < k {
 			targets[repeated[rng.Intn(len(repeated))]] = true
 		}
-		for u := range targets {
+		// Drain the target set in sorted order: repeated is sampled by
+		// index later, so its contents must not depend on map order.
+		for _, u := range neighborsOf(targets) {
 			b.AddEdge(v, u)
 			repeated = append(repeated, v, u)
 		}
@@ -173,6 +176,10 @@ func neighborsOf(m map[int32]bool) []int32 {
 	for v := range m {
 		out = append(out, v)
 	}
+	// Map iteration order is randomized per process; sorting keeps the
+	// seeded rng draw below — and therefore the whole generated graph —
+	// identical across runs of the same binary.
+	slices.Sort(out)
 	return out
 }
 

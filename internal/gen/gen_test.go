@@ -395,3 +395,29 @@ func TestMoonMoser(t *testing.T) {
 		t.Fatalf("clamped MoonMoser N = %d", g2.N())
 	}
 }
+
+// Every seeded generator must produce bit-identical graphs for the same
+// seed, even within one process: Go randomizes map iteration per range
+// statement, so any generator that lets map order leak into an rng-indexed
+// draw produces a different graph on every call. (Regression test: HolmeKim
+// and BarabasiAlbert once did exactly that via their adjacency maps.)
+func TestSeededGeneratorsAreDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		make func() *graph.Graph
+	}{
+		{"BarabasiAlbert", func() *graph.Graph { return BarabasiAlbert(500, 4, 42) }},
+		{"HolmeKim", func() *graph.Graph { return HolmeKim(500, 5, 0.6, 42) }},
+		{"WattsStrogatz", func() *graph.Graph { return WattsStrogatz(500, 6, 0.3, 42) }},
+		{"PowerLawConfiguration", func() *graph.Graph { return PowerLawConfiguration(500, 2.5, 2, 50, 42) }},
+		{"PlantCliques", func() *graph.Graph {
+			return PlantCliques(ErdosRenyi(200, 0.05, 1), 5, 4, 8, 42)
+		}},
+	}
+	for _, tc := range cases {
+		a, b := tc.make(), tc.make()
+		if !edgesEqual(a, b) {
+			t.Errorf("%s: same seed produced different graphs (%d vs %d edges)", tc.name, a.M(), b.M())
+		}
+	}
+}

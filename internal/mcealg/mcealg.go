@@ -76,9 +76,35 @@ type Combo struct {
 	Struct Structure
 }
 
+// NumCombos is the size of the framework's combination grid (Table 1).
+const NumCombos = 12
+
+// Index maps the combo onto 0..NumCombos-1 — structures outer, algorithms
+// inner, matching the AllCombos order — for per-combo telemetry slots.
+func (c Combo) Index() int { return int(c.Struct)*4 + int(c.Alg) }
+
 // String renders the combo in the paper's "[Structure / Algorithm]" style.
 func (c Combo) String() string {
 	return fmt.Sprintf("[%s/%s]", c.Struct, c.Alg)
+}
+
+// comboNames caches every combo's String so Label never allocates — the
+// telemetry hot paths record a label per block.
+var comboNames = func() [NumCombos]string {
+	var names [NumCombos]string
+	for _, c := range AllCombos() {
+		names[c.Index()] = c.String()
+	}
+	return names
+}()
+
+// Label is String without the fmt allocation, for telemetry hot paths. It
+// returns "" for a combo outside the 12 valid combinations.
+func (c Combo) Label() string {
+	if i := c.Index(); i >= 0 && i < NumCombos {
+		return comboNames[i]
+	}
+	return ""
 }
 
 // AllCombos returns the 12 data-structure/algorithm combinations in a stable
@@ -163,6 +189,15 @@ func (r *Runner) Subproblem(R []int32, P, X *bitset.Set, emit func(clique []int3
 	r.e.emit = nil
 }
 
+// Counts reports how many MCE recursion-tree nodes were expanded and how
+// many pivot selections were made across every subproblem run on this
+// runner so far — the per-block work measures the telemetry layer
+// aggregates (the load-imbalance signal of the shared-memory parallel MCE
+// literature).
+func (r *Runner) Counts() (recursionNodes, pivotSelections int64) {
+	return r.e.nodes, r.e.pivots
+}
+
 // Collect runs Enumerate and gathers the cliques into a slice of ascending
 // node-ID slices.
 func Collect(g *graph.Graph, c Combo) ([][]int32, error) {
@@ -184,12 +219,17 @@ func Count(g *graph.Graph, c Combo) (int, error) {
 
 // enumerator carries the per-run state: the adjacency structure, a free list
 // of scratch bit sets (recursion allocates two per level), and the emit sink.
+// nodes and pivots count recursion-tree expansions and pivot selections;
+// they are plain fields updated single-threaded, so the recursion pays one
+// register increment and telemetry merges them per block after the fact.
 type enumerator struct {
-	adj  adjacency
-	n    int
-	emit func([]int32)
-	free []*bitset.Set
-	buf  []int32 // reusable emit buffer
+	adj    adjacency
+	n      int
+	emit   func([]int32)
+	free   []*bitset.Set
+	buf    []int32 // reusable emit buffer
+	nodes  int64
+	pivots int64
 }
 
 func (e *enumerator) get() *bitset.Set {
@@ -216,6 +256,7 @@ func (e *enumerator) report(R []int32) {
 // bk is the pivoted Bron–Kerbosch recursion shared by BKPivot, Tomita and
 // XPivot; the three differ only in pivot choice.
 func (e *enumerator) bk(alg Algorithm, R []int32, P, X *bitset.Set) {
+	e.nodes++
 	if P.Empty() {
 		if X.Empty() {
 			e.report(R)
@@ -246,6 +287,7 @@ func (e *enumerator) bk(alg Algorithm, R []int32, P, X *bitset.Set) {
 //   - XPivot: like Tomita but restricted to the visited set X when X is
 //     non-empty (the paper's variant), falling back to P otherwise.
 func (e *enumerator) pivot(alg Algorithm, P, X *bitset.Set) int32 {
+	e.pivots++
 	switch alg {
 	case BKPivot:
 		best, bestDeg := int32(-1), -1
@@ -290,6 +332,7 @@ func (e *enumerator) pivot(alg Algorithm, P, X *bitset.Set) int32 {
 // a candidate set no larger than the degeneracy; recursion uses the Tomita
 // pivot, as in [17].
 func (e *enumerator) eppstein(R []int32, P, X *bitset.Set) {
+	e.nodes++
 	if P.Empty() {
 		if X.Empty() {
 			e.report(R)

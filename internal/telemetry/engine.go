@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// NumCombos is the number of algorithm/data-structure combinations the
+// engine tracks per-combo statistics for — the 4×3 grid of the paper's
+// Table 1. Indices come from mcealg.Combo.Index (structures outer,
+// algorithms inner); telemetry itself stays independent of that package and
+// learns the display label of each slot lazily from the caller.
+const NumCombos = 12
+
+// comboCell is one slot of the per-combo pick/timing distribution.
+type comboCell struct {
+	label  atomic.Pointer[string]
+	picks  Counter // decision-tree selections of this combo
+	blocks Counter // blocks analysed with this combo
+	ns     Counter // total analysis time, nanoseconds
+}
+
+// Engine is the live metrics registry for one enumeration run or one worker
+// process. All fields are safe for concurrent update; a nil *Engine means
+// telemetry is disabled and every instrumentation site must be guarded by a
+// nil-check, keeping the paper-faithful fast path allocation-free.
+//
+// One Engine type serves every role (coordinator, local pool, remote
+// worker); fields irrelevant to a role simply stay zero and are easy to
+// read as such in the snapshot.
+type Engine struct {
+	// Decomposition (internal/core).
+	BlocksBuilt        Counter // second-level blocks constructed
+	KernelNodes        Counter // total kernel entries across blocks
+	BorderNodes        Counter // total border entries across blocks
+	VisitedNodes       Counter // total visited entries across blocks
+	LevelsCompleted    Counter // first-level recursion levels finished
+	CliquesFound       Counter // cliques emitted by block analysis (pre-filter)
+	HubCliquesFiltered Counter // hub-side cliques dropped by the Lemma 1 filter
+	FilterNs           Counter // total Lemma 1 filter time, nanoseconds
+	QueueDepth         Gauge   // blocks queued for analysis right now
+
+	// Block analysis (internal/core executors, internal/cluster worker).
+	BlocksAnalyzed Counter // blocks fully analysed
+
+	// Algorithm internals (internal/mcealg, merged per block).
+	RecursionNodes  Counter // MCE recursion tree nodes expanded
+	PivotSelections Counter // pivot choices made
+
+	// Cluster coordinator (internal/cluster.Client).
+	TasksInFlight  Gauge   // tasks currently on the wire or being analysed
+	TaskRetries    Counter // transport failures that requeued a block
+	Reconnects     Counter // dead worker connections revived
+	PoisonTasks    Counter // blocks that exhausted their retry budget
+	CorruptResults Counter // checksum mismatches detected (either direction)
+	BytesSent      Counter // estimated payload bytes shipped
+	BytesReceived  Counter // estimated payload bytes received
+
+	// Cluster worker (internal/cluster.Worker).
+	TasksServed Counter // tasks answered by this worker
+	TaskErrors  Counter // tasks answered with an in-band application error
+	TaskPanics  Counter // block analyses that panicked (isolated in-band)
+
+	// BlockNs is the per-block analysis wall-time distribution; RoundTripNs
+	// is the coordinator-side task round-trip distribution (send → analyse →
+	// receive, including simulated link costs).
+	BlockNs     *Histogram
+	RoundTripNs *Histogram
+
+	combos [NumCombos]comboCell
+}
+
+// NewEngine returns a ready-to-use engine.
+func NewEngine() *Engine {
+	return &Engine{
+		BlockNs:     NewDurationHistogram(),
+		RoundTripNs: NewDurationHistogram(),
+	}
+}
+
+// ComboPicked records one decision-tree (or fixed-combo) selection. label is
+// the display name ("[Lists/Tomita]"); it is stored on first use so the
+// snapshot can name the slot without this package importing mcealg.
+func (e *Engine) ComboPicked(i int, label string) {
+	if i < 0 || i >= NumCombos {
+		return
+	}
+	c := &e.combos[i]
+	if c.label.Load() == nil {
+		l := label
+		c.label.Store(&l)
+	}
+	c.picks.Inc()
+}
+
+// ComboAnalyzed records one completed block analysis with the given combo:
+// the per-combo block count and total time, the global BlocksAnalyzed
+// counter and the BlockNs histogram.
+func (e *Engine) ComboAnalyzed(i int, label string, d time.Duration) {
+	e.BlocksAnalyzed.Inc()
+	e.BlockNs.Observe(int64(d))
+	if i < 0 || i >= NumCombos {
+		return
+	}
+	c := &e.combos[i]
+	if c.label.Load() == nil {
+		l := label
+		c.label.Store(&l)
+	}
+	c.blocks.Inc()
+	c.ns.Add(int64(d))
+}
+
+// BlockInstr accumulates the single-threaded per-block algorithm counters
+// (plain fields, no atomics) so the MCE recursion itself never touches
+// shared state; the executor merges it into the engine once per block.
+type BlockInstr struct {
+	RecursionNodes  int64
+	PivotSelections int64
+}
+
+// MergeBlockInstr folds one block's counters into the shared engine (two
+// atomic adds) and resets ins for reuse.
+func (e *Engine) MergeBlockInstr(ins *BlockInstr) {
+	if ins == nil {
+		return
+	}
+	e.RecursionNodes.Add(ins.RecursionNodes)
+	e.PivotSelections.Add(ins.PivotSelections)
+	*ins = BlockInstr{}
+}
+
+// ComboStat is one row of the per-combo distribution in a Snapshot.
+type ComboStat struct {
+	Combo   string `json:"combo"`
+	Picks   int64  `json:"picks"`
+	Blocks  int64  `json:"blocks"`
+	TotalNs int64  `json:"total_ns"`
+}
+
+// Snapshot is a point-in-time JSON view of an Engine. Field semantics match
+// the Engine field of the same name; Combos lists only slots that were ever
+// picked or analysed.
+type Snapshot struct {
+	BlocksBuilt        int64 `json:"blocks_built"`
+	KernelNodes        int64 `json:"kernel_nodes"`
+	BorderNodes        int64 `json:"border_nodes"`
+	VisitedNodes       int64 `json:"visited_nodes"`
+	LevelsCompleted    int64 `json:"levels_completed"`
+	CliquesFound       int64 `json:"cliques_found"`
+	HubCliquesFiltered int64 `json:"hub_cliques_filtered"`
+	FilterNs           int64 `json:"filter_ns"`
+	QueueDepth         int64 `json:"queue_depth"`
+
+	BlocksAnalyzed int64 `json:"blocks_analyzed"`
+
+	RecursionNodes  int64 `json:"recursion_nodes"`
+	PivotSelections int64 `json:"pivot_selections"`
+
+	TasksInFlight  int64 `json:"tasks_in_flight"`
+	TaskRetries    int64 `json:"task_retries"`
+	Reconnects     int64 `json:"reconnects"`
+	PoisonTasks    int64 `json:"poison_tasks"`
+	CorruptResults int64 `json:"corrupt_results"`
+	BytesSent      int64 `json:"bytes_sent"`
+	BytesReceived  int64 `json:"bytes_received"`
+
+	TasksServed int64 `json:"tasks_served"`
+	TaskErrors  int64 `json:"task_errors"`
+	TaskPanics  int64 `json:"task_panics"`
+
+	BlockNs     HistogramSnapshot `json:"block_ns"`
+	RoundTripNs HistogramSnapshot `json:"round_trip_ns"`
+
+	Combos []ComboStat `json:"combos,omitempty"`
+}
+
+// Snapshot captures the engine's current state. It is safe to call while
+// the run is in flight; counters are read individually, so totals may be
+// off by the updates racing the read — fine for progress reporting.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		BlocksBuilt:        e.BlocksBuilt.Load(),
+		KernelNodes:        e.KernelNodes.Load(),
+		BorderNodes:        e.BorderNodes.Load(),
+		VisitedNodes:       e.VisitedNodes.Load(),
+		LevelsCompleted:    e.LevelsCompleted.Load(),
+		CliquesFound:       e.CliquesFound.Load(),
+		HubCliquesFiltered: e.HubCliquesFiltered.Load(),
+		FilterNs:           e.FilterNs.Load(),
+		QueueDepth:         e.QueueDepth.Load(),
+		BlocksAnalyzed:     e.BlocksAnalyzed.Load(),
+		RecursionNodes:     e.RecursionNodes.Load(),
+		PivotSelections:    e.PivotSelections.Load(),
+		TasksInFlight:      e.TasksInFlight.Load(),
+		TaskRetries:        e.TaskRetries.Load(),
+		Reconnects:         e.Reconnects.Load(),
+		PoisonTasks:        e.PoisonTasks.Load(),
+		CorruptResults:     e.CorruptResults.Load(),
+		BytesSent:          e.BytesSent.Load(),
+		BytesReceived:      e.BytesReceived.Load(),
+		TasksServed:        e.TasksServed.Load(),
+		TaskErrors:         e.TaskErrors.Load(),
+		TaskPanics:         e.TaskPanics.Load(),
+		BlockNs:            e.BlockNs.Snapshot(),
+		RoundTripNs:        e.RoundTripNs.Snapshot(),
+	}
+	for i := range e.combos {
+		c := &e.combos[i]
+		picks, blocks := c.picks.Load(), c.blocks.Load()
+		if picks == 0 && blocks == 0 {
+			continue
+		}
+		name := "combo-" + strconv.Itoa(i)
+		if l := c.label.Load(); l != nil {
+			name = *l
+		}
+		s.Combos = append(s.Combos, ComboStat{Combo: name, Picks: picks, Blocks: blocks, TotalNs: c.ns.Load()})
+	}
+	return s
+}

@@ -28,6 +28,7 @@ package mce
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"mce/internal/cluster"
@@ -36,6 +37,7 @@ import (
 	"mce/internal/gio"
 	"mce/internal/graph"
 	"mce/internal/mcealg"
+	"mce/internal/telemetry"
 )
 
 // Graph is a simple undirected graph with dense int32 node IDs.
@@ -81,12 +83,27 @@ func LoadBounded(path string) (*Graph, *LabelMap, error) { return gio.LoadFileBo
 // mirroring Load.
 func Save(path string, g *Graph) error { return gio.SaveFile(path, g) }
 
+// TelemetrySnapshot is a point-in-time view of the engine's metrics; see
+// the field docs in internal/telemetry.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryEngine accumulates live metrics for a run. Obtain one with
+// NewTelemetryEngine, pass it via WithTelemetryEngine, and snapshot it at
+// any time — including from another goroutine while the run is in flight
+// (e.g. an HTTP debug handler).
+type TelemetryEngine = telemetry.Engine
+
+// NewTelemetryEngine returns an empty telemetry engine.
+func NewTelemetryEngine() *TelemetryEngine { return telemetry.NewEngine() }
+
 // config collects the functional options.
 type config struct {
-	core    core.Options
-	workers []string
-	cliOpts cluster.ClientOptions
-	report  func(DialReport)
+	core             core.Options
+	workers          []string
+	cliOpts          cluster.ClientOptions
+	report           func(DialReport)
+	progress         func(TelemetrySnapshot)
+	progressInterval time.Duration
 }
 
 // Option customises Enumerate.
@@ -259,6 +276,51 @@ func WithAutoReconnect() Option {
 	}
 }
 
+// WithTelemetry records metrics during the run and attaches the final
+// snapshot to Stats.Telemetry. Without it (or one of the other telemetry
+// options) the instrumentation is disabled entirely and the hot paths pay
+// nothing for it.
+func WithTelemetry() Option {
+	return func(c *config) error {
+		if c.core.Metrics == nil {
+			c.core.Metrics = telemetry.NewEngine()
+		}
+		return nil
+	}
+}
+
+// WithTelemetryEngine records metrics into a caller-owned engine, so the
+// same counters can be shared with a debug HTTP server or snapshotted
+// mid-run. Implies WithTelemetry.
+func WithTelemetryEngine(e *TelemetryEngine) Option {
+	return func(c *config) error {
+		if e == nil {
+			return fmt.Errorf("mce: WithTelemetryEngine needs an engine")
+		}
+		c.core.Metrics = e
+		return nil
+	}
+}
+
+// WithProgress delivers a live telemetry snapshot to fn every interval
+// while the run is in flight, plus one final snapshot when it completes —
+// so fn always observes the run at least once, however short it was. fn is
+// called from a dedicated goroutine and must not block for long. Implies
+// WithTelemetry.
+func WithProgress(fn func(TelemetrySnapshot), interval time.Duration) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("mce: WithProgress needs a callback")
+		}
+		if interval <= 0 {
+			return fmt.Errorf("mce: progress interval %v is not positive", interval)
+		}
+		c.progress = fn
+		c.progressInterval = interval
+		return nil
+	}
+}
+
 // DialReport describes how the worker dial went; see cluster.DialReport.
 type DialReport = cluster.DialReport
 
@@ -320,7 +382,39 @@ func EnumerateContext(ctx context.Context, g *Graph, opts ...Option) (*Result, e
 	if client != nil {
 		defer client.Close()
 	}
+	defer cfg.startProgress()()
 	return core.FindMaxCliquesContext(ctx, g, cfg.core)
+}
+
+// startProgress launches the WithProgress ticker goroutine and returns its
+// stop function, which delivers the guaranteed final snapshot. A no-op when
+// WithProgress was not given.
+func (c *config) startProgress() (stop func()) {
+	if c.progress == nil {
+		return func() {}
+	}
+	eng := c.core.Metrics // non-nil: setup resolves it before dialling
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(c.progressInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.progress(eng.Snapshot())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		c.progress(eng.Snapshot())
+	}
 }
 
 // setup resolves the options and dials workers when requested; ctx bounds
@@ -333,6 +427,12 @@ func setup(ctx context.Context, opts []Option) (*config, *cluster.Client, error)
 			return nil, nil, err
 		}
 	}
+	if cfg.progress != nil && cfg.core.Metrics == nil {
+		cfg.core.Metrics = telemetry.NewEngine()
+	}
+	// The cluster client shares the run's engine, so coordinator-side wire
+	// metrics land in the same snapshot.
+	cfg.cliOpts.Metrics = cfg.core.Metrics
 	if len(cfg.workers) == 0 {
 		return &cfg, nil, nil
 	}
@@ -374,6 +474,7 @@ func EnumerateStreamContext(ctx context.Context, g *Graph, emit func(clique []in
 	if client != nil {
 		defer client.Close()
 	}
+	defer cfg.startProgress()()
 	return core.StreamContext(ctx, g, cfg.core, emit)
 }
 

@@ -274,8 +274,8 @@ func TestCountMaxCliques(t *testing.T) {
 func TestFaultToleranceOptionValidation(t *testing.T) {
 	g := FromEdges(2, []Edge{{U: 0, V: 1}})
 	bad := []Option{
-		WithTaskTimeout(0),  // ambiguous: derived default vs disabled
-		WithTaskRetries(0),  // ambiguous: default budget vs unlimited
+		WithTaskTimeout(0), // ambiguous: derived default vs disabled
+		WithTaskRetries(0), // ambiguous: default budget vs unlimited
 		WithWorkerReport(nil),
 	}
 	for i, opt := range bad {

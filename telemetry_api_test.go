@@ -1,0 +1,146 @@
+package mce
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestWithTelemetryFinalSnapshot(t *testing.T) {
+	g := GenerateSocialNetwork(300, 4, 0.6, 7)
+	res, err := Enumerate(g, WithTelemetry(), WithBlockRatio(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats.Telemetry
+	if s == nil {
+		t.Fatal("Stats.Telemetry nil with WithTelemetry")
+	}
+	if s.BlocksBuilt == 0 || s.RecursionNodes == 0 {
+		t.Fatalf("telemetry empty: %+v", s)
+	}
+	if s.CliquesFound-s.HubCliquesFiltered != int64(res.Stats.TotalCliques) {
+		t.Fatalf("found %d − filtered %d ≠ total %d",
+			s.CliquesFound, s.HubCliquesFiltered, res.Stats.TotalCliques)
+	}
+
+	// Without the option, no snapshot is attached.
+	plain, err := Enumerate(g, WithBlockRatio(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats.Telemetry != nil {
+		t.Fatal("Stats.Telemetry set without a telemetry option")
+	}
+}
+
+func TestWithTelemetryEngineSharedMidRun(t *testing.T) {
+	eng := NewTelemetryEngine()
+	g := GenerateSocialNetwork(200, 4, 0.5, 3)
+	res, err := Enumerate(g, WithTelemetryEngine(eng), WithBlockRatio(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The caller-owned engine holds the same counts as the final snapshot.
+	if got, want := eng.Snapshot().BlocksBuilt, res.Stats.Telemetry.BlocksBuilt; got != want {
+		t.Fatalf("engine blocks %d ≠ snapshot blocks %d", got, want)
+	}
+}
+
+func TestWithProgressDeliversSnapshots(t *testing.T) {
+	// A multi-block run with a tiny interval must deliver at least the
+	// guaranteed final snapshot; the last one observed must be complete.
+	g := GenerateSocialNetwork(500, 5, 0.6, 11)
+	var mu sync.Mutex
+	var snaps []TelemetrySnapshot
+	res, err := Enumerate(g,
+		WithBlockRatio(0.3),
+		WithProgress(func(s TelemetrySnapshot) {
+			mu.Lock()
+			snaps = append(snaps, s)
+			mu.Unlock()
+		}, time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) == 0 {
+		t.Fatal("WithProgress delivered no snapshots")
+	}
+	last := snaps[len(snaps)-1]
+	if last.BlocksBuilt == 0 {
+		t.Fatalf("final progress snapshot empty: %+v", last)
+	}
+	if last.BlocksBuilt != res.Stats.Telemetry.BlocksBuilt {
+		t.Fatalf("final snapshot blocks %d ≠ Stats.Telemetry blocks %d",
+			last.BlocksBuilt, res.Stats.Telemetry.BlocksBuilt)
+	}
+	// Monotone counters never go backwards across snapshots.
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].BlocksBuilt < snaps[i-1].BlocksBuilt ||
+			snaps[i].CliquesFound < snaps[i-1].CliquesFound {
+			t.Fatalf("snapshot %d regressed: %+v then %+v", i, snaps[i-1], snaps[i])
+		}
+	}
+}
+
+func TestWithProgressOnStream(t *testing.T) {
+	g := GenerateSocialNetwork(200, 4, 0.5, 3)
+	got := 0
+	n := 0
+	stats, err := EnumerateStream(g, func([]int32, int) { n++ },
+		WithBlockRatio(0.3),
+		WithProgress(func(TelemetrySnapshot) { got++ }, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == 0 {
+		t.Fatal("no final snapshot on stream run")
+	}
+	if stats.Telemetry == nil {
+		t.Fatal("stream Stats.Telemetry nil under WithProgress")
+	}
+	if n == 0 {
+		t.Fatal("stream emitted nothing")
+	}
+}
+
+func TestTelemetryOptionValidation(t *testing.T) {
+	g := FromEdges(2, []Edge{{U: 0, V: 1}})
+	bad := []Option{
+		WithTelemetryEngine(nil),
+		WithProgress(nil, time.Second),
+		WithProgress(func(TelemetrySnapshot) {}, 0),
+		WithProgress(func(TelemetrySnapshot) {}, -time.Second),
+	}
+	for i, opt := range bad {
+		if _, err := Enumerate(g, opt); err == nil {
+			t.Errorf("bad telemetry option %d accepted", i)
+		}
+	}
+}
+
+func TestDistributedTelemetry(t *testing.T) {
+	addrs, stop, err := StartLocalWorkers(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	g := GenerateSocialNetwork(300, 4, 0.6, 7)
+	res, err := Enumerate(g, WithWorkers(addrs...), WithTelemetry(), WithBlockRatio(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats.Telemetry
+	if s == nil {
+		t.Fatal("no telemetry on distributed run")
+	}
+	if s.RoundTripNs.Count == 0 || s.BytesSent == 0 || s.BytesReceived == 0 {
+		t.Fatalf("coordinator wire metrics empty: %+v", s)
+	}
+	if s.QueueDepth != 0 || s.TasksInFlight != 0 {
+		t.Fatalf("gauges leaked: queue=%d inflight=%d", s.QueueDepth, s.TasksInFlight)
+	}
+}
