@@ -20,7 +20,9 @@ vet:
 	$(GO) vet ./...
 
 # Repo-specific invariants (context plumbing, lock balance, sorted adjacency,
-# goroutine leaks, gob wire safety). See DESIGN.md §9 and `go run ./cmd/mcevet -list`.
+# goroutine leaks, gob wire safety, map-order determinism, atomic-field
+# consistency, telemetry nil guards, suppression hygiene). See DESIGN.md
+# §9 + §11 and `go run ./cmd/mcevet -list`.
 lint: vet
 	$(GO) run ./cmd/mcevet ./...
 

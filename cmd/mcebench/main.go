@@ -31,6 +31,7 @@ import (
 	"mce/internal/core"
 	"mce/internal/decomp"
 	"mce/internal/diskgraph"
+	"mce/internal/dtree"
 	"mce/internal/experiments"
 	"mce/internal/extmce"
 	"mce/internal/gen"
@@ -199,8 +200,14 @@ func index() []experiment {
 			fmt.Fprintf(out, "trained on %d graphs, tested on %d, test accuracy %.0f%%\n%s",
 				eval.TrainGraphs, eval.TestGraphs, 100*eval.TestAccuracy, eval.Tree)
 			fmt.Fprintf(out, "feature importance: ")
-			for f, w := range eval.Tree.FeatureImportance() {
-				fmt.Fprintf(out, "%v=%.2f ", f, w)
+			imp := eval.Tree.FeatureImportance()
+			feats := make([]dtree.Feature, 0, len(imp))
+			for f := range imp {
+				feats = append(feats, f)
+			}
+			sort.Slice(feats, func(i, j int) bool { return feats[i] < feats[j] })
+			for _, f := range feats {
+				fmt.Fprintf(out, "%v=%.2f ", f, imp[f])
 			}
 			fmt.Fprintln(out)
 			return nil

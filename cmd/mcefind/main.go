@@ -144,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		eng = mce.NewTelemetryEngine()
 		opts = append(opts, mce.WithTelemetryEngine(eng))
 	}
-	if *debugAddr != "" {
+	if *debugAddr != "" && eng != nil {
 		addr, stopDebug, err := telemetry.ServeDebug(*debugAddr, eng.Snapshot)
 		if err != nil {
 			fmt.Fprintln(stderr, "mcefind:", err)

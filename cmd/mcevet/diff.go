@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The -diff mode: analyze only the packages whose files changed against a
+// git base revision, plus every package that (transitively) imports one of
+// them — importers see changed export data, so a cross-package analyzer
+// (maporder facts, atomicfield's whole-suite scan) can produce new findings
+// there even when their own files are untouched. This is the fast PR gate;
+// the full ./... run stays the merge gate on main.
+
+// listedPackage is the slice of `go list -json` the diff mode needs.
+type listedPackage struct {
+	Dir        string
+	ImportPath string
+	Imports    []string
+	GoFiles    []string
+}
+
+// changedPackages returns the import paths to analyze for changes against
+// base, or nil when nothing relevant changed.
+func changedPackages(dir, base string) ([]string, error) {
+	files, err := gitChangedFiles(dir, base)
+	if err != nil {
+		return nil, err
+	}
+	goFiles := files[:0]
+	for _, f := range files {
+		if strings.HasSuffix(f, ".go") {
+			goFiles = append(goFiles, f)
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, nil
+	}
+
+	pkgs, err := listPackages(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// git reports paths relative to the repository toplevel, which need not
+	// be dir itself.
+	top, err := gitTopLevel(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	// Seed: packages owning a changed file (deleted files still resolve via
+	// their directory).
+	changedDirs := make(map[string]bool)
+	for _, f := range goFiles {
+		changedDirs[filepath.Dir(filepath.Join(top, f))] = true
+	}
+	seeds := make(map[string]bool)
+	for _, p := range pkgs {
+		if changedDirs[filepath.Clean(p.Dir)] {
+			seeds[p.ImportPath] = true
+		}
+	}
+	if len(seeds) == 0 {
+		return nil, nil
+	}
+
+	// Closure: reverse importers, to a fixpoint.
+	importers := make(map[string][]string)
+	for _, p := range pkgs {
+		for _, imp := range p.Imports {
+			importers[imp] = append(importers[imp], p.ImportPath)
+		}
+	}
+	queue := make([]string, 0, len(seeds))
+	for p := range seeds {
+		queue = append(queue, p)
+	}
+	for len(queue) > 0 {
+		p := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, up := range importers[p] {
+			if !seeds[up] {
+				seeds[up] = true
+				queue = append(queue, up)
+			}
+		}
+	}
+
+	out := make([]string, 0, len(seeds))
+	for p := range seeds {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// gitChangedFiles lists the repo-relative files that differ from base,
+// including uncommitted changes.
+func gitChangedFiles(dir, base string) ([]string, error) {
+	cmd := exec.Command("git", "-C", dir, "diff", "--name-only", base, "--")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("git diff %s: %v: %s", base, err, strings.TrimSpace(stderr.String()))
+	}
+	var files []string
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			files = append(files, line)
+		}
+	}
+	return files, nil
+}
+
+// gitTopLevel resolves the repository root the diff paths are relative to.
+func gitTopLevel(dir string) (string, error) {
+	cmd := exec.Command("git", "-C", dir, "rev-parse", "--show-toplevel")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("git rev-parse --show-toplevel: %v: %s", err, strings.TrimSpace(stderr.String()))
+	}
+	return strings.TrimSpace(stdout.String()), nil
+}
+
+// listPackages runs `go list -json ./...` in dir and decodes the stream.
+func listPackages(dir string) ([]listedPackage, error) {
+	cmd := exec.Command("go", "list", "-e", "-json=Dir,ImportPath,Imports,GoFiles", "./...")
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v: %s", err, strings.TrimSpace(stderr.String()))
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

@@ -3,11 +3,22 @@
 //
 // Usage:
 //
-//	mcevet [-list] [-run name,name] [-json] [packages...]
+//	mcevet [-list] [-run name,name] [-json] [-sarif] [-diff base] [-fix] [packages...]
 //
 // With no package patterns, ./... is analyzed relative to the current
 // directory. The exit status is 1 when any diagnostic is reported and 2 on
 // analysis failure, mirroring go vet.
+//
+// -run selects analyzers by name; entries that look like package patterns
+// (./internal/..., mce/cmd/mcefind) are treated as extra package arguments,
+// so `mcevet -run maporder,./internal/...` does what it reads as.
+//
+// -sarif emits SARIF 2.1.0 for GitHub code scanning instead of the text
+// report. -diff <base> analyzes only the packages with files changed
+// against the git revision base, plus everything that transitively imports
+// them — the fast PR gate. -fix applies the analyzers' suggested fixes
+// (inserting sorts, wrapping nil guards), re-runs the suite once over the
+// fixed tree, and reports what remains.
 //
 // The suite is also meant as a merge gate: `make lint` (and `make check`)
 // run `mcevet ./...` next to `go vet`. The driver is standalone rather than
@@ -22,7 +33,8 @@
 //	//lint:ignore <analyzer>[,<analyzer>] <justification>
 //
 // placed on, or directly above, the offending line. A directive without a
-// justification is itself reported.
+// justification is itself reported, and so is a justified directive that no
+// longer suppresses anything (the staleignore analyzer).
 package main
 
 import (
@@ -31,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"mce/internal/lint"
@@ -45,11 +58,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		list     = fs.Bool("list", false, "list the analyzers and exit")
-		runNames = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		runNames = fs.String("run", "", "comma-separated analyzer names and/or package patterns to run (default: all analyzers)")
 		asJSON   = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		asSARIF  = fs.Bool("sarif", false, "emit diagnostics as SARIF 2.1.0 (for code scanning)")
+		diffBase = fs.String("diff", "", "analyze only packages changed against this git revision (plus their importers)")
+		applyFix = fs.Bool("fix", false, "apply suggested fixes, then re-run once and report what remains")
 		chdir    = fs.String("C", ".", "resolve package patterns relative to this directory")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *asJSON && *asSARIF {
+		fmt.Fprintln(stderr, "mcevet: -json and -sarif are mutually exclusive")
 		return 2
 	}
 
@@ -61,39 +81,86 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	patterns := fs.Args()
 	analyzers := all
 	if *runNames != "" {
 		byName := make(map[string]*lint.Analyzer, len(all))
 		for _, a := range all {
 			byName[a.Name] = a
 		}
-		analyzers = nil
-		for _, name := range strings.Split(*runNames, ",") {
-			a, ok := byName[strings.TrimSpace(name)]
+		var selected []*lint.Analyzer
+		for _, entry := range strings.Split(*runNames, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			if isPackagePattern(entry) {
+				patterns = append(patterns, entry)
+				continue
+			}
+			a, ok := byName[entry]
 			if !ok {
-				fmt.Fprintf(stderr, "mcevet: unknown analyzer %q (try -list)\n", name)
+				fmt.Fprintf(stderr, "mcevet: unknown analyzer %q (try -list)\n", entry)
 				return 2
 			}
-			analyzers = append(analyzers, a)
+			selected = append(selected, a)
+		}
+		if len(selected) > 0 {
+			analyzers = selected
 		}
 	}
 
-	patterns := fs.Args()
+	if *diffBase != "" {
+		changed, err := changedPackages(*chdir, *diffBase)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcevet: %v\n", err)
+			return 2
+		}
+		if len(changed) == 0 {
+			fmt.Fprintf(stderr, "mcevet: no Go packages changed against %s\n", *diffBase)
+			return 0
+		}
+		fmt.Fprintf(stderr, "mcevet: %d package(s) changed against %s (importers included)\n", len(changed), *diffBase)
+		patterns = changed
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := lint.Load(*chdir, patterns...)
-	if err != nil {
-		fmt.Fprintf(stderr, "mcevet: %v\n", err)
-		return 2
-	}
-	diags, err := lint.RunAnalyzers(pkgs, analyzers)
-	if err != nil {
-		fmt.Fprintf(stderr, "mcevet: %v\n", err)
-		return 2
+
+	diags, code := analyze(*chdir, patterns, analyzers, stderr)
+	if code != 0 {
+		return code
 	}
 
-	if *asJSON {
+	if *applyFix {
+		changed, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "mcevet: applying fixes: %v\n", err)
+			return 2
+		}
+		if len(changed) > 0 {
+			for _, f := range changed {
+				fmt.Fprintf(stderr, "mcevet: fixed %s\n", f)
+			}
+			// The tree changed under us: one re-run decides what remains.
+			diags, code = analyze(*chdir, patterns, analyzers, stderr)
+			if code != 0 {
+				return code
+			}
+		}
+	}
+
+	switch {
+	case *asSARIF:
+		root, err := filepath.Abs(*chdir)
+		if err != nil {
+			root = *chdir
+		}
+		if err := writeSARIF(stdout, analyzers, diags, root); err != nil {
+			fmt.Fprintf(stderr, "mcevet: %v\n", err)
+			return 2
+		}
+	case *asJSON:
 		type jsonDiag struct {
 			File     string `json:"file"`
 			Line     int    `json:"line"`
@@ -111,16 +178,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "mcevet: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
-		if !*asJSON {
+		if !*asJSON && !*asSARIF {
 			fmt.Fprintf(stderr, "mcevet: %d finding(s)\n", len(diags))
 		}
 		return 1
 	}
 	return 0
+}
+
+// analyze loads the patterns and runs the analyzers, returning the
+// diagnostics and a non-zero exit code on load/analysis failure.
+func analyze(dir string, patterns []string, analyzers []*lint.Analyzer, stderr io.Writer) ([]lint.Diagnostic, int) {
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcevet: %v\n", err)
+		return nil, 2
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcevet: %v\n", err)
+		return nil, 2
+	}
+	return diags, 0
+}
+
+// isPackagePattern distinguishes a -run entry naming a package from one
+// naming an analyzer: analyzers are single lowercase words, so anything
+// with a path separator, a leading dot, or a ... wildcard is a pattern.
+func isPackagePattern(s string) bool {
+	return strings.ContainsAny(s, "/\\") || strings.HasPrefix(s, ".") || strings.Contains(s, "...")
 }

@@ -10,6 +10,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"slices"
 
 	"mce"
 )
@@ -52,8 +53,13 @@ func main() {
 			fmt.Printf("  #%d: %v (%d cliques, largest %d)\n", i, c.Nodes, c.Cliques, c.MaxCliqueSize)
 		}
 		membership := mce.CommunityMembership(comms)
-		for v, cs := range membership {
-			if len(cs) > 1 {
+		nodes := make([]int32, 0, len(membership))
+		for v := range membership {
+			nodes = append(nodes, v)
+		}
+		slices.Sort(nodes)
+		for _, v := range nodes {
+			if cs := membership[v]; len(cs) > 1 {
 				fmt.Printf("  node %d bridges communities %v\n", v, cs)
 			}
 		}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicField guards the telemetry-counter discipline repo-wide: once any
+// code accesses a struct field through sync/atomic (atomic.AddInt64(&s.f),
+// atomic.LoadInt64(&s.f), ...), every access to that field anywhere in the
+// module must be atomic too. A single plain read races every concurrent
+// atomic update — the race detector only catches it when a test happens to
+// exercise both sides concurrently, while the analyzer catches it on any
+// `make lint`. This matters here because the observability layer's
+// correctness argument (PR 3) is exactly "counters are atomics, so
+// instrumentation never perturbs nor races the enumeration"; one plain
+// `s.f++` in a far-away package silently voids it.
+//
+// The check is whole-suite by construction: the set of atomically-accessed
+// fields is collected across every loaded package first (one shared scan),
+// then each package is searched for plain accesses to any of them —
+// accessing package and declaring package need not coincide. Composite
+// literals are exempt (pre-publication initialisation), as is the
+// &s.f operand position of the sync/atomic call itself.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "a struct field accessed via sync/atomic anywhere must be accessed " +
+		"atomically everywhere (no mixed plain reads/writes)",
+	Run: runAtomicField,
+}
+
+// atomicFieldInfo is the suite-wide scan result: for every field touched
+// through sync/atomic, one representative call position (for the
+// diagnostic), plus the set of positions that are legitimate atomic
+// operands and therefore not plain accesses. Fields are keyed by canonical
+// object key, not pointer: the declaring package sees the source-checked
+// field object while every other package sees its export-data twin.
+type atomicFieldInfo struct {
+	fields   map[string]atomicSite // field key -> one atomic call site
+	operands map[token.Pos]bool    // positions of s.f operands inside atomic calls
+}
+
+// atomicSite describes one representative sync/atomic access of a field.
+type atomicSite struct {
+	pos   token.Position
+	owner string // declaring struct type name
+	name  string // field name
+}
+
+func runAtomicField(pass *Pass) error {
+	info := pass.Suite.Memo("atomicfield", func() any {
+		return scanAtomicFields(pass.Suite)
+	}).(*atomicFieldInfo)
+	if len(info.fields) == 0 {
+		return nil
+	}
+
+	type finding struct {
+		pos   token.Pos
+		field string
+		write bool
+	}
+	var findings []finding
+	for _, f := range pass.Pkg.Files {
+		// Track which selector positions are writes (assignment LHS or
+		// IncDec operands) so the diagnostic can say read vs write, and
+		// which are address-taken: passing &s.f to a helper that itself
+		// uses atomics is legitimate (the helper's accesses are checked in
+		// their own right), so bare address-of is skipped, not flagged.
+		writes := make(map[token.Pos]bool)
+		addr := make(map[token.Pos]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					writes[ast.Unparen(lhs).Pos()] = true
+				}
+			case *ast.IncDecStmt:
+				writes[ast.Unparen(n.X).Pos()] = true
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					addr[ast.Unparen(n.X).Pos()] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				return false // initialisation before publication
+			case *ast.SelectorExpr:
+				field := selectedField(pass.Pkg.Info, n)
+				if field == nil {
+					return true
+				}
+				key := objKey(field)
+				if _, atomic := info.fields[key]; !atomic {
+					return true
+				}
+				if info.operands[n.Pos()] {
+					return true // the &s.f inside the atomic call itself
+				}
+				if addr[n.Pos()] {
+					return true // address passed on; not a plain access
+				}
+				findings = append(findings, finding{n.Pos(), key, writes[n.Pos()]})
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, fd := range findings {
+		verb := "plain read of"
+		if fd.write {
+			verb = "plain write to"
+		}
+		at := info.fields[fd.field]
+		pass.Reportf(fd.pos,
+			"%s field %s.%s, which is accessed with sync/atomic at %s:%d: mixed access races every atomic update (use the atomic API everywhere)",
+			verb, at.owner, at.name, shortPath(at.pos.Filename), at.pos.Line)
+	}
+	return nil
+}
+
+// scanAtomicFields walks every package of the suite once, recording each
+// struct field that appears as &s.f (or s.f) in an argument of a
+// sync/atomic call.
+func scanAtomicFields(suite *Suite) *atomicFieldInfo {
+	out := &atomicFieldInfo{
+		fields:   make(map[string]atomicSite),
+		operands: make(map[token.Pos]bool),
+	}
+	for _, pkg := range suite.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					expr := ast.Unparen(arg)
+					if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+						expr = ast.Unparen(u.X)
+					}
+					sel, ok := expr.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					field := selectedField(pkg.Info, sel)
+					if field == nil {
+						continue
+					}
+					key := objKey(field)
+					if _, seen := out.fields[key]; !seen {
+						out.fields[key] = atomicSite{
+							pos:   pkg.Fset.Position(call.Pos()),
+							owner: ownerName(field),
+							name:  field.Name(),
+						}
+					}
+					out.operands[sel.Pos()] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// selectedField resolves a selector expression to the struct field it
+// selects, or nil for methods, package selectors and qualified identifiers.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// ownerName names the struct type declaring field, best effort.
+func ownerName(field *types.Var) string {
+	if field.Pkg() != nil {
+		scope := field.Pkg().Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == field {
+					return tn.Name()
+				}
+			}
+		}
+	}
+	return "struct"
+}
+
+// shortPath trims the path to its last two elements for readable
+// diagnostics.
+func shortPath(p string) string {
+	slash := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return p[i+1:]
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallGraph is the static call graph over every package of one Suite: an
+// edge u→v exists when the body of u (including its function literals)
+// contains a direct call that resolves to v. Calls through function values,
+// interface methods without a static callee, builtins and conversions have
+// no edge — the graph under-approximates, which is the right bias for the
+// analyses built on it (a missing edge can only suppress propagation, never
+// invent a finding).
+//
+// Nodes are canonical object keys (see objKey), not *types.Func pointers:
+// the loader type-checks each package against export data, so the callee
+// object a caller package resolves is a different pointer than the defining
+// package's own — the key form unifies the two views, which is what makes
+// cross-package edges land on the right declaration.
+type CallGraph struct {
+	callees map[string]map[string]bool
+	callers map[string]map[string]bool
+	decls   map[string]declSite
+}
+
+// declSite locates one function declaration inside its loaded package.
+type declSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	obj  *types.Func
+}
+
+// buildCallGraph constructs the graph for the given packages. The walk
+// attributes calls inside function literals to the enclosing declaration:
+// for the engine's purposes a closure runs on its owner's behalf.
+func buildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{
+		callees: make(map[string]map[string]bool),
+		callers: make(map[string]map[string]bool),
+		decls:   make(map[string]declSite),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := objKey(caller)
+				g.decls[key] = declSite{pkg: pkg, decl: fd, obj: caller}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := calleeOf(pkg.Info, call); callee != nil {
+						g.addEdge(key, objKey(callee))
+					}
+					return true
+				})
+			}
+		}
+	}
+	return g
+}
+
+func (g *CallGraph) addEdge(from, to string) {
+	if g.callees[from] == nil {
+		g.callees[from] = make(map[string]bool)
+	}
+	g.callees[from][to] = true
+	if g.callers[to] == nil {
+		g.callers[to] = make(map[string]bool)
+	}
+	g.callers[to][from] = true
+}
+
+// Callees returns the declared functions fn calls directly, in
+// deterministic order. Callees without a declaration in the loaded
+// packages (stdlib, export-data-only dependencies) are omitted.
+func (g *CallGraph) Callees(fn *types.Func) []*types.Func {
+	return g.resolve(g.callees[objKey(fn)])
+}
+
+// Callers returns the declared functions that call fn directly — from any
+// loaded package, not just fn's own — in deterministic order.
+func (g *CallGraph) Callers(fn *types.Func) []*types.Func {
+	return g.resolve(g.callers[objKey(fn)])
+}
+
+// Decl returns the declaration of fn and its owning package, or nils when
+// fn is not declared in the loaded packages.
+func (g *CallGraph) Decl(fn *types.Func) (*Package, *ast.FuncDecl) {
+	s := g.decls[objKey(fn)]
+	return s.pkg, s.decl
+}
+
+// Funcs returns every function declared in the loaded packages, in
+// deterministic order — the iteration domain for whole-suite summary
+// passes.
+func (g *CallGraph) Funcs() []*types.Func {
+	keys := make(map[string]bool, len(g.decls))
+	for key := range g.decls {
+		keys[key] = true
+	}
+	return g.resolve(keys)
+}
+
+// Reachable returns the set of declared functions reachable from the roots
+// through callee edges, including the roots themselves.
+func (g *CallGraph) Reachable(roots ...*types.Func) map[*types.Func]bool {
+	seen := make(map[string]bool)
+	var stack []string
+	for _, r := range roots {
+		if r != nil {
+			stack = append(stack, objKey(r))
+		}
+	}
+	for len(stack) > 0 {
+		key := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		for next := range g.callees[key] {
+			if !seen[next] {
+				stack = append(stack, next)
+			}
+		}
+	}
+	out := make(map[*types.Func]bool)
+	for key := range seen {
+		if s, ok := g.decls[key]; ok {
+			out[s.obj] = true
+		}
+	}
+	return out
+}
+
+// resolve maps a key set to its declared functions, sorted by key so every
+// consumer iterates deterministically — the suite must never itself exhibit
+// the map-order sensitivity it lints for.
+func (g *CallGraph) resolve(keys map[string]bool) []*types.Func {
+	sorted := make([]string, 0, len(keys))
+	for key := range keys {
+		if _, ok := g.decls[key]; ok {
+			sorted = append(sorted, key)
+		}
+	}
+	sort.Strings(sorted)
+	out := make([]*types.Func, len(sorted))
+	for i, key := range sorted {
+		out[i] = g.decls[key].obj
+	}
+	return out
+}

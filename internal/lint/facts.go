@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"reflect"
+	"sync"
+
+	"go/types"
+)
+
+// A Fact is a piece of knowledge an analyzer attaches to a types.Object so
+// that analyses of *other* packages can use it — the cross-package half of
+// the dataflow engine, mirroring golang.org/x/tools/go/analysis facts.
+// Typical facts are function summaries ("returns a map-iteration-ordered
+// slice", "sorts its first argument") computed while the defining package is
+// analyzed and imported when a caller in a downstream package is.
+//
+// Facts only flow forward because RunAnalyzers processes packages in
+// dependency order (imports before importers); exporting a fact about an
+// object of a not-yet-analyzed package is legal but nobody will see it.
+type Fact interface {
+	// AFact marks the type as a fact; it has no behaviour.
+	AFact()
+}
+
+// objKey canonicalises an object across the two views the loader produces
+// of the same declaration: the source-checked object in its own package and
+// the export-data object every importer sees. The gc importer hands each
+// package a *distinct* object graph for its dependencies, so pointer
+// identity does not survive the package boundary — a path-qualified name
+// does.
+func objKey(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	switch obj := obj.(type) {
+	case *types.Func:
+		// FullName already qualifies methods with their receiver type.
+		return pkg + "::" + obj.FullName()
+	case *types.Var:
+		if obj.IsField() {
+			return pkg + "::" + ownerName(obj) + "." + obj.Name()
+		}
+	}
+	return pkg + "::" + obj.Name()
+}
+
+// factStore holds the facts of one analysis run, keyed by canonical object
+// key. One store is shared by every analyzer of a Suite: fact types, not
+// store instances, namespace the knowledge (again mirroring x/tools).
+type factStore struct {
+	mu    sync.Mutex
+	facts map[string][]Fact
+}
+
+func newFactStore() *factStore {
+	return &factStore{facts: make(map[string][]Fact)}
+}
+
+// export records fact about obj, replacing an existing fact of the same
+// dynamic type (summaries are recomputed to fixpoint, so last write wins).
+func (s *factStore) export(obj types.Object, fact Fact) {
+	key := objKey(obj)
+	if key == "" || fact == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := reflect.TypeOf(fact)
+	for i, f := range s.facts[key] {
+		if reflect.TypeOf(f) == t {
+			s.facts[key][i] = fact
+			return
+		}
+	}
+	s.facts[key] = append(s.facts[key], fact)
+}
+
+// imp copies the fact of ptr's dynamic type attached to obj into *ptr and
+// reports whether one was found. ptr must be a non-nil pointer to a Fact
+// implementation, exactly like analysis.Pass.ImportObjectFact.
+func (s *factStore) imp(obj types.Object, ptr Fact) bool {
+	key := objKey(obj)
+	if key == "" || ptr == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pv := reflect.ValueOf(ptr)
+	if pv.Kind() != reflect.Pointer || pv.IsNil() {
+		return false
+	}
+	for _, f := range s.facts[key] {
+		fv := reflect.ValueOf(f)
+		if fv.Type() == pv.Type() {
+			pv.Elem().Set(fv.Elem())
+			return true
+		}
+	}
+	return false
+}
+
+// ExportObjectFact attaches fact to obj for downstream packages (and later
+// analyzers of the same run) to import.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	p.Suite.facts.export(obj, fact)
+}
+
+// ImportObjectFact copies the fact of ptr's type attached to obj into *ptr,
+// reporting whether obj carries one.
+func (p *Pass) ImportObjectFact(obj types.Object, ptr Fact) bool {
+	return p.Suite.facts.imp(obj, ptr)
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/format"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// TextEdit is one byte-range replacement inside a file. Start and End are
+// 0-based byte offsets (End exclusive); an insertion has Start == End.
+type TextEdit struct {
+	File  string `json:"file"`
+	Start int    `json:"start"`
+	End   int    `json:"end"`
+	// NewText replaces the range. The result is gofmt-ed after applying, so
+	// edits only need to be syntactically correct, not pretty.
+	NewText string `json:"new_text"`
+}
+
+// SuggestedFix is a mechanical remediation attached to a Diagnostic: a set
+// of edits that make the finding go away. Only fixes that are obviously
+// behaviour-preserving (or behaviour-restoring, for determinism bugs) are
+// suggested; judgement calls stay human.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
+
+// edit builds a TextEdit covering [start, end) in the pass's file set.
+func (p *Pass) edit(start, end token.Pos, newText string) TextEdit {
+	sp := p.Pkg.Fset.Position(start)
+	ep := p.Pkg.Fset.Position(end)
+	return TextEdit{File: sp.Filename, Start: sp.Offset, End: ep.Offset, NewText: newText}
+}
+
+// ReportFix records a finding carrying a suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Fix:      fix,
+	})
+}
+
+// ApplyFixes applies every suggested fix of diags to the files on disk,
+// gofmt-ing each touched file, and returns the file names changed (sorted).
+// Overlapping edits are resolved first-reported-wins: a later edit that
+// intersects an already-applied range is dropped, so -fix is safe to run on
+// any diagnostic set and converges under repetition.
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	byFile := make(map[string][]TextEdit)
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	var changed []string
+	for _, file := range files {
+		edits := byFile[file]
+		// Apply bottom-up so earlier offsets stay valid; ties keep report
+		// order via stable sort.
+		sort.SliceStable(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return changed, fmt.Errorf("lint: applying fixes: %v", err)
+		}
+		out := src
+		lastStart := len(src) + 1
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				return changed, fmt.Errorf("lint: fix edit out of range in %s (%d..%d of %d bytes)", file, e.Start, e.End, len(src))
+			}
+			if e.End > lastStart {
+				continue // overlaps an already-applied edit; first wins
+			}
+			out = append(out[:e.Start], append([]byte(e.NewText), out[e.End:]...)...)
+			lastStart = e.Start
+		}
+		formatted, err := format.Source(out)
+		if err != nil {
+			// A fix that breaks the parse must not hit the disk.
+			return changed, fmt.Errorf("lint: fixed %s does not parse (fix bug): %v", file, err)
+		}
+		if string(formatted) == string(src) {
+			continue
+		}
+		info, err := os.Stat(file)
+		mode := os.FileMode(0o644)
+		if err == nil {
+			mode = info.Mode()
+		}
+		if err := os.WriteFile(file, formatted, mode); err != nil {
+			return changed, fmt.Errorf("lint: writing fixed %s: %v", file, err)
+		}
+		changed = append(changed, file)
+	}
+	return changed, nil
+}

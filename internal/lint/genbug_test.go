@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMapOrderCatchesReintroducedGenBug is the acceptance criterion from
+// the issue: deliberately reintroducing the PR 3 map-order bug in
+// internal/gen must make maporder fail the build. The bug was neighborsOf
+// returning a map-range slice unsorted, which HolmeKim then indexed with a
+// seeded rng draw — same-seed graphs differed across processes. The test
+// strips the fix from a copy of the real source and expects the analyzer
+// to re-find it; the unmodified source must stay clean.
+func TestMapOrderCatchesReintroducedGenBug(t *testing.T) {
+	root := moduleRoot()
+	genDir := filepath.Join(root, "internal", "gen")
+	srcs := []string{"gen.go", "datasets.go", "planted.go"}
+
+	orig, err := os.ReadFile(filepath.Join(genDir, "gen.go"))
+	if err != nil {
+		t.Fatalf("reading gen.go: %v", err)
+	}
+	const fix = "slices.Sort(out)"
+	if !strings.Contains(string(orig), fix) {
+		t.Fatalf("gen.go no longer contains %q; update this test to strip the current fix", fix)
+	}
+	// Clip keeps the slices import alive and the taint intact — it is the
+	// PR 3 pre-fix shape with a no-op where the sort used to be.
+	broken := strings.Replace(string(orig), fix, "out = slices.Clip(out)", 1)
+
+	dir := t.TempDir()
+	paths := make([]string, len(srcs))
+	for i, name := range srcs {
+		src, err := os.ReadFile(filepath.Join(genDir, name))
+		if err != nil {
+			t.Fatalf("reading %s: %v", name, err)
+		}
+		if name == "gen.go" {
+			src = []byte(broken)
+		}
+		paths[i] = filepath.Join(dir, name)
+		if err := os.WriteFile(paths[i], src, 0o644); err != nil {
+			t.Fatalf("writing %s: %v", name, err)
+		}
+	}
+
+	pkg, err := LoadFiles(root, paths...)
+	if err != nil {
+		t.Fatalf("loading broken gen copy: %v", err)
+	}
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{MapOrder})
+	if err != nil {
+		t.Fatalf("running maporder: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "maporder" && strings.Contains(d.Message, "seeded rand draw") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("maporder missed the reintroduced PR 3 bug; diagnostics:\n%v", diags)
+	}
+
+	// Control: the real, fixed sources are clean.
+	realPaths := make([]string, len(srcs))
+	for i, name := range srcs {
+		realPaths[i] = filepath.Join(genDir, name)
+	}
+	cleanPkg, err := LoadFiles(root, realPaths...)
+	if err != nil {
+		t.Fatalf("loading real gen: %v", err)
+	}
+	cleanDiags, err := RunAnalyzers([]*Package{cleanPkg}, []*Analyzer{MapOrder})
+	if err != nil {
+		t.Fatalf("running maporder on real gen: %v", err)
+	}
+	if len(cleanDiags) != 0 {
+		t.Errorf("the fixed internal/gen should be clean, got:\n%v", cleanDiags)
+	}
+}

@@ -1,8 +1,10 @@
 // Package lint is a repo-specific static-analysis suite: a small, dependency
 // free re-implementation of the golang.org/x/tools/go/analysis model (the
-// builder has no network, so the real module cannot be vendored) plus five
+// builder has no network, so the real module cannot be vendored) plus nine
 // analyzers that machine-check invariants the engine's correctness argument
-// leans on:
+// leans on.
+//
+// The PR 2 per-package analyzers:
 //
 //   - ctxplumb: exported blocking APIs must come in ctx/non-ctx pairs with
 //     the non-ctx form delegating (the PR 1 cancellation contract);
@@ -16,8 +18,27 @@
 //   - wiretypes: structs crossing the gob wire protocol must survive the
 //     round trip losslessly (no silently-dropped or unencodable fields).
 //
-// The suite runs via cmd/mcevet (standalone driver, `make lint`) and in the
-// analyzers' own analysistest-style fixture tests.
+// The v2 engine adds a whole-suite layer — a static call graph
+// (callgraph.go), a per-function forward dataflow pass (dataflow.go) and an
+// exported-facts mechanism (facts.go) so analyzers reason across package
+// boundaries — and four analyzers built on it:
+//
+//   - maporder: map-iteration-ordered values must not flow into seeded
+//     rand draws, gob encoding or ordered output without an intervening
+//     sort (the PR 3 cross-process nondeterminism bug class, caught
+//     statically);
+//   - atomicfield: a struct field accessed through sync/atomic anywhere in
+//     the repo must be accessed that way everywhere (the telemetry counter
+//     discipline);
+//   - telemetryguard: every instrumentation site on a possibly-nil
+//     *telemetry.Engine or *telemetry.BlockInstr must be nil-guarded (the
+//     PR 3 zero-overhead-when-disabled contract);
+//   - staleignore: a //lint:ignore directive that no longer suppresses any
+//     finding is itself a finding.
+//
+// The suite runs via cmd/mcevet (standalone driver, `make lint`; -sarif,
+// -diff and -fix for CI integration) and in the analyzers' own
+// analysistest-style fixture tests.
 package lint
 
 import (
@@ -44,9 +65,12 @@ type Analyzer struct {
 }
 
 // Pass carries one analyzer's view of one package, mirroring analysis.Pass.
+// Suite exposes the whole-run state — every loaded package, the call graph
+// and the fact store — so analyzers can reason across package boundaries.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Suite    *Suite
 
 	diags []Diagnostic
 }
@@ -60,20 +84,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one finding, resolved to a file position.
+// Diagnostic is one finding, resolved to a file position. Fix, when
+// non-nil, is a mechanical remediation cmd/mcevet -fix can apply.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	Fix      *SuggestedFix
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// Analyzers returns the full suite in reporting order.
+// Analyzers returns the full suite in reporting order: the PR 2
+// per-package analyzers first, then the v2 dataflow analyzers.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{CtxPlumb, LockBalance, SortedAdj, GoroutineLeak, WireTypes}
+	return []*Analyzer{
+		CtxPlumb, LockBalance, SortedAdj, GoroutineLeak, WireTypes,
+		MapOrder, AtomicField, TelemetryGuard, StaleIgnore,
+	}
 }
 
 // ignoreDirective is a parsed //lint:ignore comment.
@@ -83,9 +113,14 @@ type ignoreDirective struct {
 	file      string
 	justified bool
 	pos       token.Pos
+	pkg       *Package
+	used      bool // suppressed at least one finding this run
 }
 
-var ignoreRE = regexp.MustCompile(`^//\s*lint:ignore\s+(\S+)\s*(.*)$`)
+// ignoreRE recognises the directive form only — `//lint:ignore` with no
+// space, staticcheck-style — so prose that merely mentions lint:ignore
+// mid-comment is never parsed as a directive.
+var ignoreRE = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
 
 // parseIgnores extracts every lint:ignore directive of a file. A directive
 // suppresses matching diagnostics on its own line (trailing comment) or on
@@ -116,6 +151,7 @@ func parseIgnores(pkg *Package, f *ast.File) []ignoreDirective {
 				file:      pos.Filename,
 				justified: strings.TrimSpace(m[2]) != "",
 				pos:       c.Pos(),
+				pkg:       pkg,
 			})
 		}
 	}
@@ -137,15 +173,27 @@ func (d *ignoreDirective) matches(diag Diagnostic) bool {
 // RunAnalyzers applies the analyzers to every package, filters findings
 // through the lint:ignore directives, and returns the remainder sorted by
 // position. Unjustified directives are reported as findings themselves, so
-// an ignore can never silently rot into a blanket waiver.
+// an ignore can never silently rot into a blanket waiver; when staleignore
+// is among the analyzers, justified directives that suppressed nothing are
+// reported too (see staleignore.go).
+//
+// Packages are analysed in dependency order (imports before importers), so
+// facts exported while analysing a package are visible to the analyses of
+// every package that imports it.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	suite := newSuite(pkgs)
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		var ignores []ignoreDirective
+	var allIgnores []*ignoreDirective
+	ignoresByPkg := make(map[*Package][]*ignoreDirective)
+	for _, pkg := range suite.Pkgs {
 		for _, f := range pkg.Files {
-			ignores = append(ignores, parseIgnores(pkg, f)...)
+			for _, d := range parseIgnores(pkg, f) {
+				d := d
+				ignoresByPkg[pkg] = append(ignoresByPkg[pkg], &d)
+				allIgnores = append(allIgnores, &d)
+			}
 		}
-		for _, d := range ignores {
+		for _, d := range ignoresByPkg[pkg] {
 			if !d.justified {
 				diags = append(diags, Diagnostic{
 					Analyzer: "lint",
@@ -154,8 +202,14 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 				})
 			}
 		}
+	}
+	for _, pkg := range suite.Pkgs {
+		ignores := ignoresByPkg[pkg]
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
+			if a.Run == nil {
+				continue // meta-analyzers (staleignore) run after the loop
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Suite: suite}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.PkgPath, err)
 			}
@@ -163,11 +217,17 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) 
 			for _, diag := range pass.diags {
 				for _, d := range ignores {
 					if d.justified && d.matches(diag) {
+						d.used = true
 						continue next
 					}
 				}
 				diags = append(diags, diag)
 			}
+		}
+	}
+	for _, a := range analyzers {
+		if a == StaleIgnore {
+			diags = append(diags, staleIgnoreDiags(suite, analyzers, allIgnores)...)
 		}
 	}
 	sort.Slice(diags, func(i, j int) bool {

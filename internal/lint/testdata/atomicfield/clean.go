@@ -1,0 +1,28 @@
+package fixture
+
+import "sync/atomic"
+
+// cleanCounter keeps the discipline: every access to m goes through
+// sync/atomic, and n is a typed atomic whose methods are the only API.
+type cleanCounter struct {
+	n atomic.Int64
+	m int64
+}
+
+func (c *cleanCounter) IncN() { c.n.Add(1) }
+
+func (c *cleanCounter) IncM() { atomic.AddInt64(&c.m, 1) }
+
+func (c *cleanCounter) LoadM() int64 { return atomic.LoadInt64(&c.m) }
+
+// newCleanCounter initialises before publication: composite literals are
+// exempt by design.
+func newCleanCounter() *cleanCounter {
+	return &cleanCounter{m: 0}
+}
+
+// addrOfM hands the address to a helper; the helper's own accesses are
+// checked in their own right, so taking the address is not a plain access.
+func (c *cleanCounter) addrOfM() *int64 {
+	return &c.m
+}

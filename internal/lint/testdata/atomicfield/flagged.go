@@ -1,0 +1,29 @@
+package fixture
+
+import "sync/atomic"
+
+// counterSet mixes atomic and plain access to the same field — the race
+// the analyzer exists to catch.
+type counterSet struct {
+	hits int64
+	cold int64
+}
+
+func (c *counterSet) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counterSet) Report() int64 {
+	return c.hits // want `plain read of field counterSet\.hits`
+}
+
+func (c *counterSet) Reset() {
+	c.hits = 0 // want `plain write to field counterSet\.hits`
+}
+
+// cold is only ever accessed plainly; it must not be flagged just for
+// sharing a struct with an atomic field.
+func (c *counterSet) Cold() int64 {
+	c.cold++
+	return c.cold
+}

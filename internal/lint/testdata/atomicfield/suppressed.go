@@ -1,0 +1,18 @@
+package fixture
+
+import "sync/atomic"
+
+// seqCounter is written atomically while workers run; the one plain read
+// below happens after the writers have joined.
+type seqCounter struct {
+	epoch int64
+}
+
+func (s *seqCounter) bump() {
+	atomic.AddInt64(&s.epoch, 1)
+}
+
+func (s *seqCounter) finalEpoch() int64 {
+	//lint:ignore atomicfield read runs after every writer goroutine has joined, so no concurrent atomic update remains
+	return s.epoch
+}

@@ -1,0 +1,60 @@
+package fixture
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// SortedKeys is the blessed shape: collect, sort, then use freely.
+func SortedKeys(set map[string]int) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	fmt.Println(keys)
+	return keys
+}
+
+// SortPkgKeys sanitizes through the classic sort package entry points.
+func SortPkgKeys(set map[string]int) {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println(keys)
+}
+
+// sortInt32s is a repo-local wrapper; the summary pass records that it
+// sorts its parameter, so calls to it sanitize like slices.Sort itself.
+func sortInt32s(xs []int32) {
+	slices.Sort(xs)
+}
+
+// ViaWrapper sanitizes through the wrapper.
+func ViaWrapper(adj map[int32]bool) {
+	nbrs := make([]int32, 0, len(adj))
+	for v := range adj {
+		nbrs = append(nbrs, v)
+	}
+	sortInt32s(nbrs)
+	fmt.Println(nbrs)
+}
+
+// PrintMapDirect passes the map itself: fmt prints maps with sorted keys
+// since Go 1.12, so this is deterministic and must not be flagged.
+func PrintMapDirect(set map[string]int) {
+	fmt.Println(set)
+}
+
+// FindOne is deterministic select-one filtering: the conditional decides
+// which single entry prints, not the iteration order.
+func FindOne(set map[string]int, target string) {
+	for k, v := range set {
+		if k == target {
+			fmt.Println(v)
+		}
+	}
+}

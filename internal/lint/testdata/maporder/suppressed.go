@@ -1,0 +1,12 @@
+package fixture
+
+import "fmt"
+
+// Debug dumps the working set for interactive debugging; the suppression
+// documents why the nondeterministic order is acceptable here.
+func Debug(set map[string]bool) {
+	for k := range set {
+		//lint:ignore maporder debug-only dump read by humans; sorting would cost an allocation per call for no diagnostic value
+		fmt.Println(k)
+	}
+}

@@ -1,0 +1,27 @@
+package fixture
+
+import "fmt"
+
+// used has a genuine maporder finding under its directive, so the
+// suppression is live and must not be reported as stale.
+func used(set map[string]bool) {
+	for k := range set {
+		//lint:ignore maporder debug-only dump; order is irrelevant to the human reading it
+		fmt.Println(k)
+	}
+}
+
+// stale carries a directive left over from code that no longer ranges over
+// a map: nothing is suppressed, so the directive itself is the finding.
+func stale(names []string) {
+	for _, k := range names {
+		//lint:ignore maporder leftover from the map-backed implementation
+		fmt.Println(k)
+	}
+}
+
+// typo names an analyzer that does not exist.
+func typo() {
+	//lint:ignore maporedr transposed letters in the analyzer name
+	fmt.Println("x")
+}

@@ -1,0 +1,59 @@
+package fixture
+
+import "mce/internal/telemetry"
+
+// guarded is the canonical instrumentation idiom.
+func guarded(met *telemetry.Engine) {
+	if met != nil {
+		met.BlocksBuilt.Inc()
+	}
+}
+
+// early guards with the early-return shape: the negative fact survives the
+// return into the rest of the function.
+func early(met *telemetry.Engine) int64 {
+	if met == nil {
+		return 0
+	}
+	return met.BlocksBuilt.Load()
+}
+
+type exec struct {
+	Metrics *telemetry.Engine
+}
+
+// snapshotIf covers the if-init binding and the field-chain guard.
+func (e *exec) snapshotIf() {
+	if met := e.Metrics; met != nil {
+		met.QueueDepth.Set(2)
+	}
+	if e.Metrics != nil {
+		_ = e.Metrics.Snapshot()
+	}
+}
+
+// conjoined guards through the right operand of &&.
+func conjoined(met *telemetry.Engine, on bool) {
+	if on && met != nil {
+		met.BlocksAnalyzed.Inc()
+	}
+}
+
+// closure shows guard inheritance: the literal is created after the nil
+// check, so it keeps the fact — the repo's instrumented-goroutine idiom.
+func closure(met *telemetry.Engine) func() {
+	if met == nil {
+		return func() {}
+	}
+	return func() { met.CliquesFound.Inc() }
+}
+
+// fresh values from constructors and address-of are non-nil by construction.
+func fresh() *telemetry.Engine {
+	eng := telemetry.NewEngine()
+	eng.BlocksBuilt.Inc()
+	ins := &telemetry.BlockInstr{}
+	ins.RecursionNodes++
+	eng.MergeBlockInstr(ins)
+	return eng
+}

@@ -1,0 +1,40 @@
+package fixture
+
+import "mce/internal/telemetry"
+
+// record bumps a counter without checking for the disabled (nil) engine.
+func record(met *telemetry.Engine) {
+	met.BlocksBuilt.Inc() // want `unguarded use of possibly-nil \*telemetry\.Engine met`
+}
+
+// pool carries the engine in a field; field chains need guards too.
+type pool struct {
+	met *telemetry.Engine
+}
+
+func (p *pool) flush(n int64) {
+	p.met.KernelNodes.Add(n) // want `unguarded use of possibly-nil \*telemetry\.Engine p\.met`
+}
+
+// merge dereferences a possibly-nil BlockInstr.
+func merge(ins *telemetry.BlockInstr, nodes int64) {
+	ins.RecursionNodes += nodes // want `unguarded use of possibly-nil \*telemetry\.BlockInstr ins`
+}
+
+// refresh shows a guard being revoked: after the reassignment the old
+// nil-check proves nothing about the new value.
+func refresh(met, next *telemetry.Engine) {
+	if met != nil {
+		met.BlocksBuilt.Inc()
+		met = next
+		met.BlocksBuilt.Inc() // want `unguarded use of possibly-nil \*telemetry\.Engine met`
+	}
+}
+
+// late uses the engine after the guarded block ended.
+func late(met *telemetry.Engine) {
+	if met != nil {
+		met.QueueDepth.Set(0)
+	}
+	met.QueueDepth.Set(1) // want `unguarded use of possibly-nil \*telemetry\.Engine met`
+}

@@ -393,7 +393,10 @@ func (c *config) startProgress() (stop func()) {
 	if c.progress == nil {
 		return func() {}
 	}
-	eng := c.core.Metrics // non-nil: setup resolves it before dialling
+	eng := c.core.Metrics // setup resolves it before dialling
+	if eng == nil {
+		return func() {} // progress without telemetry has nothing to snapshot
+	}
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
