@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint fmt race vulncheck fuzz-smoke bench-smoke bench-baseline check bench
+.PHONY: all build test vet lint fmt race vulncheck fuzz-smoke bench-smoke bench-baseline check bench chaos
 
 all: check
 
@@ -47,6 +47,14 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadEdgeList -fuzztime=10s ./internal/gio
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTriples -fuzztime=10s ./internal/gio
 	$(GO) test -run=Fuzz -fuzz=FuzzLoadBoundedAgreesWithLoad -fuzztime=10s ./internal/gio
+	$(GO) test -run=Fuzz -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/runlog
+
+# Crash-recovery chaos: the coordinator is SIGKILLed at randomized points and
+# must resume to the exact clique set (chaos_resume_test.go), alongside the
+# fault-injection cluster chaos tests. Runs under -race; MCE_CHAOS=1 arms the
+# kill-based tests, MCE_CHAOS_ARTIFACTS collects journal+segments on failure.
+chaos:
+	MCE_CHAOS=1 $(GO) test -race -count=1 -run 'Chaos|Resume' . ./internal/cluster ./internal/core ./cmd/mcefind
 
 # The CI benchmark gate: deterministic workload, machine-normalized timing,
 # ±30% tolerance against the checked-in baseline (cmd/mcebench/smoke.go).

@@ -24,25 +24,49 @@
 //	-communities k    print k-clique communities instead of cliques
 //	-format f         clique output format: text (default) or jsonl
 //	-stream           stream cliques as they are found (bounded memory)
+//	-checkpoint DIR   journal run progress into DIR and resume completed
+//	                  blocks from it on restart (crash-safe runs)
+//	-resume           require prior state in -checkpoint DIR (refuse to
+//	                  start a run from scratch)
+//	-skip-poison      record poison-task verdicts and keep going instead of
+//	                  failing the run; completing with skips exits 3
 //	-debug-addr a     serve live JSON telemetry (/debug/vars) and pprof
 //	                  (/debug/pprof/) on this HTTP address while running
 //
 // Output: one clique per line, members space-separated (or one JSON array
 // per line with -format jsonl).
+//
+// Exit codes: 0 on success, 1 on errors, 2 on usage errors, 3 when the run
+// completed but skipped poison tasks (-skip-poison) — the clique set is
+// incomplete — and 130 when interrupted by SIGINT/SIGTERM (with
+// -checkpoint, progress is saved and the resume command is printed).
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"mce"
 	"mce/internal/telemetry"
+)
+
+// Exit codes beyond the conventional 0/1/2.
+const (
+	// exitIncomplete: the run finished but poison-task skips left the
+	// clique set incomplete (-skip-poison).
+	exitIncomplete = 3
+	// exitInterrupted mirrors the shell convention for SIGINT (128+2).
+	exitInterrupted = 130
 )
 
 func main() {
@@ -69,6 +93,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		commK       = fs.Int("communities", 0, "print k-clique communities for this k instead of cliques")
 		format      = fs.String("format", "text", "clique output format: text or jsonl")
 		stream      = fs.Bool("stream", false, "stream cliques as they are found (bounded memory)")
+		checkpoint  = fs.String("checkpoint", "", "journal run progress into this directory and resume from it")
+		resume      = fs.Bool("resume", false, "require prior run state in the -checkpoint directory")
+		skipPoison  = fs.Bool("skip-poison", false, "skip poison tasks instead of failing the run (exit 3 on skips)")
 		debugAddr   = fs.String("debug-addr", "", "serve JSON telemetry and pprof on this HTTP address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -84,9 +111,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "mcefind: unknown format %q (want text or jsonl)\n", *format)
 		return 2
 	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(stderr, "mcefind: -resume needs -checkpoint DIR")
+		return 2
+	}
+	if *checkpoint != "" && *stream {
+		fmt.Fprintln(stderr, "mcefind: -checkpoint cannot combine with -stream (a resume would re-emit cliques already printed)")
+		return 2
+	}
+	if *resume && !mce.HasCheckpoint(*checkpoint) {
+		fmt.Fprintf(stderr, "mcefind: -resume: no run journal in %s\n", *checkpoint)
+		return 1
+	}
 
 	// Disk graphs (SaveDiskGraph / mcegen) run fully out of core.
 	if strings.HasSuffix(fs.Arg(0), ".mceg") {
+		if *checkpoint != "" {
+			fmt.Fprintln(stderr, "mcefind: -checkpoint is not supported for out-of-core (.mceg) runs")
+			return 2
+		}
 		return runOutOfCore(fs.Arg(0), *m, *ratio, *minSize, *countOnly, *stats, *format, stdout, stderr)
 	}
 
@@ -135,6 +178,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *par > 0 {
 		opts = append(opts, mce.WithParallelism(*par))
+	}
+	if *checkpoint != "" {
+		if mce.HasCheckpoint(*checkpoint) {
+			fmt.Fprintf(stderr, "mcefind: resuming from checkpoint %s\n", *checkpoint)
+		}
+		opts = append(opts, mce.WithCheckpoint(*checkpoint))
+	}
+	var poisonVerdicts []mce.PoisonVerdict
+	if *skipPoison {
+		opts = append(opts, mce.WithSkipPoisonTasks(),
+			mce.WithPoisonReport(func(vs []mce.PoisonVerdict) { poisonVerdicts = vs }))
 	}
 
 	// The debug server and the run share one engine, so /debug/vars shows
@@ -186,9 +240,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	// SIGINT/SIGTERM cancel the run cleanly: in-flight batches stop, and
+	// with -checkpoint every completed block is already durable, so the
+	// interrupted run is resumable from exactly where it died.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	t0 := time.Now()
-	res, err := mce.Enumerate(g, opts...)
+	res, err := mce.EnumerateContext(ctx, g, opts...)
 	if err != nil {
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			fmt.Fprintln(stderr, "mcefind: interrupted")
+			if *checkpoint != "" {
+				fmt.Fprintf(stderr, "mcefind: progress saved; resume with: mcefind -checkpoint %s -resume %s\n",
+					*checkpoint, fs.Arg(0))
+			}
+			return exitInterrupted
+		}
 		fmt.Fprintln(stderr, "mcefind:", err)
 		return 1
 	}
@@ -199,6 +267,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "nodes=%d edges=%d maxdeg=%d m=%d levels=%d cliques=%d hub-only=%d fallback=%v elapsed=%v\n",
 			g.N(), g.M(), s.MaxDegree, s.BlockSize, len(s.Levels),
 			s.TotalCliques, s.HubCliques, s.CoreFallback, elapsed.Round(time.Millisecond))
+		if s.ResumedBlocks > 0 {
+			fmt.Fprintf(stderr, "resumed %d blocks from checkpoint\n", s.ResumedBlocks)
+		}
 		for i, lvl := range s.Levels {
 			fmt.Fprintf(stderr, "  level %d: nodes=%d feasible=%d hubs=%d blocks=%d kernel=%d border=%d visited=%d cliques=%d decomp=%v analysis=%v\n",
 				i, lvl.Nodes, lvl.Feasible, lvl.Hubs, lvl.Blocks,
@@ -206,6 +277,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 				lvl.Decomp.Round(time.Millisecond), lvl.Analysis.Round(time.Millisecond))
 		}
 		printTelemetry(stderr, s.Telemetry)
+	}
+
+	// finish reports poison-task skips and picks the exit code: a run that
+	// completed but skipped blocks has an incomplete clique set, which must
+	// not look like success to scripts.
+	finish := func() int {
+		if res.Stats.SkippedBlocks == 0 {
+			return 0
+		}
+		for _, v := range poisonVerdicts {
+			fmt.Fprintf(stderr, "mcefind: poison task skipped: block %d failed on %d workers: %s\n",
+				v.Block, v.Attempts, strings.Join(v.Causes, "; "))
+		}
+		fmt.Fprintf(stderr, "mcefind: completed with %d poison-task skip(s); the clique set is incomplete\n",
+			res.Stats.SkippedBlocks)
+		return exitIncomplete
 	}
 
 	if *commK > 0 {
@@ -223,7 +310,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintln(w)
 		}
-		return 0
+		return finish()
 	}
 
 	if *countOnly {
@@ -234,7 +321,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 		fmt.Fprintln(stdout, printed)
-		return 0
+		return finish()
 	}
 
 	w := bufio.NewWriter(stdout)
@@ -245,7 +332,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		writeClique(w, c, *format, name)
 	}
-	return 0
+	return finish()
 }
 
 // printTelemetry summarises a run's final telemetry snapshot on stderr:

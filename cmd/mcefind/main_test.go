@@ -252,3 +252,42 @@ func TestDebugAddrFlag(t *testing.T) {
 		t.Fatalf("bad debug addr exit = %d, want 1", code)
 	}
 }
+
+func TestCheckpointFlagValidation(t *testing.T) {
+	p := writeTriangleTail(t)
+	if code, _, errs := runCmd(t, "-resume", p); code != 2 || !strings.Contains(errs, "-resume needs -checkpoint") {
+		t.Fatalf("-resume alone: code %d, errs %q", code, errs)
+	}
+	dir := filepath.Join(t.TempDir(), "ck")
+	if code, _, errs := runCmd(t, "-checkpoint", dir, "-stream", p); code != 2 || !strings.Contains(errs, "-stream") {
+		t.Fatalf("-checkpoint with -stream: code %d, errs %q", code, errs)
+	}
+	if code, _, errs := runCmd(t, "-checkpoint", dir, "-resume", p); code != 1 || !strings.Contains(errs, "no run journal") {
+		t.Fatalf("-resume without journal: code %d, errs %q", code, errs)
+	}
+}
+
+func TestCheckpointResumeRoundTrip(t *testing.T) {
+	p := writeTriangleTail(t)
+	dir := filepath.Join(t.TempDir(), "ck")
+	code, first, errs := runCmd(t, "-checkpoint", dir, p)
+	if code != 0 {
+		t.Fatalf("checkpointed run: code %d, errs %q", code, errs)
+	}
+	if !mce.HasCheckpoint(dir) {
+		t.Fatal("run left no journal behind")
+	}
+	code, second, errs := runCmd(t, "-checkpoint", dir, "-resume", "-stats", p)
+	if code != 0 {
+		t.Fatalf("resume: code %d, errs %q", code, errs)
+	}
+	if second != first {
+		t.Fatalf("resume output %q differs from original %q", second, first)
+	}
+	if !strings.Contains(errs, "resuming from checkpoint") {
+		t.Fatalf("no resume banner: %q", errs)
+	}
+	if !strings.Contains(errs, "resumed") || !strings.Contains(errs, "from checkpoint") {
+		t.Fatalf("stats missing resumed-blocks line: %q", errs)
+	}
+}

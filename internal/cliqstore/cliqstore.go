@@ -8,6 +8,13 @@
 // The format is streamable in both directions, pairing with the engine's
 // EnumerateStream: cliques go to disk as they are found and come back one
 // at a time.
+//
+// Version 2 ("MCE2") seals every store with a trailer carrying the clique
+// count and a CRC-32 content digest, so a segment whose tail was lost to a
+// crash — even one truncated exactly on a clique boundary, which version 1
+// could not tell from a complete store — is reported as ErrTruncated
+// instead of silently dropping trailing cliques. Version 1 stores remain
+// readable; they simply end at EOF with no tail verification.
 package cliqstore
 
 import (
@@ -15,19 +22,64 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 )
 
-// magic guards against feeding arbitrary files to the reader.
-var magic = [4]byte{'M', 'C', 'E', '1'}
+// magic guards against feeding arbitrary files to the reader. magicV1 is
+// the legacy trailer-less format, kept readable.
+var (
+	magic   = [4]byte{'M', 'C', 'E', '2'}
+	magicV1 = [4]byte{'M', 'C', 'E', '1'}
+)
+
+// trailerSentinel marks the trailer in the clique stream. Clique sizes are
+// capped at 2^31, so the sentinel can never be read as a valid size.
+const trailerSentinel = uint64(1) << 32
+
+var (
+	// ErrTruncated reports a version-2 store that ended before its trailer:
+	// the tail of the segment (possibly whole cliques) is missing.
+	ErrTruncated = errors.New("cliqstore: truncated store (no trailer; the segment tail is missing)")
+	// ErrCorrupt reports a store whose trailer does not match its content
+	// (count or CRC-32 mismatch).
+	ErrCorrupt = errors.New("cliqstore: corrupt store")
+)
+
+// digestClique folds one clique into a running content digest. The digest
+// covers decoded content (length + members), so it is independent of the
+// delta encoding and can be recomputed from an in-memory clique family.
+func digestClique(h hash.Hash32, clique []int32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(len(clique)))
+	h.Write(buf[:])
+	for _, v := range clique {
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		h.Write(buf[:])
+	}
+}
+
+// Digest returns the content digest of a clique family, as stored in the
+// version-2 trailer and in checkpoint journals (internal/runlog).
+func Digest(cliques [][]int32) uint32 {
+	h := crc32.NewIEEE()
+	for _, c := range cliques {
+		digestClique(h, c)
+	}
+	return h.Sum32()
+}
 
 // Writer streams cliques into an io.Writer. Create with NewWriter; call
-// Flush when done.
+// Finish when done to seal the store with its trailer (Flush alone leaves
+// the store unsealed, which readers report as truncated).
 type Writer struct {
-	w     *bufio.Writer
-	buf   []byte
-	count int64
-	err   error
+	w        *bufio.Writer
+	buf      []byte
+	count    int64
+	crc      hash.Hash32
+	finished bool
+	err      error
 }
 
 // NewWriter writes the header and returns a ready Writer.
@@ -36,12 +88,16 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	if _, err := bw.Write(magic[:]); err != nil {
 		return nil, fmt.Errorf("cliqstore: %w", err)
 	}
-	return &Writer{w: bw, buf: make([]byte, binary.MaxVarintLen64)}, nil
+	return &Writer{w: bw, buf: make([]byte, binary.MaxVarintLen64), crc: crc32.NewIEEE()}, nil
 }
 
 // Write appends one clique; members must be ascending and non-negative.
 func (w *Writer) Write(clique []int32) error {
 	if w.err != nil {
+		return w.err
+	}
+	if w.finished {
+		w.err = errors.New("cliqstore: write after Finish")
 		return w.err
 	}
 	if err := w.writeUvarint(uint64(len(clique))); err != nil {
@@ -62,6 +118,7 @@ func (w *Writer) Write(clique []int32) error {
 		}
 		prev = v
 	}
+	digestClique(w.crc, clique)
 	w.count++
 	return nil
 }
@@ -78,7 +135,36 @@ func (w *Writer) writeUvarint(x uint64) error {
 // Count reports how many cliques have been written.
 func (w *Writer) Count() int64 { return w.count }
 
-// Flush drains the buffer; call it before closing the underlying file.
+// Digest reports the running content digest of the cliques written so far;
+// after Finish it equals the digest sealed into the trailer.
+func (w *Writer) Digest() uint32 { return w.crc.Sum32() }
+
+// Finish seals the store: it writes the trailer (clique count + content
+// CRC-32) and drains the buffer. No cliques can be written afterwards;
+// Finish is idempotent.
+func (w *Writer) Finish() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.finished {
+		return nil
+	}
+	w.finished = true
+	if err := w.writeUvarint(trailerSentinel); err != nil {
+		return err
+	}
+	if err := w.writeUvarint(uint64(w.count)); err != nil {
+		return err
+	}
+	if err := w.writeUvarint(uint64(w.crc.Sum32())); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Flush drains the buffer; call it before closing the underlying file. A
+// flushed-but-unfinished store is readable up to its last complete clique,
+// but readers report it as truncated — call Finish to seal it.
 func (w *Writer) Flush() error {
 	if w.err != nil {
 		return w.err
@@ -91,8 +177,12 @@ func (w *Writer) Flush() error {
 
 // Reader streams cliques back from a store.
 type Reader struct {
-	r   *bufio.Reader
-	buf []int32
+	r          *bufio.Reader
+	buf        []int32
+	crc        hash.Hash32
+	count      int64
+	legacy     bool // version-1 store: no trailer to verify
+	sawTrailer bool
 }
 
 // NewReader validates the header and returns a ready Reader.
@@ -102,21 +192,43 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, got[:]); err != nil {
 		return nil, fmt.Errorf("cliqstore: reading header: %w", err)
 	}
-	if got != magic {
+	if got != magic && got != magicV1 {
 		return nil, errors.New("cliqstore: not a clique store (bad magic)")
 	}
-	return &Reader{r: br}, nil
+	return &Reader{r: br, crc: crc32.NewIEEE(), legacy: got == magicV1}, nil
 }
+
+// Count reports how many cliques have been read so far.
+func (r *Reader) Count() int64 { return r.count }
+
+// Digest reports the running content digest of the cliques read so far.
+// After a successful drain of a version-2 store it equals the trailer
+// digest.
+func (r *Reader) Digest() uint32 { return r.crc.Sum32() }
 
 // Next returns the next clique, or io.EOF when the store is exhausted. The
 // returned slice is reused by subsequent calls; copy to retain.
+//
+// For version-2 stores, a clean end of input before the trailer returns
+// ErrTruncated (wrapped) instead of io.EOF, and a trailer that disagrees
+// with the content returns ErrCorrupt (wrapped); io.EOF therefore
+// guarantees the store was read back complete and intact.
 func (r *Reader) Next() ([]int32, error) {
+	if r.sawTrailer {
+		return nil, io.EOF
+	}
 	size, err := binary.ReadUvarint(r.r)
 	if err != nil {
-		if errors.Is(err, io.EOF) {
+		if errors.Is(err, io.EOF) && r.legacy {
 			return nil, io.EOF
 		}
+		if !r.legacy && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+			return nil, fmt.Errorf("%w (read %d cliques)", ErrTruncated, r.count)
+		}
 		return nil, fmt.Errorf("cliqstore: %w", err)
+	}
+	if size == trailerSentinel && !r.legacy {
+		return nil, r.readTrailer()
 	}
 	if size > 1<<31 {
 		return nil, fmt.Errorf("cliqstore: implausible clique size %d", size)
@@ -126,6 +238,9 @@ func (r *Reader) Next() ([]int32, error) {
 	for i := uint64(0); i < size; i++ {
 		delta, err := binary.ReadUvarint(r.r)
 		if err != nil {
+			if !r.legacy && (errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)) {
+				return nil, fmt.Errorf("%w (mid-clique, after %d cliques)", ErrTruncated, r.count)
+			}
 			return nil, fmt.Errorf("cliqstore: truncated clique: %w", err)
 		}
 		v := prev + int64(delta)
@@ -142,10 +257,35 @@ func (r *Reader) Next() ([]int32, error) {
 		r.buf = append(r.buf, int32(v))
 		prev = v
 	}
+	digestClique(r.crc, r.buf)
+	r.count++
 	return r.buf, nil
 }
 
-// ForEach drains the store, calling fn per clique (slice reused).
+// readTrailer validates the trailer against the content read so far and
+// returns io.EOF on success.
+func (r *Reader) readTrailer() error {
+	count, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return fmt.Errorf("%w (torn trailer: %v)", ErrTruncated, err)
+	}
+	sum, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return fmt.Errorf("%w (torn trailer: %v)", ErrTruncated, err)
+	}
+	if count != uint64(r.count) {
+		return fmt.Errorf("%w: trailer promises %d cliques, store holds %d", ErrCorrupt, count, r.count)
+	}
+	if sum > 1<<32-1 || uint32(sum) != r.crc.Sum32() {
+		return fmt.Errorf("%w: content digest mismatch (trailer %#x, content %#x)", ErrCorrupt, sum, r.crc.Sum32())
+	}
+	r.sawTrailer = true
+	return io.EOF
+}
+
+// ForEach drains the store, calling fn per clique (slice reused). For
+// version-2 stores it fails with ErrTruncated / ErrCorrupt (wrapped) when
+// the store does not verify against its trailer.
 func (r *Reader) ForEach(fn func(clique []int32) error) error {
 	for {
 		c, err := r.Next()

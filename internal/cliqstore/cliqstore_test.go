@@ -6,9 +6,6 @@ import (
 	"io"
 	"testing"
 	"testing/quick"
-
-	"mce/internal/core"
-	"mce/internal/gen"
 )
 
 func roundTrip(t *testing.T, cliques [][]int32) [][]int32 {
@@ -26,7 +23,7 @@ func roundTrip(t *testing.T, cliques [][]int32) [][]int32 {
 	if w.Count() != int64(len(cliques)) {
 		t.Fatalf("Count = %d, want %d", w.Count(), len(cliques))
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Finish(); err != nil {
 		t.Fatal(err)
 	}
 	r, err := NewReader(&buf)
@@ -109,60 +106,13 @@ func TestReaderRejectsGarbage(t *testing.T) {
 func TestEmptyStore(t *testing.T) {
 	var buf bytes.Buffer
 	w, _ := NewWriter(&buf)
-	w.Flush()
+	w.Finish()
 	r, err := NewReader(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := r.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("empty store Next = %v, want EOF", err)
-	}
-}
-
-func TestStreamEngineToStore(t *testing.T) {
-	// End to end: stream an enumeration to disk format and read it back.
-	g := gen.HolmeKim(400, 5, 0.7, 3)
-	var buf bytes.Buffer
-	w, err := NewWriter(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	stats, err := core.Stream(g, core.Options{}, func(c []int32, _ int) {
-		if err := w.Write(c); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		t.Fatal(err)
-	}
-	r, err := NewReader(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	read := 0
-	if err := r.ForEach(func(c []int32) error {
-		read++
-		return nil
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if read != stats.TotalCliques {
-		t.Fatalf("store holds %d cliques, engine emitted %d", read, stats.TotalCliques)
-	}
-	// The encoding should beat a naive int32 dump.
-	naive := 0
-	res, err := core.FindMaxCliques(g, core.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, c := range res.Cliques {
-		naive += 4*len(c) + 4
-	}
-	if buf.Len() >= naive {
-		t.Fatalf("store %d bytes not smaller than naive %d", buf.Len(), naive)
 	}
 }
 
@@ -197,7 +147,7 @@ func TestQuickRoundTrip(t *testing.T) {
 				return false
 			}
 		}
-		if err := w.Flush(); err != nil {
+		if err := w.Finish(); err != nil {
 			return false
 		}
 		r, err := NewReader(&buf)

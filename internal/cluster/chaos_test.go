@@ -326,6 +326,59 @@ func TestPoisonTask(t *testing.T) {
 	}
 }
 
+// TestPoisonTaskSkipped: with SkipPoisonTasks a poison verdict no longer
+// fails the batch — the block's slot stays nil, the verdict is recorded for
+// the caller, and the batch completes.
+func TestPoisonTaskSkipped(t *testing.T) {
+	handle := func(conn net.Conn) {
+		defer conn.Close()
+		dec, enc := gob.NewDecoder(conn), gob.NewEncoder(conn)
+		var h hello
+		if dec.Decode(&h) != nil {
+			return
+		}
+		if enc.Encode(helloAck{Version: protocolVersion}) != nil {
+			return
+		}
+		var task blockTask
+		_ = dec.Decode(&task) // swallow the task, answer nothing
+	}
+	// Each swallowed task costs one connection for good, so the worker pool
+	// must cover blocks × retries deaths with one spare to stay alive.
+	addrs := []string{fakeWorker(t, handle), fakeWorker(t, handle), fakeWorker(t, handle)}
+	client, err := Dial(addrs, ClientOptions{
+		DialTimeout:     time.Second,
+		TaskRetries:     1,
+		SkipPoisonTasks: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	g := gen.ErdosRenyi(30, 0.3, 19)
+	blocks, combos := makeBlocks(g, g.MaxDegree()+1)
+	blocks, combos = blocks[:2], combos[:2]
+	out, err := client.AnalyzeBlocks(blocks, combos)
+	if err != nil {
+		t.Fatalf("skip-poison batch failed: %v", err)
+	}
+	for i, cliques := range out {
+		if cliques != nil {
+			t.Fatalf("skipped block %d has a non-nil result", i)
+		}
+	}
+	verdicts := client.PoisonVerdicts()
+	if len(verdicts) != 2 {
+		t.Fatalf("recorded %d poison verdicts, want 2", len(verdicts))
+	}
+	for _, v := range verdicts {
+		if v.Attempts != 1 || len(v.Causes) != 1 {
+			t.Fatalf("verdict = %+v, want 1 recorded attempt", v)
+		}
+	}
+}
+
 // TestPoisonTaskUnlimitedRetries: with a negative budget the batch keeps
 // retrying until capacity runs out, and fails with the all-dead error
 // instead of a poison verdict.

@@ -15,6 +15,7 @@ import (
 
 	"mce/internal/decomp"
 	"mce/internal/mcealg"
+	"mce/internal/runlog"
 	"mce/internal/telemetry"
 )
 
@@ -35,6 +36,13 @@ type ClientOptions struct {
 	// *PoisonTaskError, instead of cascading worker by worker through the
 	// whole cluster. 0 means 3; negative means unlimited.
 	TaskRetries int
+	// SkipPoisonTasks turns a poison verdict from a batch-fatal error into
+	// a recorded skip: the block's cliques are omitted from the result, the
+	// verdict is retained (PoisonVerdicts), and the batch carries on. The
+	// output is then explicitly incomplete — callers must surface the
+	// verdicts, not swallow them; mcefind exits non-zero with a skip
+	// summary.
+	SkipPoisonTasks bool
 	// AutoReconnect re-dials dead workers on a background goroutine with
 	// exponential backoff and jitter, so capacity lost to a worker
 	// restart comes back on its own — including to a batch already in
@@ -100,6 +108,24 @@ type Client struct {
 	// connections.
 	recruitMu sync.Mutex
 	recruits  map[chan *workerConn]struct{}
+
+	// verdicts accumulates poison-task skips under SkipPoisonTasks.
+	verdictMu sync.Mutex
+	verdicts  []PoisonTaskError
+}
+
+// PoisonVerdicts returns the poison tasks skipped so far under
+// SkipPoisonTasks, oldest first. Empty means the results are complete.
+func (c *Client) PoisonVerdicts() []PoisonTaskError {
+	c.verdictMu.Lock()
+	defer c.verdictMu.Unlock()
+	return append([]PoisonTaskError(nil), c.verdicts...)
+}
+
+func (c *Client) recordPoison(v PoisonTaskError) {
+	c.verdictMu.Lock()
+	c.verdicts = append(c.verdicts, v)
+	c.verdictMu.Unlock()
 }
 
 // workerConn serialises access to one worker connection. conn is nil for a
@@ -567,6 +593,26 @@ func (c *Client) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Combo) ([]
 // flight, because the wire protocol has no way to abandon a pending
 // response. It implements core.ContextExecutor.
 func (c *Client) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error) {
+	return c.analyzeBlocks(ctx, blocks, combos, nil, nil)
+}
+
+// AnalyzeBlocksCheckpoint is AnalyzeBlocksContext with per-block
+// durability: every block carries its stable checkpoint identity on the
+// wire (journaled by the coordinator, echoed by the worker), and obs is
+// told the moment each block is dispatched and the moment its cliques are
+// safely back — not at batch end — so a coordinator killed mid-batch
+// resumes with every completed block already durable. ids must index like
+// blocks. It implements core.CheckpointExecutor.
+func (c *Client) AnalyzeBlocksCheckpoint(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo, ids []runlog.BlockID, obs runlog.BatchObserver) ([][][]int32, error) {
+	if len(ids) != len(blocks) {
+		return nil, fmt.Errorf("cluster: %d blocks but %d block IDs", len(blocks), len(ids))
+	}
+	return c.analyzeBlocks(ctx, blocks, combos, ids, obs)
+}
+
+// analyzeBlocks is the shared batch engine behind both executor shapes.
+// ids/obs are nil for plain batches.
+func (c *Client) analyzeBlocks(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo, ids []runlog.BlockID, obs runlog.BatchObserver) ([][][]int32, error) {
 	if len(blocks) != len(combos) {
 		return nil, fmt.Errorf("cluster: %d blocks but %d combos", len(blocks), len(combos))
 	}
@@ -644,8 +690,15 @@ func (c *Client) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block
 					met.QueueDepth.Add(-1)
 					met.TasksInFlight.Add(1)
 				}
+				var id runlog.BlockID
+				if ids != nil {
+					id = ids[i]
+				}
+				if obs != nil {
+					obs.BlockDispatched(id)
+				}
 				t0 := time.Now()
-				cliques, err := c.roundTrip(ctx, wc, i, &blocks[i], combos[i])
+				cliques, err := c.roundTrip(ctx, wc, i, id, &blocks[i], combos[i])
 				if met != nil {
 					met.TasksInFlight.Add(-1)
 				}
@@ -656,6 +709,14 @@ func (c *Client) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block
 					c.mu.Unlock()
 					if met != nil {
 						met.RoundTripNs.ObserveSince(t0)
+					}
+					if obs != nil {
+						// Durability before acknowledgement: the block only
+						// counts as completed once its cliques are on disk.
+						if oerr := obs.BlockDone(id, cliques); oerr != nil {
+							fail(fmt.Errorf("cluster: checkpointing block result: %w", oerr))
+							return
+						}
 					}
 					out[i] = cliques
 					if atomic.AddInt64(&completed, 1) == int64(len(blocks)) {
@@ -693,7 +754,16 @@ func (c *Client) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block
 					if met != nil {
 						met.PoisonTasks.Inc()
 					}
-					fail(&PoisonTaskError{Block: i, Attempts: n, Causes: cs})
+					if c.opts.SkipPoisonTasks {
+						// Recorded skip: the block's slot stays nil and the
+						// batch carries on; callers surface the verdicts.
+						c.recordPoison(PoisonTaskError{Block: i, Attempts: n, Causes: cs})
+						if atomic.AddInt64(&completed, 1) == int64(len(blocks)) {
+							closeOnce.Do(func() { close(done) })
+						}
+					} else {
+						fail(&PoisonTaskError{Block: i, Attempts: n, Causes: cs})
+					}
 				} else {
 					if met != nil {
 						met.TaskRetries.Inc()
@@ -834,9 +904,10 @@ func (c *Client) taskDeadline(t *blockTask) time.Duration {
 }
 
 // roundTrip sends one task and waits for its result, applying the simulated
-// link costs and the task deadline.
-func (c *Client) roundTrip(ctx context.Context, wc *workerConn, id int, b *decomp.Block, combo mcealg.Combo) ([][]int32, error) {
-	t := taskFromBlock(id, b, combo)
+// link costs and the task deadline. bid is the block's stable checkpoint
+// identity (zero for non-checkpointed runs); the worker must echo it.
+func (c *Client) roundTrip(ctx context.Context, wc *workerConn, id int, bid runlog.BlockID, b *decomp.Block, combo mcealg.Combo) ([][]int32, error) {
+	t := taskFromBlock(id, bid.Level, bid.Plan, b, combo)
 	if err := c.simulateLink(ctx, t.wireSize()); err != nil {
 		return nil, &cleanCancelError{err: err}
 	}
@@ -863,8 +934,9 @@ func (c *Client) roundTrip(ctx context.Context, wc *workerConn, id int, b *decom
 	if met != nil {
 		met.BytesReceived.Add(res.wireSize())
 	}
-	if res.ID != id {
-		return nil, fmt.Errorf("cluster: worker %s answered task %d, want %d", wc.addr, res.ID, id)
+	if res.ID != id || res.Level != bid.Level || res.Plan != bid.Plan {
+		return nil, fmt.Errorf("cluster: worker %s answered task %d (block L%d/B%d), want %d (L%d/B%d)",
+			wc.addr, res.ID, res.Level, res.Plan, id, bid.Level, bid.Plan)
 	}
 	if res.Corrupt {
 		if met != nil {

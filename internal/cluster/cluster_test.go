@@ -41,7 +41,7 @@ func TestTaskRoundTripConversion(t *testing.T) {
 		t.Fatal("no blocks")
 	}
 	b := &blocks[0]
-	task := taskFromBlock(7, b, combos[0])
+	task := taskFromBlock(7, 2, 5, b, combos[0])
 	b2, combo2, err := blockFromTask(&task)
 	if err != nil {
 		t.Fatal(err)

@@ -26,8 +26,11 @@ import (
 // protocolVersion guards against mismatched coordinator/worker builds.
 // Version 2 added the CRC-32 payload checksums (Sum fields) and the
 // Corrupt verdict, so link-level byte corruption is detected and retried
-// instead of silently producing a wrong clique set.
-const protocolVersion = 2
+// instead of silently producing a wrong clique set. Version 3 added the
+// stable block identity (Level, Plan) to both directions, checksummed and
+// echoed, so a checkpointing coordinator can journal exactly which block a
+// result belongs to — the identity a resumed run uses to skip it.
+const protocolVersion = 3
 
 // hello is the first message on every connection, sent by the coordinator.
 type hello struct {
@@ -50,6 +53,12 @@ type helloAck struct {
 type blockTask struct {
 	// ID echoes back in the matching blockResult.
 	ID int
+	// Level and Plan are the block's stable identity in the coordinator's
+	// run plan (hub-recursion level and index within that level's
+	// deterministic block plan). They are echoed in the result so a
+	// checkpointing coordinator can journal completions under an identity
+	// that survives restarts; both zero for non-checkpointed runs.
+	Level, Plan int
 	// Nodes is the block-local node count; Edges lists block-local
 	// undirected edges.
 	Nodes int32
@@ -72,6 +81,8 @@ type blockTask struct {
 // blockResult is the worker's answer to one blockTask.
 type blockResult struct {
 	ID int
+	// Level and Plan echo the task's stable block identity.
+	Level, Plan int
 	// Cliques holds the block's maximal cliques in global node IDs.
 	Cliques [][]int32
 	// Err is a non-empty string when BLOCK-ANALYSIS failed; such failures
@@ -87,8 +98,10 @@ type blockResult struct {
 	Sum uint32
 }
 
-// taskFromBlock flattens a decomp.Block for the wire.
-func taskFromBlock(id int, b *decomp.Block, combo mcealg.Combo) blockTask {
+// taskFromBlock flattens a decomp.Block for the wire. level and plan carry
+// the block's stable checkpoint identity (both zero when the run is not
+// checkpointed).
+func taskFromBlock(id int, level, plan int, b *decomp.Block, combo mcealg.Combo) blockTask {
 	edges := b.Graph.Edges()
 	wire := make([][2]int32, len(edges))
 	for i, e := range edges {
@@ -96,6 +109,8 @@ func taskFromBlock(id int, b *decomp.Block, combo mcealg.Combo) blockTask {
 	}
 	t := blockTask{
 		ID:      id,
+		Level:   level,
+		Plan:    plan,
 		Nodes:   int32(b.Graph.N()),
 		Edges:   wire,
 		Kernel:  b.Kernel,
@@ -120,6 +135,8 @@ func sumInt32(h hash.Hash32, v int32) {
 func (t *blockTask) payloadSum() uint32 {
 	h := crc32.NewIEEE()
 	sumInt32(h, int32(t.ID))
+	sumInt32(h, int32(t.Level))
+	sumInt32(h, int32(t.Plan))
 	sumInt32(h, t.Nodes)
 	sumInt32(h, int32(len(t.Edges)))
 	for _, e := range t.Edges {
@@ -141,6 +158,8 @@ func (t *blockTask) payloadSum() uint32 {
 func (r *blockResult) payloadSum() uint32 {
 	h := crc32.NewIEEE()
 	sumInt32(h, int32(r.ID))
+	sumInt32(h, int32(r.Level))
+	sumInt32(h, int32(r.Plan))
 	sumInt32(h, int32(len(r.Cliques)))
 	for _, c := range r.Cliques {
 		sumInt32(h, int32(len(c)))

@@ -282,13 +282,13 @@ func (w *Worker) serveConn(conn net.Conn) error {
 // in-band error instead of killing the worker process, so one poison task
 // cannot take down a node that other coordinators share. met may be nil.
 func runTask(t *blockTask, met *telemetry.Engine) (res blockResult) {
-	res = blockResult{ID: t.ID}
+	res = blockResult{ID: t.ID, Level: t.Level, Plan: t.Plan}
 	if met != nil {
 		met.TasksServed.Inc()
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			res = blockResult{ID: t.ID, Err: fmt.Sprintf("panic in BLOCK-ANALYSIS: %v", r)}
+			res = blockResult{ID: t.ID, Level: t.Level, Plan: t.Plan, Err: fmt.Sprintf("panic in BLOCK-ANALYSIS: %v", r)}
 			if met != nil {
 				met.TaskPanics.Inc()
 			}

@@ -33,6 +33,7 @@ import (
 	"mce/internal/graph"
 	"mce/internal/kcore"
 	"mce/internal/mcealg"
+	"mce/internal/runlog"
 	"mce/internal/telemetry"
 )
 
@@ -52,6 +53,17 @@ type Executor interface {
 // cluster.Client implement it.
 type ContextExecutor interface {
 	AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error)
+}
+
+// CheckpointExecutor is implemented by executors that can report per-block
+// progress while a batch runs: ids[i] is blocks[i]'s stable identity in the
+// run plan, and obs is told the moment each block is dispatched and the
+// moment its result is complete. A checkpointing run (Options.Checkpoint)
+// prefers this path, so a coordinator killed mid-batch loses at most the
+// blocks still in flight; executors without it fall back to journaling at
+// batch granularity. Both LocalExecutor and cluster.Client implement it.
+type CheckpointExecutor interface {
+	AnalyzeBlocksCheckpoint(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo, ids []runlog.BlockID, obs runlog.BatchObserver) ([][][]int32, error)
 }
 
 // Options configures FindMaxCliques.
@@ -102,6 +114,13 @@ type Options struct {
 	// disables telemetry entirely: every instrumentation site is behind a
 	// nil-check and the block-analysis hot loop allocates nothing extra.
 	Metrics *telemetry.Engine
+	// Checkpoint, when non-nil, makes the run crash-safe: every level's
+	// block plan and every block completion is journaled, block results are
+	// persisted in per-block segments, and a run restarted against the same
+	// checkpoint directory loads completed blocks from disk instead of
+	// re-analysing them. The checkpoint must have been opened with the
+	// identity CheckpointIdentity reports for this (graph, options) pair.
+	Checkpoint *runlog.Checkpoint
 }
 
 // Schedule selects the block dispatch order handed to the Executor.
@@ -158,6 +177,15 @@ type Stats struct {
 	// recursion level ≥ 1, i.e. cliques made of hub nodes only — the
 	// cliques a hub-neglecting decomposition would lose (Figures 9–11).
 	HubCliques int
+	// ResumedBlocks counts blocks whose cliques were loaded from the
+	// checkpoint's segments instead of re-analysed — non-zero only when the
+	// run resumed prior state (Options.Checkpoint).
+	ResumedBlocks int
+	// SkippedBlocks counts blocks abandoned as poison tasks under
+	// skip-poison mode (cluster.ClientOptions.SkipPoisonTasks). Non-zero
+	// means the clique set is explicitly incomplete; callers must surface
+	// it, and mcefind exits non-zero.
+	SkippedBlocks int
 	// Telemetry is the final metrics snapshot of the run when it was
 	// started with a telemetry engine (Options.Metrics, or the mce
 	// package's WithTelemetry/WithProgress options); nil otherwise.
@@ -198,6 +226,22 @@ func (e *LocalExecutor) AnalyzeBlocks(blocks []decomp.Block, combos []mcealg.Com
 // completion — block analysis has no preemption points) and the call
 // returns ctx.Err().
 func (e *LocalExecutor) AnalyzeBlocksContext(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo) ([][][]int32, error) {
+	return e.analyze(ctx, blocks, combos, nil, nil)
+}
+
+// AnalyzeBlocksCheckpoint implements CheckpointExecutor: each block's
+// completion is reported to obs as it happens, so a checkpointing run can
+// make it durable before the batch finishes.
+func (e *LocalExecutor) AnalyzeBlocksCheckpoint(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo, ids []runlog.BlockID, obs runlog.BatchObserver) ([][][]int32, error) {
+	if len(ids) != len(blocks) {
+		return nil, fmt.Errorf("core: %d blocks but %d block IDs", len(blocks), len(ids))
+	}
+	return e.analyze(ctx, blocks, combos, ids, obs)
+}
+
+// analyze is the pool shared by both executor shapes; ids/obs are nil for
+// plain batches.
+func (e *LocalExecutor) analyze(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo, ids []runlog.BlockID, obs runlog.BatchObserver) ([][][]int32, error) {
 	if len(blocks) != len(combos) {
 		return nil, fmt.Errorf("core: %d blocks but %d combos", len(blocks), len(combos))
 	}
@@ -239,6 +283,9 @@ func (e *LocalExecutor) AnalyzeBlocksContext(ctx context.Context, blocks []decom
 				if ctx.Err() != nil {
 					continue // drain the queue without analysing
 				}
+				if obs != nil {
+					obs.BlockDispatched(ids[i])
+				}
 				var t0 time.Time
 				if met != nil {
 					met.TasksInFlight.Add(1)
@@ -255,6 +302,11 @@ func (e *LocalExecutor) AnalyzeBlocksContext(ctx context.Context, blocks []decom
 					met.ComboAnalyzed(idx, combos[i].Label(), time.Since(t0))
 					met.MergeBlockInstr(ins)
 					met.TasksInFlight.Add(-1)
+				}
+				if err == nil && obs != nil {
+					// Durability before acknowledgement: the block only
+					// counts once its cliques are journaled.
+					err = obs.BlockDone(ids[i], cliques)
 				}
 				if err != nil {
 					mu.Lock()
@@ -286,6 +338,9 @@ func (e *LocalExecutor) AnalyzeBlocksContext(ctx context.Context, blocks []decom
 // has no maximal cliques, but asking is almost always a caller bug.
 var ErrNoNodes = errors.New("core: graph has no nodes")
 
+// errCheckpointStream refuses checkpointed streaming; see StreamContext.
+var errCheckpointStream = errors.New("core: checkpointing is not supported with streaming enumeration (a resume would re-emit cliques the consumer already saw); use FindMaxCliques or drop the checkpoint")
+
 // FindMaxCliques enumerates every maximal clique of g — Algorithm 1.
 func FindMaxCliques(g *graph.Graph, opts Options) (*Result, error) {
 	return FindMaxCliquesContext(context.Background(), g, opts)
@@ -300,17 +355,7 @@ func FindMaxCliquesContext(ctx context.Context, g *graph.Graph, opts Options) (*
 		return nil, ErrNoNodes
 	}
 	maxDeg := g.MaxDegree()
-	m := opts.BlockSize
-	if m <= 0 {
-		ratio := opts.BlockRatio
-		if ratio <= 0 {
-			ratio = 0.5
-		}
-		m = int(ratio*float64(maxDeg) + 0.999)
-	}
-	if m < 2 {
-		m = 2
-	}
+	m := resolveBlockSize(maxDeg, opts)
 	sel := selector(opts)
 	exec := opts.Executor
 	if exec == nil {
@@ -320,6 +365,12 @@ func FindMaxCliquesContext(ctx context.Context, g *graph.Graph, opts Options) (*
 	res := &Result{Stats: Stats{BlockSize: m, MaxDegree: maxDeg}}
 	if err := findRecursive(ctx, g, m, sel, exec, opts, res, 0); err != nil {
 		return nil, err
+	}
+	if cp := opts.Checkpoint; cp != nil {
+		if err := cp.FinishRun(); err != nil {
+			return nil, err
+		}
+		res.Stats.ResumedBlocks = int(cp.SkippedBlocks())
 	}
 	res.Stats.TotalCliques = len(res.Cliques)
 	for _, lvl := range res.Level {
@@ -332,6 +383,48 @@ func FindMaxCliquesContext(ctx context.Context, g *graph.Graph, opts Options) (*
 		res.Stats.Telemetry = &snap
 	}
 	return res, nil
+}
+
+// resolveBlockSize resolves m from the options exactly as the engine will
+// use it, so the checkpoint identity and the run agree.
+func resolveBlockSize(maxDeg int, opts Options) int {
+	m := opts.BlockSize
+	if m <= 0 {
+		ratio := opts.BlockRatio
+		if ratio <= 0 {
+			ratio = 0.5
+		}
+		m = int(ratio*float64(maxDeg) + 0.999)
+	}
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// CheckpointIdentity computes the identity a checkpoint directory for this
+// (graph, options) pair must carry: the graph digest plus a digest of every
+// option that shapes the block plan or the result partitioning — the
+// resolved m, the second-level decomposition tuning, and the recursion cap.
+// Transport, scheduling and filtering options are excluded: they change how
+// blocks run, never which blocks exist or what each produces.
+func CheckpointIdentity(g *graph.Graph, opts Options) runlog.Identity {
+	m := resolveBlockSize(g.MaxDegree(), opts)
+	minAdj := opts.Block.MinAdjacency
+	if minAdj < 1 {
+		minAdj = 1
+	}
+	fields := []uint64{
+		uint64(m),
+		uint64(minAdj),
+		uint64(opts.Block.Order),
+		uint64(opts.Block.Seed),
+		uint64(opts.MaxLevels),
+	}
+	return runlog.Identity{
+		Graph:   runlog.GraphDigest(g),
+		Options: runlog.OptionsDigest(fields...),
+	}
 }
 
 // selector builds the per-block combo chooser from the options.
@@ -370,7 +463,7 @@ func findRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decomp.
 	// remaining graph is the terminal (m+1)-core. Enumerate it directly —
 	// Lemma 1 still applies with C2 = all maximal cliques of this subgraph.
 	if len(feasible) == 0 || (opts.MaxLevels > 0 && level >= opts.MaxLevels && len(hubs) > 0) {
-		return enumerateCore(g, sel, res, level, start, met)
+		return enumerateCore(g, sel, opts.Checkpoint, res, level, start, met)
 	}
 
 	blocks := decomp.Blocks(g, feasible, m, opts.Block)
@@ -395,7 +488,13 @@ func findRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decomp.
 	decompTime := time.Since(start)
 
 	start = time.Now()
-	perBlock, err := analyzeScheduled(ctx, exec, blocks, combos, opts.Schedule)
+	var perBlock [][][]int32
+	var err error
+	if cp := opts.Checkpoint; cp != nil {
+		perBlock, err = analyzeCheckpointed(ctx, cp, exec, blocks, combos, opts.Schedule, level)
+	} else {
+		perBlock, err = analyzeScheduled(ctx, exec, blocks, combos, opts.Schedule, nil, nil)
+	}
 	if err != nil {
 		return err
 	}
@@ -477,22 +576,92 @@ func findRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decomp.
 	return nil
 }
 
+// analyzeCheckpointed runs one level's batch against the checkpoint: the
+// level's block plan is journaled (and validated against a resumed journal),
+// blocks the journal records as done are served from their segments, and
+// only the remainder is dispatched — with per-block durability when the
+// executor supports it. Results come back indexed like blocks, so resumed
+// and fresh runs produce identical output.
+func analyzeCheckpointed(ctx context.Context, cp *runlog.Checkpoint, exec Executor, blocks []decomp.Block, combos []mcealg.Combo, sched Schedule, level int) ([][][]int32, error) {
+	if err := cp.BeginLevel(level, len(blocks)); err != nil {
+		return nil, err
+	}
+	perBlock := make([][][]int32, len(blocks))
+	var pendIdx []int
+	for i := range blocks {
+		if cliques, ok := cp.DoneCliques(runlog.BlockID{Level: level, Plan: i}); ok {
+			perBlock[i] = cliques
+			continue
+		}
+		pendIdx = append(pendIdx, i)
+	}
+	if len(pendIdx) > 0 {
+		pend := make([]decomp.Block, len(pendIdx))
+		pendCombos := make([]mcealg.Combo, len(pendIdx))
+		ids := make([]runlog.BlockID, len(pendIdx))
+		for pos, i := range pendIdx {
+			pend[pos] = blocks[i]
+			pendCombos[pos] = combos[i]
+			ids[pos] = runlog.BlockID{Level: level, Plan: i}
+		}
+		results, err := analyzeScheduled(ctx, exec, pend, pendCombos, sched, ids, cp)
+		if err != nil {
+			return nil, err
+		}
+		for pos, i := range pendIdx {
+			perBlock[i] = results[pos]
+		}
+	}
+	if err := cp.EndLevel(level); err != nil {
+		return nil, err
+	}
+	return perBlock, nil
+}
+
 // analyzeScheduled dispatches the blocks in the configured order and
 // returns the results in the original block order, so scheduling never
 // changes the output. The context reaches the executor when it implements
-// ContextExecutor; otherwise it is checked once before dispatch.
-func analyzeScheduled(ctx context.Context, exec Executor, blocks []decomp.Block, combos []mcealg.Combo, sched Schedule) ([][][]int32, error) {
+// ContextExecutor; otherwise it is checked once before dispatch. When
+// obs is non-nil (checkpointing run), ids index like blocks and block
+// completions are reported — per block through a CheckpointExecutor, or at
+// batch granularity for executors without one.
+func analyzeScheduled(ctx context.Context, exec Executor, blocks []decomp.Block, combos []mcealg.Combo, sched Schedule, ids []runlog.BlockID, obs runlog.BatchObserver) ([][][]int32, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	analyze := exec.AnalyzeBlocks
-	if ce, ok := exec.(ContextExecutor); ok {
-		analyze = func(b []decomp.Block, cb []mcealg.Combo) ([][][]int32, error) {
+	plain := func(b []decomp.Block, cb []mcealg.Combo) ([][][]int32, error) {
+		if ce, ok := exec.(ContextExecutor); ok {
 			return ce.AnalyzeBlocksContext(ctx, b, cb)
 		}
+		return exec.AnalyzeBlocks(b, cb)
+	}
+	analyze := func(b []decomp.Block, cb []mcealg.Combo, bids []runlog.BlockID) ([][][]int32, error) {
+		if obs == nil {
+			return plain(b, cb)
+		}
+		if ce, ok := exec.(CheckpointExecutor); ok {
+			return ce.AnalyzeBlocksCheckpoint(ctx, b, cb, bids, obs)
+		}
+		// Batch-granularity fallback: the journal still records every
+		// completion, just only after the whole batch returns — a crash
+		// mid-batch re-runs the batch, which the idempotent segments make
+		// safe.
+		for _, id := range bids {
+			obs.BlockDispatched(id)
+		}
+		out, err := plain(b, cb)
+		if err != nil {
+			return nil, err
+		}
+		for i, id := range bids {
+			if err := obs.BlockDone(id, out[i]); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
 	}
 	if sched != ScheduleLPT || len(blocks) < 2 {
-		return analyze(blocks, combos)
+		return analyze(blocks, combos, ids)
 	}
 	perm := make([]int, len(blocks))
 	for i := range perm {
@@ -509,11 +678,18 @@ func analyzeScheduled(ctx context.Context, exec Executor, blocks []decomp.Block,
 	})
 	ordered := make([]decomp.Block, len(blocks))
 	orderedCombos := make([]mcealg.Combo, len(blocks))
+	var orderedIDs []runlog.BlockID
+	if ids != nil {
+		orderedIDs = make([]runlog.BlockID, len(blocks))
+	}
 	for pos, idx := range perm {
 		ordered[pos] = blocks[idx]
 		orderedCombos[pos] = combos[idx]
+		if ids != nil {
+			orderedIDs[pos] = ids[idx]
+		}
 	}
-	permuted, err := analyze(ordered, orderedCombos)
+	permuted, err := analyze(ordered, orderedCombos, orderedIDs)
 	if err != nil {
 		return nil, err
 	}
@@ -525,22 +701,54 @@ func analyzeScheduled(ctx context.Context, exec Executor, blocks []decomp.Block,
 }
 
 // enumerateCore handles the terminal core directly with a single MCE run.
-func enumerateCore(g *graph.Graph, sel func(*decomp.Block) mcealg.Combo, res *Result, level int, start time.Time, met *telemetry.Engine) error {
+// Under a checkpoint it is journaled as a one-block level, so a resumed run
+// loads the terminal core's cliques from its segment too.
+func enumerateCore(g *graph.Graph, sel func(*decomp.Block) mcealg.Combo, cp *runlog.Checkpoint, res *Result, level int, start time.Time, met *telemetry.Engine) error {
+	id := runlog.BlockID{Level: level, Plan: 0}
+	if cp != nil {
+		if err := cp.BeginLevel(level, 1); err != nil {
+			return err
+		}
+		if cliques, ok := cp.DoneCliques(id); ok {
+			res.Cliques = append(res.Cliques, cliques...)
+			for range cliques {
+				res.Level = append(res.Level, level)
+			}
+			res.Stats.CoreFallback = true
+			res.Stats.Levels = append(res.Stats.Levels, LevelStats{
+				Nodes: g.N(), Edges: g.M(), Hubs: g.N(),
+				Cliques: len(cliques), Analysis: time.Since(start),
+			})
+			if met != nil {
+				met.LevelsCompleted.Inc()
+			}
+			return cp.EndLevel(level)
+		}
+	}
 	blk := wholeGraphBlock(g)
 	combo := sel(blk)
 	if met != nil {
 		met.ComboPicked(combo.Index(), combo.Label())
 	}
 	n := 0
+	first := len(res.Cliques)
 	err := mcealg.Enumerate(g, combo, func(c []int32) {
-		cp := make([]int32, len(c))
-		copy(cp, c)
-		res.Cliques = append(res.Cliques, cp)
+		dup := make([]int32, len(c))
+		copy(dup, c)
+		res.Cliques = append(res.Cliques, dup)
 		res.Level = append(res.Level, level)
 		n++
 	})
 	if err != nil {
 		return err
+	}
+	if cp != nil {
+		if err := cp.BlockDone(id, res.Cliques[first:]); err != nil {
+			return err
+		}
+		if err := cp.EndLevel(level); err != nil {
+			return err
+		}
 	}
 	res.Stats.CoreFallback = true
 	res.Stats.Levels = append(res.Stats.Levels, LevelStats{

@@ -36,18 +36,15 @@ func StreamContext(ctx context.Context, g *graph.Graph, opts Options, emit func(
 	if g.N() == 0 {
 		return nil, ErrNoNodes
 	}
+	if opts.Checkpoint != nil {
+		// Checkpoint resume replays completed blocks out of their segments;
+		// a streaming consumer has already observed (and cannot un-observe)
+		// whatever the crashed run emitted, so resumed streaming would
+		// duplicate cliques. Refuse rather than betray exactly-once.
+		return nil, errCheckpointStream
+	}
 	maxDeg := g.MaxDegree()
-	m := opts.BlockSize
-	if m <= 0 {
-		ratio := opts.BlockRatio
-		if ratio <= 0 {
-			ratio = 0.5
-		}
-		m = int(ratio*float64(maxDeg) + 0.999)
-	}
-	if m < 2 {
-		m = 2
-	}
+	m := resolveBlockSize(maxDeg, opts)
 	sel := selector(opts)
 	exec := opts.Executor
 	if exec == nil {
@@ -121,7 +118,7 @@ func streamRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decom
 	decompTime := time.Since(start)
 
 	start = time.Now()
-	perBlock, err := analyzeScheduled(ctx, exec, blocks, combos, opts.Schedule)
+	perBlock, err := analyzeScheduled(ctx, exec, blocks, combos, opts.Schedule, nil, nil)
 	if err != nil {
 		return err
 	}

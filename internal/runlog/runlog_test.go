@@ -1,0 +1,358 @@
+package runlog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mce/internal/telemetry"
+)
+
+var testID = Identity{Graph: 0xfeedbeef, Options: 0xcafe}
+
+func openTest(t *testing.T, dir string, id Identity) *Checkpoint {
+	t.Helper()
+	c, err := Open(dir, id, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestFreshCheckpoint pins the empty-journal path: a brand-new directory
+// (and an Open of a directory whose journal holds only this session's
+// run-begin record) is not a resume.
+func TestFreshCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, testID)
+	if c.Resumed() {
+		t.Fatal("fresh checkpoint reported as resumed")
+	}
+	if _, ok := c.DoneCliques(BlockID{0, 0}); ok {
+		t.Fatal("fresh checkpoint claims a done block")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyJournalFile pins that a zero-byte journal file (created, never
+// written — e.g. a crash before the header was flushed) opens as a fresh
+// run rather than erroring.
+func TestEmptyJournalFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(JournalPath(dir), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := openTest(t, dir, testID)
+	defer c.Close()
+	if c.Resumed() {
+		t.Fatal("empty journal file reported as resumed")
+	}
+}
+
+// TestResumeRoundTrip drives a two-level run to the middle, reopens the
+// directory, and checks the journal hands back exactly the completed work.
+func TestResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, testID)
+	cl0 := [][]int32{{1, 2, 3}, {4, 7}}
+	cl1 := [][]int32{{0, 9}}
+	if err := c.BeginLevel(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	c.BlockDispatched(BlockID{0, 0})
+	c.BlockDispatched(BlockID{0, 1})
+	c.BlockDispatched(BlockID{0, 2})
+	if err := c.BlockDone(BlockID{0, 0}, cl0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BlockDone(BlockID{0, 1}, cl1); err != nil {
+		t.Fatal(err)
+	}
+	// Block {0,2} stays dispatched-but-not-done: the "crash".
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	met := telemetry.NewEngine()
+	r, err := Open(dir, testID, Options{NoSync: true, Metrics: met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if !r.Resumed() {
+		t.Fatal("reopened checkpoint not reported as resumed")
+	}
+	if err := r.BeginLevel(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.DoneCliques(BlockID{0, 0})
+	if !ok || !reflect.DeepEqual(got, cl0) {
+		t.Fatalf("block {0,0}: ok=%v got %v want %v", ok, got, cl0)
+	}
+	if got, ok := r.DoneCliques(BlockID{0, 1}); !ok || !reflect.DeepEqual(got, cl1) {
+		t.Fatalf("block {0,1}: ok=%v got %v", ok, got)
+	}
+	if _, ok := r.DoneCliques(BlockID{0, 2}); ok {
+		t.Fatal("in-flight block {0,2} resumed as done")
+	}
+	if n := r.SkippedBlocks(); n != 2 {
+		t.Fatalf("SkippedBlocks = %d, want 2", n)
+	}
+	if n := r.ReenqueuedBlocks(); n != 1 {
+		t.Fatalf("ReenqueuedBlocks = %d, want 1", n)
+	}
+	if n := met.Snapshot().CheckpointBlocksSkipped; n != 2 {
+		t.Fatalf("telemetry skipped counter = %d, want 2", n)
+	}
+}
+
+// TestResumeAfterResume pins that a journal already carrying a resume
+// record resumes again cleanly — each session appends its own identity
+// record and the done-set keeps accumulating.
+func TestResumeAfterResume(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, testID)
+	c.BeginLevel(0, 2)
+	if err := c.BlockDone(BlockID{0, 0}, [][]int32{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	c2 := openTest(t, dir, testID)
+	if !c2.Resumed() {
+		t.Fatal("first resume not detected")
+	}
+	if err := c2.BlockDone(BlockID{0, 1}, [][]int32{{3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+
+	c3 := openTest(t, dir, testID)
+	defer c3.Close()
+	if !c3.Resumed() {
+		t.Fatal("second resume not detected")
+	}
+	for plan := 0; plan < 2; plan++ {
+		if _, ok := c3.DoneCliques(BlockID{0, plan}); !ok {
+			t.Fatalf("block {0,%d} lost across double resume", plan)
+		}
+	}
+}
+
+// TestIdentityMismatch pins the refusal path: resuming with a different
+// graph or different plan-affecting options must fail with
+// ErrIdentityMismatch and a message naming the problem.
+func TestIdentityMismatch(t *testing.T) {
+	dir := t.TempDir()
+	openTest(t, dir, testID).Close()
+
+	for _, bad := range []Identity{
+		{Graph: testID.Graph + 1, Options: testID.Options},
+		{Graph: testID.Graph, Options: testID.Options + 1},
+	} {
+		if _, err := Open(dir, bad, Options{NoSync: true}); !errors.Is(err, ErrIdentityMismatch) {
+			t.Fatalf("Open with identity %+v: err %v, want ErrIdentityMismatch", bad, err)
+		}
+	}
+}
+
+// TestBlockPlanMismatch pins the second identity guard: a resumed level
+// whose deterministic plan size changed is refused even though the digests
+// matched.
+func TestBlockPlanMismatch(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, testID)
+	c.BeginLevel(0, 4)
+	c.Close()
+
+	r := openTest(t, dir, testID)
+	defer r.Close()
+	if err := r.BeginLevel(0, 5); !errors.Is(err, ErrIdentityMismatch) {
+		t.Fatalf("BeginLevel with changed plan: err %v, want ErrIdentityMismatch", err)
+	}
+}
+
+// TestTornTailTruncated pins WAL recovery: chopping bytes off the journal
+// tail loses at most the torn record — replay stops at the last intact
+// record and the next session appends from there.
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, testID)
+	c.BeginLevel(0, 2)
+	c.BlockDone(BlockID{0, 0}, [][]int32{{1, 2, 3}})
+	c.BlockDone(BlockID{0, 1}, [][]int32{{5, 6}})
+	c.Close()
+
+	path := JournalPath(dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way into the final (done {0,1}) record.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTest(t, dir, testID)
+	defer r.Close()
+	if !r.Resumed() {
+		t.Fatal("torn journal not resumed")
+	}
+	if _, ok := r.DoneCliques(BlockID{0, 0}); !ok {
+		t.Fatal("intact record lost to torn-tail truncation")
+	}
+	if _, ok := r.DoneCliques(BlockID{0, 1}); ok {
+		t.Fatal("torn done-record replayed as intact")
+	}
+	// The torn frame must be gone from disk: the re-opened journal's
+	// records all decode.
+	recs, _, err := replayJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[len(recs)-1].kind != recResume {
+		t.Fatalf("last record kind %d, want recResume appended after truncation", recs[len(recs)-1].kind)
+	}
+}
+
+// TestSegmentCorruptionSelfHeals pins the self-healing contract: a done
+// block whose segment no longer verifies is handed back as not-done so the
+// caller re-executes it, rather than failing the resume.
+func TestSegmentCorruptionSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, testID)
+	c.BeginLevel(0, 1)
+	if err := c.BlockDone(BlockID{0, 0}, [][]int32{{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Truncate the segment: journal says done, bytes disagree.
+	seg := filepath.Join(dir, segmentsDir, "L000-B000000.cliq")
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, data[:len(data)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTest(t, dir, testID)
+	defer r.Close()
+	if _, ok := r.DoneCliques(BlockID{0, 0}); ok {
+		t.Fatal("corrupt segment served as a done block")
+	}
+	// Re-execution overwrites the bad segment and the block is done again.
+	want := [][]int32{{1, 2, 3}}
+	if err := r.BlockDone(BlockID{0, 0}, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.DoneCliques(BlockID{0, 0})
+	if !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("re-executed block: ok=%v got %v", ok, got)
+	}
+}
+
+// TestRunEndRecorded pins Completed across sessions.
+func TestRunEndRecorded(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, testID)
+	if c.Completed() {
+		t.Fatal("fresh run reported completed")
+	}
+	c.FinishRun()
+	c.Close()
+	r := openTest(t, dir, testID)
+	defer r.Close()
+	if !r.Completed() {
+		t.Fatal("run-end record lost on resume")
+	}
+}
+
+// TestJournalRecordRoundTrip pins the frame encoding for every record kind.
+func TestJournalRecordRoundTrip(t *testing.T) {
+	recs := []rec{
+		{kind: recRunBegin, graph: 1, opts: 2},
+		{kind: recResume, graph: 1, opts: 2},
+		{kind: recLevel, level: 3, blocks: 17},
+		{kind: recDispatch, level: 3, plan: 9},
+		{kind: recDone, level: 3, plan: 9, count: 12345, digest: 0xdeadbeef},
+		{kind: recLevelEnd, level: 3},
+		{kind: recRunEnd},
+	}
+	for _, r := range recs {
+		got, err := decodeRec(r.encode(nil))
+		if err != nil {
+			t.Fatalf("record %+v: %v", r, err)
+		}
+		if got != r {
+			t.Fatalf("round trip: got %+v want %+v", got, r)
+		}
+	}
+}
+
+// TestDoneBeforeDispatchIdempotent pins observer ordering tolerance: a
+// dispatch record arriving for an already-done block (batch retried after
+// resume) is a no-op, and duplicate done records are absorbed.
+func TestDoneBeforeDispatchIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	c := openTest(t, dir, testID)
+	defer c.Close()
+	c.BeginLevel(0, 1)
+	if err := c.BlockDone(BlockID{0, 0}, [][]int32{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	c.BlockDispatched(BlockID{0, 0}) // late dispatch: ignored
+	if err := c.BlockDone(BlockID{0, 0}, [][]int32{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.ReenqueuedBlocks(); n != 0 {
+		t.Fatalf("late dispatch counted as re-enqueue: %d", n)
+	}
+}
+
+// FuzzJournalReplay hammers the replay path with arbitrary bytes: replay
+// must never panic, never error on a torn tail, and the valid offset must
+// never exceed the file size.
+func FuzzJournalReplay(f *testing.F) {
+	dir := f.TempDir()
+	c, err := Open(dir, testID, Options{NoSync: true})
+	if err != nil {
+		f.Fatal(err)
+	}
+	c.BeginLevel(0, 2)
+	c.BlockDone(BlockID{0, 0}, [][]int32{{1, 2, 3}})
+	c.Close()
+	seedData, err := os.ReadFile(JournalPath(dir))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seedData)
+	f.Add(seedData[:len(seedData)-1])
+	f.Add(journalMagic[:])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "journal.mcej")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		recs, off, err := replayJournal(path)
+		if err != nil {
+			return // bad magic: a refusal, not a crash
+		}
+		if off > int64(len(data)) && len(data) >= len(journalMagic) {
+			t.Fatalf("valid offset %d beyond file size %d", off, len(data))
+		}
+		// Every replayed record must re-encode and re-decode.
+		for _, r := range recs {
+			if _, err := decodeRec(r.encode(nil)); err != nil {
+				t.Fatalf("replayed record %+v does not round-trip: %v", r, err)
+			}
+		}
+	})
+}

@@ -62,6 +62,12 @@ type Engine struct {
 	TaskErrors  Counter // tasks answered with an in-band application error
 	TaskPanics  Counter // block analyses that panicked (isolated in-band)
 
+	// Crash-safe checkpointing (internal/runlog).
+	CheckpointRecords       Counter // journal records appended this session
+	CheckpointBytes         Counter // journal bytes appended this session
+	CheckpointReplayNs      Counter // time spent replaying the journal on open
+	CheckpointBlocksSkipped Counter // journaled-done blocks served from segments instead of re-analysed
+
 	// BlockNs is the per-block analysis wall-time distribution; RoundTripNs
 	// is the coordinator-side task round-trip distribution (send → analyse →
 	// receive, including simulated link costs).
@@ -170,6 +176,11 @@ type Snapshot struct {
 	TaskErrors  int64 `json:"task_errors"`
 	TaskPanics  int64 `json:"task_panics"`
 
+	CheckpointRecords       int64 `json:"checkpoint_records"`
+	CheckpointBytes         int64 `json:"checkpoint_bytes"`
+	CheckpointReplayNs      int64 `json:"checkpoint_replay_ns"`
+	CheckpointBlocksSkipped int64 `json:"checkpoint_blocks_skipped"`
+
 	BlockNs     HistogramSnapshot `json:"block_ns"`
 	RoundTripNs HistogramSnapshot `json:"round_trip_ns"`
 
@@ -203,8 +214,13 @@ func (e *Engine) Snapshot() Snapshot {
 		TasksServed:        e.TasksServed.Load(),
 		TaskErrors:         e.TaskErrors.Load(),
 		TaskPanics:         e.TaskPanics.Load(),
-		BlockNs:            e.BlockNs.Snapshot(),
-		RoundTripNs:        e.RoundTripNs.Snapshot(),
+
+		CheckpointRecords:       e.CheckpointRecords.Load(),
+		CheckpointBytes:         e.CheckpointBytes.Load(),
+		CheckpointReplayNs:      e.CheckpointReplayNs.Load(),
+		CheckpointBlocksSkipped: e.CheckpointBlocksSkipped.Load(),
+		BlockNs:                 e.BlockNs.Snapshot(),
+		RoundTripNs:             e.RoundTripNs.Snapshot(),
 	}
 	for i := range e.combos {
 		c := &e.combos[i]

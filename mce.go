@@ -37,6 +37,7 @@ import (
 	"mce/internal/gio"
 	"mce/internal/graph"
 	"mce/internal/mcealg"
+	"mce/internal/runlog"
 	"mce/internal/telemetry"
 )
 
@@ -104,6 +105,8 @@ type config struct {
 	report           func(DialReport)
 	progress         func(TelemetrySnapshot)
 	progressInterval time.Duration
+	checkpointDir    string
+	poisonReport     func([]PoisonVerdict)
 }
 
 // Option customises Enumerate.
@@ -321,6 +324,63 @@ func WithProgress(fn func(TelemetrySnapshot), interval time.Duration) Option {
 	}
 }
 
+// WithCheckpoint makes the run crash-safe: a durable journal in dir records
+// the run's identity and every block's lifecycle, each completed block's
+// cliques are persisted in an idempotent per-block segment, and a run
+// started against a directory holding prior state resumes — completed
+// blocks load from disk (Stats.ResumedBlocks counts them) and only the
+// remainder is re-analysed. The directory is created when absent; resuming
+// with a different graph or different plan-affecting options is refused
+// with a clear error. Journal appends are fsync'd, so checkpointing trades
+// a little write latency for surviving SIGKILL.
+//
+// Checkpointing requires the accumulating Enumerate path;
+// EnumerateStream rejects it (a resume would re-emit cliques the consumer
+// already saw).
+func WithCheckpoint(dir string) Option {
+	return func(c *config) error {
+		if dir == "" {
+			return fmt.Errorf("mce: WithCheckpoint needs a directory")
+		}
+		c.checkpointDir = dir
+		return nil
+	}
+}
+
+// HasCheckpoint reports whether dir holds prior run state a WithCheckpoint
+// run would resume.
+func HasCheckpoint(dir string) bool { return runlog.HasJournal(dir) }
+
+// PoisonVerdict describes one block skipped as a poison task; see
+// cluster.PoisonTaskError.
+type PoisonVerdict = cluster.PoisonTaskError
+
+// WithSkipPoisonTasks downgrades poison-task verdicts (a block that failed
+// its round trip on the full retry budget of distinct workers) from
+// run-fatal errors to recorded skips: the run completes without the
+// affected blocks' cliques and Stats.SkippedBlocks counts them. The result
+// is then explicitly incomplete — check the count, and use
+// WithPoisonReport to receive the per-block diagnostics.
+func WithSkipPoisonTasks() Option {
+	return func(c *config) error {
+		c.cliOpts.SkipPoisonTasks = true
+		return nil
+	}
+}
+
+// WithPoisonReport invokes fn once at the end of a run that skipped poison
+// tasks, with one verdict per skipped block (oldest first). Only fires
+// under WithSkipPoisonTasks with at least one skip.
+func WithPoisonReport(fn func([]PoisonVerdict)) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("mce: WithPoisonReport needs a callback")
+		}
+		c.poisonReport = fn
+		return nil
+	}
+}
+
 // DialReport describes how the worker dial went; see cluster.DialReport.
 type DialReport = cluster.DialReport
 
@@ -382,8 +442,30 @@ func EnumerateContext(ctx context.Context, g *Graph, opts ...Option) (*Result, e
 	if client != nil {
 		defer client.Close()
 	}
+	if cfg.checkpointDir != "" {
+		// The checkpoint opens here, not in setup: its identity needs the
+		// graph, which options never see.
+		cp, err := runlog.Open(cfg.checkpointDir, core.CheckpointIdentity(g, cfg.core), runlog.Options{Metrics: cfg.core.Metrics})
+		if err != nil {
+			return nil, err
+		}
+		defer cp.Close()
+		cfg.core.Checkpoint = cp
+	}
 	defer cfg.startProgress()()
-	return core.FindMaxCliquesContext(ctx, g, cfg.core)
+	res, err := core.FindMaxCliquesContext(ctx, g, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	if client != nil {
+		if vs := client.PoisonVerdicts(); len(vs) > 0 {
+			res.Stats.SkippedBlocks = len(vs)
+			if cfg.poisonReport != nil {
+				cfg.poisonReport(vs)
+			}
+		}
+	}
+	return res, nil
 }
 
 // startProgress launches the WithProgress ticker goroutine and returns its
@@ -473,6 +555,12 @@ func EnumerateStreamContext(ctx context.Context, g *Graph, emit func(clique []in
 	cfg, client, err := setup(ctx, opts)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.checkpointDir != "" {
+		if client != nil {
+			client.Close()
+		}
+		return nil, fmt.Errorf("mce: WithCheckpoint is not supported with streaming enumeration (a resume would re-emit cliques already delivered); use Enumerate")
 	}
 	if client != nil {
 		defer client.Close()

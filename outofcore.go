@@ -71,7 +71,7 @@ func SaveCliques(path string, cliques [][]int32) error {
 			return err
 		}
 	}
-	if err := w.Flush(); err != nil {
+	if err := w.Finish(); err != nil {
 		return err
 	}
 	return f.Close()
