@@ -16,6 +16,10 @@
 //	-task-retries k   transport-failure budget per block before it is
 //	                  declared poison (default 3; <0 unlimited)
 //	-reconnect        auto-reconnect dead workers with backoff
+//	-hedge            speculatively re-dispatch straggling blocks to another
+//	                  worker; first result wins, output unchanged
+//	-mem-budget-mb n  pause block dispatch while the heap exceeds n MiB
+//	                  (backpressure instead of OOM; 0 = no budget)
 //	-p int            local parallelism (default GOMAXPROCS)
 //	-min int          minimum clique size to print (default 1)
 //	-count            print only the number of cliques
@@ -38,8 +42,12 @@
 //
 // Exit codes: 0 on success, 1 on errors, 2 on usage errors, 3 when the run
 // completed but skipped poison tasks (-skip-poison) — the clique set is
-// incomplete — and 130 when interrupted by SIGINT/SIGTERM (with
-// -checkpoint, progress is saved and the resume command is printed).
+// incomplete — 4 when the -checkpoint directory is refused (it belongs to
+// a different graph or different options, or its journal is unreadable —
+// point -checkpoint at a fresh directory or re-run the original command),
+// and 130 when interrupted by SIGINT/SIGTERM (with -checkpoint, progress
+// is saved and the resume command is printed; with -workers, the
+// per-worker health summary is printed too).
 package main
 
 import (
@@ -65,6 +73,10 @@ const (
 	// exitIncomplete: the run finished but poison-task skips left the
 	// clique set incomplete (-skip-poison).
 	exitIncomplete = 3
+	// exitCheckpointRefused: the -checkpoint directory belongs to a
+	// different run (or its journal is unreadable) and resuming from it
+	// would be wrong; nothing was computed.
+	exitCheckpointRefused = 4
 	// exitInterrupted mirrors the shell convention for SIGINT (128+2).
 	exitInterrupted = 130
 )
@@ -85,6 +97,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		taskTimeout = fs.Duration("task-timeout", 0, "per-task round-trip deadline (0 = derived, negative = disabled)")
 		taskRetries = fs.Int("task-retries", 0, "per-block transport-failure budget (0 = default 3, negative = unlimited)")
 		reconnect   = fs.Bool("reconnect", false, "auto-reconnect dead workers with exponential backoff")
+		hedge       = fs.Bool("hedge", false, "speculatively re-dispatch straggling blocks (first result wins)")
+		memBudgetMB = fs.Int64("mem-budget-mb", 0, "pause dispatch while the heap exceeds this many MiB (0 = no budget)")
 		par         = fs.Int("p", 0, "local parallelism")
 		minSize     = fs.Int("min", 1, "minimum clique size to print")
 		countOnly   = fs.Bool("count", false, "print only the clique count")
@@ -153,6 +167,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		opts = append(opts, mce.WithAlgorithm(*algorithm, *structure))
 	}
+	if *hedge && *workers == "" {
+		fmt.Fprintln(stderr, "mcefind: -hedge needs -workers (straggler hedging is a distributed-run feature)")
+		return 2
+	}
+	// healthSummary captures the per-worker health report of a distributed
+	// run; the interrupt and degraded-completion paths print it.
+	var healthSummary *mce.HealthReport
 	if *workers != "" {
 		opts = append(opts, mce.WithWorkers(strings.Split(*workers, ",")...))
 		if *taskTimeout != 0 {
@@ -164,6 +185,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *reconnect {
 			opts = append(opts, mce.WithAutoReconnect())
 		}
+		if *hedge {
+			opts = append(opts, mce.WithHedgedDispatch())
+		}
+		opts = append(opts, mce.WithWorkerHealthReport(func(r mce.HealthReport) {
+			healthSummary = &r
+		}))
 		// A degraded start (some workers unreachable) proceeds on the
 		// survivors, but say so instead of just running slow.
 		opts = append(opts, mce.WithWorkerReport(func(r mce.DialReport) {
@@ -179,11 +206,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *par > 0 {
 		opts = append(opts, mce.WithParallelism(*par))
 	}
+	if *memBudgetMB > 0 {
+		opts = append(opts, mce.WithMemoryBudget(*memBudgetMB<<20))
+	}
 	if *checkpoint != "" {
 		if mce.HasCheckpoint(*checkpoint) {
 			fmt.Fprintf(stderr, "mcefind: resuming from checkpoint %s\n", *checkpoint)
 		}
-		opts = append(opts, mce.WithCheckpoint(*checkpoint))
+		opts = append(opts, mce.WithCheckpoint(*checkpoint),
+			// A mid-run checkpoint write failure (full disk, yanked
+			// permissions) is degraded, not fatal: warn and keep going.
+			mce.WithCheckpointWarning(func(err error) {
+				fmt.Fprintf(stderr, "mcefind: warning: checkpointing disabled (%v); the run continues without crash safety\n", err)
+			}))
 	}
 	var poisonVerdicts []mce.PoisonVerdict
 	if *skipPoison {
@@ -251,16 +286,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			fmt.Fprintln(stderr, "mcefind: interrupted")
+			printHealthSummary(stderr, healthSummary)
 			if *checkpoint != "" {
 				fmt.Fprintf(stderr, "mcefind: progress saved; resume with: mcefind -checkpoint %s -resume %s\n",
 					*checkpoint, fs.Arg(0))
 			}
 			return exitInterrupted
 		}
+		if errors.Is(err, mce.ErrCheckpointMismatch) {
+			fmt.Fprintln(stderr, "mcefind:", err)
+			fmt.Fprintf(stderr, "mcefind: refusing to resume from %s; point -checkpoint at a fresh directory, or re-run with the original graph and options\n",
+				*checkpoint)
+			return exitCheckpointRefused
+		}
 		fmt.Fprintln(stderr, "mcefind:", err)
 		return 1
 	}
 	elapsed := time.Since(t0)
+	if res.Stats.CheckpointDegraded {
+		fmt.Fprintf(stderr, "mcefind: warning: the run completed but checkpointing was disabled mid-run; %s holds only a partial journal\n",
+			*checkpoint)
+	}
+	if healthSummary != nil && healthSummary.Degraded() {
+		printHealthSummary(stderr, healthSummary)
+	}
 
 	if *stats {
 		s := res.Stats
@@ -333,6 +382,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		writeClique(w, c, *format, name)
 	}
 	return finish()
+}
+
+// printHealthSummary renders the per-worker health report of a distributed
+// run: which workers the run leaned on, which it benched, and why.
+func printHealthSummary(w io.Writer, r *mce.HealthReport) {
+	if r == nil || len(r.Workers) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "mcefind: worker health:")
+	for _, line := range strings.Split(r.String(), "\n") {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
 }
 
 // printTelemetry summarises a run's final telemetry snapshot on stderr:

@@ -15,6 +15,7 @@ import (
 
 	"mce/internal/decomp"
 	"mce/internal/mcealg"
+	"mce/internal/resguard"
 	"mce/internal/runlog"
 	"mce/internal/telemetry"
 )
@@ -76,9 +77,37 @@ type ClientOptions struct {
 	// Compress negotiates DEFLATE on every stream after the handshake,
 	// trading CPU for bandwidth on slow interconnects.
 	Compress bool
+	// Hedge enables speculative re-dispatch of straggling blocks: when a
+	// block's in-flight time exceeds HedgeMultiplier × the HedgeQuantile
+	// of the round trips observed so far in its level, a duplicate is
+	// queued for another worker and the first result wins. Lemma 1
+	// determinism makes the duplicate's answer identical, and first-wins
+	// dedup keyed by the block keeps the output exactly-once.
+	Hedge bool
+	// HedgeQuantile is the round-trip quantile a straggler is measured
+	// against; 0 means 0.9.
+	HedgeQuantile float64
+	// HedgeMultiplier scales the quantile into the hedge threshold; 0
+	// means 2.
+	HedgeMultiplier float64
+	// HedgeMinDelay floors the hedge threshold so microsecond-level
+	// batches do not hedge on noise; 0 means 25ms.
+	HedgeMinDelay time.Duration
+	// HedgeMinObservations is how many round trips the level must have
+	// seen before hedging starts; 0 means 3.
+	HedgeMinObservations int
+	// HedgeMax caps the speculative copies per block; 0 means 1.
+	HedgeMax int
+	// MemoryBudget is a coordinator heap budget in bytes. While the heap
+	// is above it, dispatch pauses (backpressure) instead of buffering
+	// more results toward an OOM kill; one block always stays in flight so
+	// the run degrades to serial execution, never deadlocks. 0 disables
+	// the guard.
+	MemoryBudget int64
 	// Metrics, when non-nil, receives coordinator-side telemetry: tasks in
-	// flight, retries, reconnects, poison/corrupt verdicts, bytes on the
-	// wire and the round-trip latency histogram. Nil disables all of it.
+	// flight, retries, reconnects, poison/corrupt verdicts, hedging and
+	// health-scoring counters, bytes on the wire and the round-trip
+	// latency histogram. Nil disables all of it.
 	Metrics *telemetry.Engine
 }
 
@@ -90,11 +119,49 @@ func (o *ClientOptions) retryBudget() int {
 	return o.TaskRetries
 }
 
+// Hedge option resolvers.
+func (o *ClientOptions) hedgeQuantile() float64 {
+	if o.HedgeQuantile <= 0 || o.HedgeQuantile > 1 {
+		return 0.9
+	}
+	return o.HedgeQuantile
+}
+
+func (o *ClientOptions) hedgeMultiplier() float64 {
+	if o.HedgeMultiplier <= 0 {
+		return 2
+	}
+	return o.HedgeMultiplier
+}
+
+func (o *ClientOptions) hedgeMinDelay() time.Duration {
+	if o.HedgeMinDelay <= 0 {
+		return 25 * time.Millisecond
+	}
+	return o.HedgeMinDelay
+}
+
+func (o *ClientOptions) hedgeMinObs() int {
+	if o.HedgeMinObservations <= 0 {
+		return 3
+	}
+	return o.HedgeMinObservations
+}
+
+func (o *ClientOptions) hedgeMax() int {
+	if o.HedgeMax <= 0 {
+		return 1
+	}
+	return o.HedgeMax
+}
+
 // Client is a coordinator attached to a fixed set of workers. It implements
 // the core.Executor and core.ContextExecutor interfaces, so it can be
 // plugged directly into FindMaxCliques.
 type Client struct {
 	opts   ClientOptions
+	health *healthRegistry
+	guard  *resguard.Guard
 	mu     sync.Mutex
 	conns  []*workerConn
 	closed bool
@@ -133,14 +200,15 @@ func (c *Client) recordPoison(v PoisonTaskError) {
 // only under AutoReconnect, so the background loop can adopt the worker
 // when it comes up).
 type workerConn struct {
-	addr  string
-	conn  net.Conn
-	enc   *gob.Encoder
-	dec   *gob.Decoder
-	flush func() error // non-nil when the stream is compressed
-	dead  bool
-	tasks int
-	busy  time.Duration
+	addr   string
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	flush  func() error // non-nil when the stream is compressed
+	dead   bool
+	leased bool // owned by a batch runner (possibly a straggler of a returned batch)
+	tasks  int
+	busy   time.Duration
 }
 
 // WorkerStats describes one worker's share of the computation — the load
@@ -234,11 +302,16 @@ func DialContext(ctx context.Context, addrs []string, opts ClientOptions) (*Clie
 	}
 	c := &Client{
 		opts:     opts,
+		health:   newHealthRegistry(opts.Metrics),
+		guard:    resguard.New(opts.MemoryBudget, opts.Metrics),
 		kick:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
 		recruits: make(map[chan *workerConn]struct{}),
 	}
 	c.report.Addrs = append([]string(nil), addrs...)
+	for _, addr := range addrs {
+		c.health.touch(addr)
+	}
 	var dialErrs []error
 	for _, addr := range addrs {
 		for i := 0; i < conns; i++ {
@@ -323,6 +396,50 @@ func dialWorkerContext(ctx context.Context, addr string, timeout time.Duration, 
 		wc.flush = fw.Flush
 	}
 	return wc, nil
+}
+
+// HealthReport returns the per-worker health scoring summary: EWMA
+// latency and error rates, corrupt verdicts, and the quarantine record of
+// every address this client has talked to.
+func (c *Client) HealthReport() HealthReport { return c.health.report() }
+
+// lease claims a connection for a batch runner; false when the connection
+// is dead or already owned.
+func (c *Client) lease(wc *workerConn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if wc.dead || wc.leased {
+		return false
+	}
+	wc.leased = true
+	return true
+}
+
+// unlease returns a runner's connection to the pool and offers it to any
+// in-flight batch — the path by which a straggler's connection rejoins
+// work after its batch has already returned.
+func (c *Client) unlease(wc *workerConn) {
+	c.mu.Lock()
+	wc.leased = false
+	usable := !wc.dead && !c.closed
+	c.mu.Unlock()
+	if usable {
+		c.offer(wc)
+	}
+}
+
+// leasedConns counts live connections currently owned by some batch
+// runner — capacity that can return through the recruiter.
+func (c *Client) leasedConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, wc := range c.conns {
+		if !wc.dead && wc.leased {
+			n++
+		}
+	}
+	return n
 }
 
 // markDead retires a connection after a transport failure and nudges the
@@ -575,6 +692,14 @@ type cleanCancelError struct{ err error }
 func (e *cleanCancelError) Error() string { return e.err.Error() }
 func (e *cleanCancelError) Unwrap() error { return e.err }
 
+// corruptResultError marks a round trip whose reply arrived in sync but
+// failed verification (a Corrupt verdict or a checksum mismatch). The
+// stream is intact — the connection stays usable — but the answer cannot be
+// trusted, so the block is retried and the worker's health score charged.
+type corruptResultError struct{ msg string }
+
+func (e *corruptResultError) Error() string { return e.msg }
+
 // AnalyzeBlocks ships every block to some worker and gathers the cliques,
 // indexed like blocks. It implements core.Executor; see
 // AnalyzeBlocksContext for the failure semantics.
@@ -610,8 +735,49 @@ func (c *Client) AnalyzeBlocksCheckpoint(ctx context.Context, blocks []decomp.Bl
 	return c.analyzeBlocks(ctx, blocks, combos, ids, obs)
 }
 
+// attempt is one dispatch-queue entry: a block index plus whether this
+// copy is speculative (hedged).
+type attempt struct {
+	block int
+	hedge bool
+}
+
+// flight tracks one block's in-flight attempts for the hedge monitor.
+type flight struct {
+	mu       sync.Mutex
+	started  time.Time // dispatch time of the oldest current attempt
+	inFlight int
+	hedges   int // lifetime speculative copies, capped at hedgeMax
+}
+
+// hedgeTick is how often the hedge monitor re-examines in-flight blocks.
+const hedgeTick = 5 * time.Millisecond
+
+// hedgeThreshold turns the level's observed round trips into the elapsed
+// time past which a block counts as straggling. Zero means "not enough
+// data yet, do not hedge".
+func (c *Client) hedgeThreshold(rtt *telemetry.Histogram) time.Duration {
+	snap := rtt.Snapshot()
+	if snap.Count < int64(c.opts.hedgeMinObs()) {
+		return 0
+	}
+	th := time.Duration(snap.Quantile(c.opts.hedgeQuantile()) * c.opts.hedgeMultiplier())
+	if th < c.opts.hedgeMinDelay() {
+		th = c.opts.hedgeMinDelay()
+	}
+	return th
+}
+
 // analyzeBlocks is the shared batch engine behind both executor shapes.
 // ids/obs are nil for plain batches.
+//
+// Connections are leased to the batch for its duration: the batch returns
+// the moment every block has an answer (first-wins under hedging), while a
+// straggling round trip keeps its connection leased until it resolves and
+// only then rejoins the pool. Duplicate results — the whole point of
+// hedged dispatch — are discarded by a compare-and-swap per block, which
+// is sound because Lemma 1 determinism makes every copy's answer
+// identical.
 func (c *Client) analyzeBlocks(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo, ids []runlog.BlockID, obs runlog.BatchObserver) ([][][]int32, error) {
 	if len(blocks) != len(combos) {
 		return nil, fmt.Errorf("cluster: %d blocks but %d combos", len(blocks), len(combos))
@@ -625,21 +791,32 @@ func (c *Client) analyzeBlocks(ctx context.Context, blocks []decomp.Block, combo
 	}
 	c.mu.Lock()
 	var alive []*workerConn
+	leasedOut := 0
 	for _, wc := range c.conns {
-		if !wc.dead {
-			alive = append(alive, wc)
+		if wc.dead {
+			continue
 		}
+		if wc.leased {
+			leasedOut++ // a straggler of an earlier batch still owns it
+			continue
+		}
+		wc.leased = true
+		alive = append(alive, wc)
 	}
 	c.mu.Unlock()
-	if len(alive) == 0 && !c.opts.AutoReconnect {
+	if len(alive) == 0 && leasedOut == 0 && !c.opts.AutoReconnect {
 		return nil, errors.New("cluster: all workers are dead")
 	}
 
-	// Each block index is always in exactly one place — queued, in
-	// flight, or completed — so the queue never exceeds len(blocks).
-	tasks := make(chan int, len(blocks))
+	hedgeMax := 0
+	if c.opts.Hedge {
+		hedgeMax = c.opts.hedgeMax()
+	}
+	// A block occupies at most one primary/requeue slot plus its lifetime
+	// hedge allowance, so the queue can never block a sender.
+	tasks := make(chan attempt, len(blocks)*(1+hedgeMax))
 	for i := range blocks {
-		tasks <- i
+		tasks <- attempt{block: i}
 	}
 	met := c.opts.Metrics
 	if met != nil {
@@ -658,6 +835,9 @@ func (c *Client) analyzeBlocks(ctx context.Context, blocks []decomp.Block, combo
 		budget     = c.opts.retryBudget()
 		drained    = make(chan struct{}, 1)
 		fresh      = make(chan *workerConn, 16)
+		claimed    = make([]atomic.Bool, len(blocks)) // first-wins dedup
+		flights    = make([]flight, len(blocks))
+		rtt        = telemetry.NewDurationHistogram() // this batch's round trips
 	)
 	fail := func(err error) {
 		errMu.Lock()
@@ -666,6 +846,55 @@ func (c *Client) analyzeBlocks(ctx context.Context, blocks []decomp.Block, combo
 		}
 		errMu.Unlock()
 		closeOnce.Do(func() { close(done) })
+	}
+	finish := func() {
+		if atomic.AddInt64(&completed, 1) == int64(len(blocks)) {
+			closeOnce.Do(func() { close(done) })
+		}
+	}
+	// requeue puts a failed block back on the queue unless its answer
+	// already arrived from a hedged twin.
+	requeue := func(i int, retry bool) {
+		if claimed[i].Load() {
+			return
+		}
+		if met != nil {
+			if retry {
+				met.TaskRetries.Inc()
+			}
+			met.QueueDepth.Add(1)
+		}
+		tasks <- attempt{block: i}
+	}
+	// chargeAttempt spends one of block i's retries on err and either
+	// requeues the block or declares it poison. A poison verdict claims the
+	// block first, so a hedged twin still in flight cannot also resolve it.
+	chargeAttempt := func(wc *workerConn, i int, err error) {
+		errMu.Lock()
+		attempts[i]++
+		causes[i] = append(causes[i], fmt.Sprintf("%s: %v", wc.addr, err))
+		poisoned := budget >= 0 && attempts[i] >= budget
+		n, cs := attempts[i], causes[i]
+		lastDeath = err
+		errMu.Unlock()
+		if !poisoned {
+			requeue(i, true)
+			return
+		}
+		if !claimed[i].CompareAndSwap(false, true) {
+			return // a twin already delivered the block
+		}
+		if met != nil {
+			met.PoisonTasks.Inc()
+		}
+		if c.opts.SkipPoisonTasks {
+			// Recorded skip: the block's slot stays nil and the batch
+			// carries on; callers surface the verdicts.
+			c.recordPoison(PoisonTaskError{Block: i, Attempts: n, Causes: cs})
+			finish()
+		} else {
+			fail(&PoisonTaskError{Block: i, Attempts: n, Causes: cs})
+		}
 	}
 
 	c.recruitMu.Lock()
@@ -677,107 +906,151 @@ func (c *Client) analyzeBlocks(ctx context.Context, blocks []decomp.Block, combo
 		c.recruitMu.Unlock()
 	}()
 
-	var wg sync.WaitGroup
-	var runner func(wc *workerConn)
-	runner = func(wc *workerConn) {
-		defer wg.Done()
+	// process runs one attempt on one connection and reports whether the
+	// connection is still usable for further work.
+	process := func(wc *workerConn, a attempt) bool {
+		i := a.block
+		fl := &flights[i]
+		fl.mu.Lock()
+		fl.inFlight++
+		if fl.inFlight == 1 {
+			fl.started = time.Now()
+		}
+		fl.mu.Unlock()
+		if met != nil {
+			met.TasksInFlight.Add(1)
+		}
+		var id runlog.BlockID
+		if ids != nil {
+			id = ids[i]
+		}
+		if obs != nil {
+			obs.BlockDispatched(id)
+		}
+		t0 := time.Now()
+		cliques, err := c.roundTrip(ctx, wc, i, id, &blocks[i], combos[i])
+		if met != nil {
+			met.TasksInFlight.Add(-1)
+		}
+		fl.mu.Lock()
+		fl.inFlight--
+		fl.mu.Unlock()
+		if err == nil {
+			rttd := time.Since(t0)
+			c.mu.Lock()
+			wc.tasks++
+			wc.busy += rttd
+			c.mu.Unlock()
+			c.health.success(wc.addr, rttd)
+			rtt.Observe(int64(rttd))
+			if met != nil {
+				met.RoundTripNs.ObserveSince(t0)
+			}
+			if !claimed[i].CompareAndSwap(false, true) {
+				// First-wins dedup: a twin already delivered this block.
+				// Lemma 1 determinism means the discarded answer was
+				// identical, so dropping it is exactly-once, not lossy.
+				if met != nil {
+					met.HedgeWasted.Inc()
+				}
+				return true
+			}
+			if a.hedge && met != nil {
+				met.HedgeWins.Inc()
+			}
+			if obs != nil {
+				// Durability before acknowledgement: the block only counts
+				// as completed once its cliques are on disk.
+				if oerr := obs.BlockDone(id, cliques); oerr != nil {
+					fail(fmt.Errorf("cluster: checkpointing block result: %w", oerr))
+					return true
+				}
+			}
+			out[i] = cliques
+			finish()
+			return true
+		}
+		var appErr *applicationError
+		if errors.As(err, &appErr) {
+			if !claimed[i].Load() {
+				fail(err) // deterministic; retrying is pointless
+			}
+			return true
+		}
+		var clean *cleanCancelError
+		if errors.As(err, &clean) {
+			// Cancelled before any bytes moved: the stream is still in
+			// sync, keep the connection.
+			fail(clean.err)
+			requeue(i, false)
+			return false
+		}
+		var corrupt *corruptResultError
+		if errors.As(err, &corrupt) {
+			// The reply arrived in sync but failed verification: the
+			// connection stays, the worker's health score is charged, and
+			// the block spends one retry.
+			c.health.failure(wc.addr, true)
+			chargeAttempt(wc, i, err)
+			return true
+		}
+		// Transport failure: retire this worker and requeue the block
+		// unless it has exhausted its retry budget.
+		c.markDead(wc)
+		c.health.failure(wc.addr, false)
+		chargeAttempt(wc, i, err)
+		if atomic.AddInt64(&aliveCount, -1) == 0 {
+			select {
+			case drained <- struct{}{}:
+			default:
+			}
+		}
+		return false
+	}
+
+	runner := func(wc *workerConn) {
+		defer c.unlease(wc)
 		for {
+			// Health gate: a quarantined address waits out its cooldown
+			// (the first dispatch after release is its re-admission probe),
+			// and a flaky-but-serving one pays a one-shot penalty so
+			// cleaner workers drain the queue first.
+			for {
+				wait, _, recheck := c.health.gate(wc.addr, time.Now())
+				if wait <= 0 {
+					break
+				}
+				t := time.NewTimer(wait)
+				select {
+				case <-done:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+				if !recheck {
+					break
+				}
+			}
 			select {
 			case <-done:
 				return
-			case i := <-tasks:
+			case a := <-tasks:
 				if met != nil {
 					met.QueueDepth.Add(-1)
-					met.TasksInFlight.Add(1)
 				}
-				var id runlog.BlockID
-				if ids != nil {
-					id = ids[i]
+				if claimed[a.block].Load() {
+					continue // stale entry: the block already has its answer
 				}
-				if obs != nil {
-					obs.BlockDispatched(id)
-				}
-				t0 := time.Now()
-				cliques, err := c.roundTrip(ctx, wc, i, id, &blocks[i], combos[i])
-				if met != nil {
-					met.TasksInFlight.Add(-1)
-				}
-				if err == nil {
-					c.mu.Lock()
-					wc.tasks++
-					wc.busy += time.Since(t0)
-					c.mu.Unlock()
-					if met != nil {
-						met.RoundTripNs.ObserveSince(t0)
-					}
-					if obs != nil {
-						// Durability before acknowledgement: the block only
-						// counts as completed once its cliques are on disk.
-						if oerr := obs.BlockDone(id, cliques); oerr != nil {
-							fail(fmt.Errorf("cluster: checkpointing block result: %w", oerr))
-							return
-						}
-					}
-					out[i] = cliques
-					if atomic.AddInt64(&completed, 1) == int64(len(blocks)) {
-						closeOnce.Do(func() { close(done) })
-					}
-					continue
-				}
-				var appErr *applicationError
-				if errors.As(err, &appErr) {
-					fail(err) // deterministic; retrying is pointless
+				// Memory guard: over budget, dispatch pauses here instead
+				// of buffering more results toward an OOM kill. One runner
+				// is always admitted, so the batch degrades to serial
+				// execution, never deadlocks.
+				c.guard.Enter(done)
+				ok := process(wc, a)
+				c.guard.Exit()
+				if !ok {
 					return
 				}
-				var clean *cleanCancelError
-				if errors.As(err, &clean) {
-					// Cancelled before any bytes moved: the stream is
-					// still in sync, keep the connection.
-					fail(clean.err)
-					tasks <- i
-					if met != nil {
-						met.QueueDepth.Add(1)
-					}
-					return
-				}
-				// Transport failure: retire this worker and requeue the
-				// block unless it has exhausted its retry budget.
-				c.markDead(wc)
-				errMu.Lock()
-				attempts[i]++
-				causes[i] = append(causes[i], fmt.Sprintf("%s: %v", wc.addr, err))
-				poisoned := budget >= 0 && attempts[i] >= budget
-				n, cs := attempts[i], causes[i]
-				lastDeath = err
-				errMu.Unlock()
-				if poisoned {
-					if met != nil {
-						met.PoisonTasks.Inc()
-					}
-					if c.opts.SkipPoisonTasks {
-						// Recorded skip: the block's slot stays nil and the
-						// batch carries on; callers surface the verdicts.
-						c.recordPoison(PoisonTaskError{Block: i, Attempts: n, Causes: cs})
-						if atomic.AddInt64(&completed, 1) == int64(len(blocks)) {
-							closeOnce.Do(func() { close(done) })
-						}
-					} else {
-						fail(&PoisonTaskError{Block: i, Attempts: n, Causes: cs})
-					}
-				} else {
-					if met != nil {
-						met.TaskRetries.Inc()
-						met.QueueDepth.Add(1)
-					}
-					tasks <- i
-				}
-				if atomic.AddInt64(&aliveCount, -1) == 0 {
-					select {
-					case drained <- struct{}{}:
-					default:
-					}
-				}
-				return
 			}
 		}
 	}
@@ -791,25 +1064,36 @@ func (c *Client) analyzeBlocks(ctx context.Context, blocks []decomp.Block, combo
 		return errors.New("cluster: all workers are dead")
 	}
 
+	// adopt folds a revived or returned connection into the running batch.
+	adopt := func(wc *workerConn) bool {
+		if !c.lease(wc) {
+			return false
+		}
+		atomic.AddInt64(&aliveCount, 1)
+		go runner(wc)
+		return true
+	}
+
 	// The recruiter folds revived connections into the running batch and
-	// arbitrates the all-dead endgame. It holds a WaitGroup slot, so the
-	// runners it spawns can never race wg.Wait.
-	wg.Add(1)
+	// arbitrates the all-dead endgame.
 	go func() {
-		defer wg.Done()
 		for {
 			select {
 			case <-done:
 				return
 			case wc := <-fresh:
-				atomic.AddInt64(&aliveCount, 1)
-				wg.Add(1)
-				go runner(wc)
+				adopt(wc)
 			case <-drained:
-				if !c.opts.AutoReconnect {
+				if atomic.LoadInt64(&aliveCount) > 0 {
+					continue // stale: capacity already returned
+				}
+				if !c.opts.AutoReconnect && c.leasedConns() == 0 {
 					fail(allDead())
 					return
 				}
+				// Capacity can still return: AutoReconnect may revive a
+				// worker, or a straggler of an earlier batch may hand its
+				// connection back. Wait out the grace window.
 				grace := time.NewTimer(c.opts.AllDeadGrace)
 				select {
 				case <-done:
@@ -817,9 +1101,12 @@ func (c *Client) analyzeBlocks(ctx context.Context, blocks []decomp.Block, combo
 					return
 				case wc := <-fresh:
 					grace.Stop()
-					atomic.AddInt64(&aliveCount, 1)
-					wg.Add(1)
-					go runner(wc)
+					if !adopt(wc) && atomic.LoadInt64(&aliveCount) == 0 {
+						select {
+						case drained <- struct{}{}:
+						default:
+						}
+					}
 				case <-grace.C:
 					if atomic.LoadInt64(&aliveCount) == 0 {
 						fail(allDead())
@@ -830,7 +1117,55 @@ func (c *Client) analyzeBlocks(ctx context.Context, blocks []decomp.Block, combo
 		}
 	}()
 	if len(alive) == 0 {
-		drained <- struct{}{} // AutoReconnect: wait out the grace period
+		drained <- struct{}{} // wait out the grace period for revived capacity
+	}
+
+	// The hedge monitor watches for stragglers: once the level has enough
+	// round trips to know what "normal" looks like, any block in flight
+	// past the threshold gets a speculative twin queued for another worker
+	// — but only while the queue is empty, because hedging an overloaded
+	// cluster just doubles the overload.
+	if hedgeMax > 0 {
+		go func() {
+			ticker := time.NewTicker(hedgeTick)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-ticker.C:
+				}
+				if len(tasks) > 0 {
+					continue
+				}
+				th := c.hedgeThreshold(rtt)
+				if th <= 0 {
+					continue
+				}
+				now := time.Now()
+				for i := range flights {
+					if claimed[i].Load() {
+						continue
+					}
+					fl := &flights[i]
+					fl.mu.Lock()
+					straggling := fl.inFlight > 0 && fl.hedges < hedgeMax &&
+						now.Sub(fl.started) > th
+					if straggling {
+						fl.hedges++
+					}
+					fl.mu.Unlock()
+					if !straggling {
+						continue
+					}
+					if met != nil {
+						met.HedgedDispatches.Inc()
+						met.QueueDepth.Add(1)
+					}
+					tasks <- attempt{block: i, hedge: true}
+				}
+			}
+		}()
 	}
 
 	// The watcher turns a context cancellation into expired deadlines on
@@ -855,22 +1190,36 @@ func (c *Client) analyzeBlocks(ctx context.Context, blocks []decomp.Block, combo
 	}()
 
 	for _, wc := range alive {
-		wg.Add(1)
 		go runner(wc)
 	}
-	wg.Wait()
+	// The batch returns the moment every block has an answer — not when
+	// every runner has: a straggling round trip keeps its connection leased
+	// and rejoins the pool (through unlease → offer) whenever it resolves.
+	<-done
 	close(stopWatch)
 	watchWG.Wait()
 	if met != nil {
-		// Tasks stranded in the queue by a fatal error are no longer
-		// pending work; return the gauge to its pre-batch level.
-		met.QueueDepth.Add(-int64(len(tasks)))
+		// Entries stranded in the queue — by a fatal error, or hedge twins
+		// obsoleted by their primary — are no longer pending work; return
+		// the gauge to its pre-batch level.
+		for {
+			select {
+			case <-tasks:
+				met.QueueDepth.Add(-1)
+				continue
+			default:
+			}
+			break
+		}
 	}
 
 	// Clear any cancellation deadlines left on surviving connections.
+	// Leased connections are skipped: each belongs to a runner (possibly a
+	// straggler of this very batch) that manages its own deadline and must
+	// not have an in-flight envelope wiped from under it.
 	c.mu.Lock()
 	for _, wc := range c.conns {
-		if !wc.dead && wc.conn != nil {
+		if !wc.dead && !wc.leased && wc.conn != nil {
 			wc.conn.SetDeadline(time.Time{})
 		}
 	}
@@ -942,13 +1291,13 @@ func (c *Client) roundTrip(ctx context.Context, wc *workerConn, id int, bid runl
 		if met != nil {
 			met.CorruptResults.Inc()
 		}
-		return nil, fmt.Errorf("cluster: task %d corrupted in flight to %s", id, wc.addr)
+		return nil, &corruptResultError{msg: fmt.Sprintf("cluster: task %d corrupted in flight to %s", id, wc.addr)}
 	}
 	if res.Sum != res.payloadSum() {
 		if met != nil {
 			met.CorruptResults.Inc()
 		}
-		return nil, fmt.Errorf("cluster: result %d from %s corrupted in flight (checksum mismatch)", id, wc.addr)
+		return nil, &corruptResultError{msg: fmt.Sprintf("cluster: result %d from %s corrupted in flight (checksum mismatch)", id, wc.addr)}
 	}
 	if res.Err != "" {
 		return nil, &applicationError{msg: fmt.Sprintf("cluster: worker %s: %s", wc.addr, res.Err)}

@@ -16,9 +16,16 @@
 //     connection (a mid-message crash); a read closes immediately;
 //   - corrupt: one byte of the payload is flipped (a dirty link).
 //
-// Deadlines set on the wrapped connection are honoured even while a hang is
-// in progress, which is exactly what the coordinator's TaskTimeout relies
-// on.
+// Besides the probabilistic faults, Options.ReadDelay / Options.WriteDelay
+// inject a fixed latency on *every* read or write after the SkipOps warmup
+// — a deterministic slow-peer (slow-reader / slow-writer) mode for
+// straggler tests, where the victim must be reliably slow rather than
+// randomly unlucky. Per-op delays compose with the probabilistic faults:
+// the delay is applied first, then the fault decision is drawn as usual.
+//
+// Deadlines set on the wrapped connection are honoured even while a hang or
+// an injected delay is in progress, which is exactly what the coordinator's
+// TaskTimeout relies on.
 package faultconn
 
 import (
@@ -48,6 +55,12 @@ type Options struct {
 	DelayProb float64
 	// Delay is the extra latency applied when a delay fault fires.
 	Delay time.Duration
+	// ReadDelay is a deterministic latency applied to every Read after the
+	// SkipOps warmup — a slow-reader peer. Zero disables it.
+	ReadDelay time.Duration
+	// WriteDelay is a deterministic latency applied to every Write after
+	// the SkipOps warmup — a slow-writer peer. Zero disables it.
+	WriteDelay time.Duration
 	// SkipOps exempts the first n Read/Write calls of every connection
 	// from fault injection, letting the handshake complete before chaos
 	// starts.
@@ -113,33 +126,40 @@ const (
 )
 
 // decide draws one fault decision and, for corrupt faults, the byte offset
-// to flip within a payload of length n.
-func (c *conn) decide(n int) (kind, offset int) {
+// to flip within a payload of length n. warm reports whether the SkipOps
+// warmup is over, i.e. whether deterministic per-op delays apply.
+func (c *conn) decide(n int) (kind, offset int, warm bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ops++
 	if c.ops <= c.opts.SkipOps {
-		return faultNone, 0
+		return faultNone, 0, false
 	}
 	p := c.rng.Float64()
 	switch {
 	case p < c.opts.HangProb:
-		return faultHang, 0
+		return faultHang, 0, true
 	case p < c.opts.HangProb+c.opts.CloseProb:
-		return faultClose, 0
+		return faultClose, 0, true
 	case p < c.opts.HangProb+c.opts.CloseProb+c.opts.CorruptProb:
 		if n > 0 {
 			offset = c.rng.Intn(n)
 		}
-		return faultCorrupt, offset
+		return faultCorrupt, offset, true
 	case p < c.opts.HangProb+c.opts.CloseProb+c.opts.CorruptProb+c.opts.DelayProb:
-		return faultDelay, 0
+		return faultDelay, 0, true
 	}
-	return faultNone, 0
+	return faultNone, 0, true
 }
 
 func (c *conn) Read(p []byte) (int, error) {
-	kind, off := c.decide(len(p))
+	kind, off, warm := c.decide(len(p))
+	if warm {
+		// Slow-reader mode: every read pays the deterministic latency. The
+		// sleep wakes on close, and an expired deadline still fails the
+		// underlying read immediately afterwards.
+		c.sleep(c.opts.ReadDelay)
+	}
 	switch kind {
 	case faultHang:
 		if err := c.hang(c.deadline(false)); err != nil {
@@ -159,7 +179,11 @@ func (c *conn) Read(p []byte) (int, error) {
 }
 
 func (c *conn) Write(p []byte) (int, error) {
-	kind, off := c.decide(len(p))
+	kind, off, warm := c.decide(len(p))
+	if warm {
+		// Slow-writer mode: see the Read-side comment.
+		c.sleep(c.opts.WriteDelay)
+	}
 	switch kind {
 	case faultHang:
 		if err := c.hang(c.deadline(true)); err != nil {

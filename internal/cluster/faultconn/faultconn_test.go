@@ -161,7 +161,7 @@ func TestDeterministicSchedule(t *testing.T) {
 		c.rng = rand.New(rand.NewSource(42))
 		var kinds []bool
 		for i := 0; i < 32; i++ {
-			k, _ := c.decide(8)
+			k, _, _ := c.decide(8)
 			kinds = append(kinds, k == faultClose)
 		}
 		return kinds
@@ -171,6 +171,75 @@ func TestDeterministicSchedule(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("schedules diverge at op %d", i)
 		}
+	}
+}
+
+func TestWriteDelaySlowsEveryOp(t *testing.T) {
+	const d = 30 * time.Millisecond
+	c, srv := pipePair(t, Options{Seed: 13, WriteDelay: d})
+	buf := make([]byte, 2)
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		if _, err := c.Write([]byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		if e := time.Since(t0); e < d {
+			t.Fatalf("write %d took %v, want ≥ %v", i, e, d)
+		}
+	}
+}
+
+func TestReadDelaySlowsEveryOp(t *testing.T) {
+	const d = 30 * time.Millisecond
+	c, srv := pipePair(t, Options{Seed: 13, ReadDelay: d})
+	if _, err := srv.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 2)
+	t0 := time.Now()
+	if _, err := c.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if e := time.Since(t0); e < d {
+		t.Fatalf("read took %v, want ≥ %v", e, d)
+	}
+}
+
+func TestPerOpDelayRespectsSkipOps(t *testing.T) {
+	// The warmup ops must be full speed even in slow-writer mode.
+	c, srv := pipePair(t, Options{Seed: 13, WriteDelay: 500 * time.Millisecond, SkipOps: 2})
+	buf := make([]byte, 2)
+	for i := 0; i < 2; i++ {
+		t0 := time.Now()
+		if _, err := c.Write([]byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := srv.Read(buf); err != nil {
+			t.Fatal(err)
+		}
+		if e := time.Since(t0); e > 250*time.Millisecond {
+			t.Fatalf("warmup op %d took %v, want fast", i, e)
+		}
+	}
+}
+
+func TestPerOpDelayUnblocksOnClose(t *testing.T) {
+	c, _ := pipePair(t, Options{Seed: 13, WriteDelay: time.Hour})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("x"))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case <-errc:
+		// Any result is fine; the delay must simply not block for an hour.
+	case <-time.After(2 * time.Second):
+		t.Fatal("per-op delay did not unblock on close")
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 	"mce/internal/graph"
 	"mce/internal/kcore"
 	"mce/internal/mcealg"
+	"mce/internal/resguard"
 	"mce/internal/runlog"
 	"mce/internal/telemetry"
 )
@@ -121,6 +122,12 @@ type Options struct {
 	// re-analysing them. The checkpoint must have been opened with the
 	// identity CheckpointIdentity reports for this (graph, options) pair.
 	Checkpoint *runlog.Checkpoint
+	// MemoryBudget is a heap budget in bytes for the local executor (when
+	// Executor is nil): while the process heap is above it, block dispatch
+	// pauses instead of buffering more results toward an OOM kill. One
+	// block always stays in flight, so the run degrades to serial
+	// execution, never deadlocks. 0 disables the guard.
+	MemoryBudget int64
 }
 
 // Schedule selects the block dispatch order handed to the Executor.
@@ -186,6 +193,11 @@ type Stats struct {
 	// means the clique set is explicitly incomplete; callers must surface
 	// it, and mcefind exits non-zero.
 	SkippedBlocks int
+	// CheckpointDegraded reports that a checkpoint write failure (e.g. a
+	// full disk) disabled checkpointing mid-run: the results are complete
+	// and correct, but the journal records only the prefix written before
+	// the failure, so a crash would resume from there.
+	CheckpointDegraded bool
 	// Telemetry is the final metrics snapshot of the run when it was
 	// started with a telemetry engine (Options.Metrics, or the mce
 	// package's WithTelemetry/WithProgress options); nil otherwise.
@@ -214,6 +226,11 @@ type LocalExecutor struct {
 	// per-combo timings and the merged mcealg recursion counters. Nil
 	// keeps the worker loop allocation-free.
 	Metrics *telemetry.Engine
+	// MemoryBudget is a heap budget in bytes: while the process heap is
+	// above it, workers pause before starting the next block instead of
+	// accumulating more results toward an OOM kill (one worker is always
+	// admitted, so progress is guaranteed). 0 disables the guard.
+	MemoryBudget int64
 }
 
 // AnalyzeBlocks implements Executor.
@@ -265,6 +282,7 @@ func (e *LocalExecutor) analyze(ctx context.Context, blocks []decomp.Block, comb
 	if met != nil {
 		met.QueueDepth.Add(int64(len(blocks)))
 	}
+	guard := resguard.New(e.MemoryBudget, met)
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -282,6 +300,14 @@ func (e *LocalExecutor) analyze(ctx context.Context, blocks []decomp.Block, comb
 				}
 				if ctx.Err() != nil {
 					continue // drain the queue without analysing
+				}
+				// Memory guard: over budget, workers pause here instead of
+				// piling more clique sets into the heap. ctx cancellation
+				// releases the wait (the loop then drains without analysing).
+				guard.Enter(ctx.Done())
+				if ctx.Err() != nil {
+					guard.Exit()
+					continue
 				}
 				if obs != nil {
 					obs.BlockDispatched(ids[i])
@@ -308,6 +334,7 @@ func (e *LocalExecutor) analyze(ctx context.Context, blocks []decomp.Block, comb
 					// counts once its cliques are journaled.
 					err = obs.BlockDone(ids[i], cliques)
 				}
+				guard.Exit()
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -359,7 +386,7 @@ func FindMaxCliquesContext(ctx context.Context, g *graph.Graph, opts Options) (*
 	sel := selector(opts)
 	exec := opts.Executor
 	if exec == nil {
-		exec = &LocalExecutor{Parallelism: opts.Parallelism, Metrics: opts.Metrics}
+		exec = &LocalExecutor{Parallelism: opts.Parallelism, Metrics: opts.Metrics, MemoryBudget: opts.MemoryBudget}
 	}
 
 	res := &Result{Stats: Stats{BlockSize: m, MaxDegree: maxDeg}}
@@ -371,6 +398,7 @@ func FindMaxCliquesContext(ctx context.Context, g *graph.Graph, opts Options) (*
 			return nil, err
 		}
 		res.Stats.ResumedBlocks = int(cp.SkippedBlocks())
+		res.Stats.CheckpointDegraded = cp.Degraded()
 	}
 	res.Stats.TotalCliques = len(res.Cliques)
 	for _, lvl := range res.Level {

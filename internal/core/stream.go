@@ -48,7 +48,7 @@ func StreamContext(ctx context.Context, g *graph.Graph, opts Options, emit func(
 	sel := selector(opts)
 	exec := opts.Executor
 	if exec == nil {
-		exec = &LocalExecutor{Parallelism: opts.Parallelism, Metrics: opts.Metrics}
+		exec = &LocalExecutor{Parallelism: opts.Parallelism, Metrics: opts.Metrics, MemoryBudget: opts.MemoryBudget}
 	}
 	stats := &Stats{BlockSize: m, MaxDegree: maxDeg}
 	if err := streamRecursive(ctx, g, m, sel, exec, opts, stats, 0, emit); err != nil {

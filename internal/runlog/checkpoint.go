@@ -100,6 +100,16 @@ type Options struct {
 	// bytes appended, replay time, and blocks skipped on resume. Nil
 	// disables it.
 	Metrics *telemetry.Engine
+	// FS overrides the filesystem the checkpoint reads and writes; nil
+	// means the real OS filesystem. Tests inject failing filesystems here
+	// to prove the degraded write paths without a real full disk.
+	FS FS
+	// OnDegrade, when non-nil, is called exactly once if a mid-run write
+	// failure (ENOSPC, I/O error) permanently disables checkpointing for
+	// this session — the run continues without durability. The callback
+	// runs with the checkpoint's internal lock held and must not call back
+	// into the Checkpoint.
+	OnDegrade func(error)
 }
 
 // doneInfo is the journal's claim about one completed block.
@@ -116,12 +126,16 @@ type doneInfo struct {
 // All methods are safe for concurrent use; segment and journal writes are
 // serialised internally.
 type Checkpoint struct {
-	dir string
-	id  Identity
-	met *telemetry.Engine
+	dir       string
+	id        Identity
+	met       *telemetry.Engine
+	fs        FS
+	onDegrade func(error)
 
 	mu         sync.Mutex
 	j          *journal
+	degraded   bool  // checkpointing disabled after a write failure
+	degradeErr error // the failure that disabled it
 	resumed    bool
 	runEnded   bool
 	levels     map[int]int  // level → planned block count
@@ -155,12 +169,16 @@ func HasJournal(dir string) bool {
 // success the checkpoint is ready to journal a run: fresh directories get a
 // run-begin record, resumed ones a resume record.
 func Open(dir string, id Identity, opts Options) (*Checkpoint, error) {
-	if err := os.MkdirAll(filepath.Join(dir, segmentsDir), 0o755); err != nil {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	if err := fs.MkdirAll(filepath.Join(dir, segmentsDir), 0o755); err != nil {
 		return nil, fmt.Errorf("runlog: create checkpoint dir: %w", err)
 	}
 	path := JournalPath(dir)
 	start := time.Now()
-	recs, validOff, err := replayJournal(path)
+	recs, validOff, err := replayJournal(fs, path)
 	if err != nil {
 		return nil, err
 	}
@@ -168,6 +186,8 @@ func Open(dir string, id Identity, opts Options) (*Checkpoint, error) {
 		dir:        dir,
 		id:         id,
 		met:        opts.Metrics,
+		fs:         fs,
+		onDegrade:  opts.OnDegrade,
 		levels:     make(map[int]int),
 		levelEnded: make(map[int]bool),
 		dispatched: make(map[BlockID]bool),
@@ -179,7 +199,7 @@ func Open(dir string, id Identity, opts Options) (*Checkpoint, error) {
 	if c.met != nil {
 		c.met.CheckpointReplayNs.Add(int64(time.Since(start)))
 	}
-	j, err := openJournalForAppend(path, validOff, !opts.NoSync, opts.Metrics)
+	j, err := openJournalForAppend(fs, path, validOff, !opts.NoSync, opts.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -240,6 +260,45 @@ func pick(cond bool, a, b uint64) uint64 {
 	return b
 }
 
+// degrade permanently disables checkpointing for this session after a
+// write failure: the run continues, every later observer call becomes a
+// no-op, and the journal keeps its durable prefix — the next resume simply
+// starts from the last record that made it to disk. Callers hold c.mu.
+func (c *Checkpoint) degrade(err error) {
+	if c.degraded {
+		return
+	}
+	c.degraded = true
+	c.degradeErr = err
+	if c.met != nil {
+		c.met.CheckpointDegraded.Set(1)
+	}
+	if c.onDegrade != nil {
+		c.onDegrade(err)
+	}
+}
+
+// Degraded reports whether a write failure disabled checkpointing mid-run.
+func (c *Checkpoint) Degraded() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degraded
+}
+
+// DegradeError returns the write failure that disabled checkpointing, or
+// nil when the checkpoint is healthy.
+func (c *Checkpoint) DegradeError() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.degradeErr
+}
+
+// disabled reports whether mutating observer calls should no-op: after a
+// degrade, or after Close (a straggler's late BlockDone may arrive once the
+// batch has already returned and the caller released the checkpoint).
+// Callers hold c.mu.
+func (c *Checkpoint) disabled() bool { return c.degraded || c.j == nil }
+
 // Resumed reports whether the directory held prior run state at Open.
 func (c *Checkpoint) Resumed() bool {
 	c.mu.Lock()
@@ -286,7 +345,13 @@ func (c *Checkpoint) BeginLevel(level, blocks int) error {
 		return nil
 	}
 	c.levels[level] = blocks
-	return c.j.append(&rec{kind: recLevel, level: level, blocks: blocks})
+	if c.disabled() {
+		return nil
+	}
+	if err := c.j.append(&rec{kind: recLevel, level: level, blocks: blocks}); err != nil {
+		c.degrade(err)
+	}
+	return nil
 }
 
 // DoneCliques returns the journaled result of a completed block, loaded
@@ -330,7 +395,7 @@ func (c *Checkpoint) segmentPath(id BlockID) string {
 
 // loadSegment reads one segment and verifies it against the journal claim.
 func (c *Checkpoint) loadSegment(id BlockID, info doneInfo) ([][]int32, error) {
-	f, err := os.Open(c.segmentPath(id))
+	f, err := c.fs.Open(c.segmentPath(id))
 	if err != nil {
 		return nil, err
 	}
@@ -366,7 +431,12 @@ func (c *Checkpoint) BlockDispatched(id BlockID) {
 		return
 	}
 	c.dispatched[id] = true
-	_ = c.j.append(&rec{kind: recDispatch, level: id.Level, plan: id.Plan})
+	if c.disabled() {
+		return
+	}
+	if err := c.j.append(&rec{kind: recDispatch, level: id.Level, plan: id.Plan}); err != nil {
+		c.degrade(err)
+	}
 }
 
 // BlockDone makes one block's result durable: the cliques are written to
@@ -375,18 +445,29 @@ func (c *Checkpoint) BlockDispatched(id BlockID) {
 // A block re-executed after a crash simply overwrites its segment, which
 // is what makes retries and resumes idempotent. It implements
 // BatchObserver.
+//
+// A write failure (ENOSPC, I/O error) never fails the batch: the
+// checkpoint degrades — checkpointing is disabled for the rest of the
+// session and the run continues on its in-memory results. The journal's
+// durable prefix stays intact, so a later resume replays to the last block
+// that actually hit the disk.
 func (c *Checkpoint) BlockDone(id BlockID, cliques [][]int32) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, already := c.done[id]; already {
 		return nil
 	}
+	if c.disabled() {
+		return nil
+	}
 	digest, count, err := c.writeSegment(id, cliques)
 	if err != nil {
-		return err
+		c.degrade(err)
+		return nil
 	}
 	if err := c.j.append(&rec{kind: recDone, level: id.Level, plan: id.Plan, count: count, digest: digest}); err != nil {
-		return err
+		c.degrade(err)
+		return nil
 	}
 	c.done[id] = doneInfo{count: count, digest: digest}
 	return nil
@@ -396,7 +477,7 @@ func (c *Checkpoint) BlockDone(id BlockID, cliques [][]int32) error {
 func (c *Checkpoint) writeSegment(id BlockID, cliques [][]int32) (digest uint32, count int, err error) {
 	final := c.segmentPath(id)
 	tmp := final + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := c.fs.Create(tmp)
 	if err != nil {
 		return 0, 0, fmt.Errorf("runlog: segment: %w", err)
 	}
@@ -418,11 +499,11 @@ func (c *Checkpoint) writeSegment(id BlockID, cliques [][]int32) (digest uint32,
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		c.fs.Remove(tmp)
 		return 0, 0, fmt.Errorf("runlog: segment %s: %w", final, err)
 	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := c.fs.Rename(tmp, final); err != nil {
+		c.fs.Remove(tmp)
 		return 0, 0, fmt.Errorf("runlog: segment: %w", err)
 	}
 	return w.Digest(), int(w.Count()), nil
@@ -436,7 +517,13 @@ func (c *Checkpoint) EndLevel(level int) error {
 		return nil
 	}
 	c.levelEnded[level] = true
-	return c.j.append(&rec{kind: recLevelEnd, level: level})
+	if c.disabled() {
+		return nil
+	}
+	if err := c.j.append(&rec{kind: recLevelEnd, level: level}); err != nil {
+		c.degrade(err)
+	}
+	return nil
 }
 
 // FinishRun journals run completion. A journal carrying this record resumes
@@ -447,8 +534,14 @@ func (c *Checkpoint) FinishRun() error {
 	if c.runEnded {
 		return nil
 	}
+	if c.disabled() {
+		return nil
+	}
 	c.runEnded = true
-	return c.j.append(&rec{kind: recRunEnd})
+	if err := c.j.append(&rec{kind: recRunEnd}); err != nil {
+		c.degrade(err)
+	}
+	return nil
 }
 
 // Close releases the journal file. The checkpoint directory remains valid
@@ -461,5 +554,10 @@ func (c *Checkpoint) Close() error {
 	}
 	err := c.j.close()
 	c.j = nil
+	if c.degraded {
+		// The failure was already reported through OnDegrade; a degraded
+		// close is clean by definition.
+		return nil
+	}
 	return err
 }

@@ -154,7 +154,7 @@ func decodeRec(p []byte) (rec, error) {
 // journal is the framed record log: every Append writes
 // [len u32le][crc32 u32le][payload] and optionally fsyncs.
 type journal struct {
-	f    *os.File
+	f    File
 	sync bool
 	met  *telemetry.Engine
 	buf  []byte
@@ -214,8 +214,8 @@ func (j *journal) close() error {
 //
 // A missing or empty file replays to zero records at offset len(magic),
 // i.e. a fresh journal.
-func replayJournal(path string) (recs []rec, validOff int64, err error) {
-	f, err := os.Open(path)
+func replayJournal(fs FS, path string) (recs []rec, validOff int64, err error) {
+	f, err := fs.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, int64(len(journalMagic)), nil
@@ -263,8 +263,8 @@ func replayJournal(path string) (recs []rec, validOff int64, err error) {
 // openJournalForAppend opens (creating if absent) the journal at path,
 // truncates any torn tail at validOff, and positions the write cursor at
 // the end of the valid prefix.
-func openJournalForAppend(path string, validOff int64, syncWrites bool, met *telemetry.Engine) (*journal, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+func openJournalForAppend(fs FS, path string, validOff int64, syncWrites bool, met *telemetry.Engine) (*journal, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("runlog: open journal: %w", err)
 	}

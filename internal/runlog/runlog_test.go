@@ -210,7 +210,7 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 	// The torn frame must be gone from disk: the re-opened journal's
 	// records all decode.
-	recs, _, err := replayJournal(path)
+	recs, _, err := replayJournal(OSFS{}, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +341,7 @@ func FuzzJournalReplay(f *testing.F) {
 		if err := os.WriteFile(path, data, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		recs, off, err := replayJournal(path)
+		recs, off, err := replayJournal(OSFS{}, path)
 		if err != nil {
 			return // bad magic: a refusal, not a crash
 		}

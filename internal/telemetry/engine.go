@@ -57,6 +57,18 @@ type Engine struct {
 	BytesSent      Counter // estimated payload bytes shipped
 	BytesReceived  Counter // estimated payload bytes received
 
+	// Straggler resilience (internal/cluster hedged dispatch + health).
+	HedgedDispatches   Counter // speculative duplicate dispatches issued
+	HedgeWins          Counter // blocks whose speculative copy finished first
+	HedgeWasted        Counter // duplicate results discarded by first-wins dedup
+	WorkersQuarantined Counter // health-scoring quarantine entries
+	WorkerProbes       Counter // probe dispatches to quarantined workers
+
+	// Resource guardrails (internal/resguard, internal/runlog).
+	BackpressurePauses Counter // dispatches paused by the memory guard
+	BackpressureNs     Counter // total time spent paused, nanoseconds
+	CheckpointDegraded Gauge   // 1 once checkpointing was disabled mid-run
+
 	// Cluster worker (internal/cluster.Worker).
 	TasksServed Counter // tasks answered by this worker
 	TaskErrors  Counter // tasks answered with an in-band application error
@@ -172,6 +184,16 @@ type Snapshot struct {
 	BytesSent      int64 `json:"bytes_sent"`
 	BytesReceived  int64 `json:"bytes_received"`
 
+	HedgedDispatches   int64 `json:"hedged_dispatches"`
+	HedgeWins          int64 `json:"hedge_wins"`
+	HedgeWasted        int64 `json:"hedge_wasted"`
+	WorkersQuarantined int64 `json:"workers_quarantined"`
+	WorkerProbes       int64 `json:"worker_probes"`
+
+	BackpressurePauses int64 `json:"backpressure_pauses"`
+	BackpressureNs     int64 `json:"backpressure_ns"`
+	CheckpointDegraded int64 `json:"checkpoint_degraded"`
+
 	TasksServed int64 `json:"tasks_served"`
 	TaskErrors  int64 `json:"task_errors"`
 	TaskPanics  int64 `json:"task_panics"`
@@ -211,6 +233,14 @@ func (e *Engine) Snapshot() Snapshot {
 		CorruptResults:     e.CorruptResults.Load(),
 		BytesSent:          e.BytesSent.Load(),
 		BytesReceived:      e.BytesReceived.Load(),
+		HedgedDispatches:   e.HedgedDispatches.Load(),
+		HedgeWins:          e.HedgeWins.Load(),
+		HedgeWasted:        e.HedgeWasted.Load(),
+		WorkersQuarantined: e.WorkersQuarantined.Load(),
+		WorkerProbes:       e.WorkerProbes.Load(),
+		BackpressurePauses: e.BackpressurePauses.Load(),
+		BackpressureNs:     e.BackpressureNs.Load(),
+		CheckpointDegraded: e.CheckpointDegraded.Load(),
 		TasksServed:        e.TasksServed.Load(),
 		TaskErrors:         e.TaskErrors.Load(),
 		TaskPanics:         e.TaskPanics.Load(),

@@ -103,9 +103,11 @@ type config struct {
 	workers          []string
 	cliOpts          cluster.ClientOptions
 	report           func(DialReport)
+	healthReport     func(HealthReport)
 	progress         func(TelemetrySnapshot)
 	progressInterval time.Duration
 	checkpointDir    string
+	checkpointWarn   func(error)
 	poisonReport     func([]PoisonVerdict)
 }
 
@@ -279,6 +281,53 @@ func WithAutoReconnect() Option {
 	}
 }
 
+// WithHedgedDispatch enables speculative re-dispatch of straggling blocks
+// on distributed runs: a block in flight for longer than twice the 90th
+// percentile of its level's observed round trips is duplicated onto
+// another worker and the first result wins. Lemma 1 determinism makes the
+// duplicate's answer identical, so the output is exactly the same — only
+// the tail latency of a slow or degraded worker stops dominating the run.
+func WithHedgedDispatch() Option {
+	return func(c *config) error {
+		c.cliOpts.Hedge = true
+		return nil
+	}
+}
+
+// WithMemoryBudget bounds the coordinator's appetite: while the process
+// heap is above budget bytes, block dispatch pauses (local and
+// distributed) instead of buffering more results toward an OOM kill. One
+// block always stays in flight, so the run degrades to serial execution,
+// never deadlocks.
+func WithMemoryBudget(budget int64) Option {
+	return func(c *config) error {
+		if budget <= 0 {
+			return fmt.Errorf("mce: memory budget %d is not positive", budget)
+		}
+		c.core.MemoryBudget = budget
+		c.cliOpts.MemoryBudget = budget
+		return nil
+	}
+}
+
+// HealthReport summarises per-worker health scoring; see
+// cluster.HealthReport.
+type HealthReport = cluster.HealthReport
+
+// WithWorkerHealthReport invokes fn with the per-worker health summary —
+// EWMA latency and error scores, corrupt verdicts, quarantine records —
+// when a distributed run finishes, successfully or not. Use it to surface
+// which workers the run leaned on and which it had to bench.
+func WithWorkerHealthReport(fn func(HealthReport)) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("mce: WithWorkerHealthReport needs a callback")
+		}
+		c.healthReport = fn
+		return nil
+	}
+}
+
 // WithTelemetry records metrics during the run and attaches the final
 // snapshot to Stats.Telemetry. Without it (or one of the other telemetry
 // options) the instrumentation is disabled entirely and the hot paths pay
@@ -350,6 +399,31 @@ func WithCheckpoint(dir string) Option {
 // HasCheckpoint reports whether dir holds prior run state a WithCheckpoint
 // run would resume.
 func HasCheckpoint(dir string) bool { return runlog.HasJournal(dir) }
+
+// ErrCheckpointMismatch is wrapped by the error Enumerate returns when the
+// -checkpoint directory belongs to a different run: another graph, other
+// plan-affecting options, or an unreadable journal that cannot be trusted
+// to resume. Match with errors.Is to distinguish "refuse to resume" from
+// ordinary failures — mcefind exits with a dedicated code for it.
+var ErrCheckpointMismatch = runlog.ErrIdentityMismatch
+
+// WithCheckpointWarning invokes fn (once) if a write failure — a full
+// disk, a permissions change — disables checkpointing mid-run. The run
+// itself continues and completes with correct results; only crash safety
+// is lost from that point on, and Stats.CheckpointDegraded reports it.
+// Without this option a checkpoint failure is still non-fatal, just
+// unannounced until the final Stats. fn must not call back into the
+// enumeration. Implies nothing about WithCheckpoint — it is ignored when
+// checkpointing is off.
+func WithCheckpointWarning(fn func(error)) Option {
+	return func(c *config) error {
+		if fn == nil {
+			return fmt.Errorf("mce: WithCheckpointWarning needs a callback")
+		}
+		c.checkpointWarn = fn
+		return nil
+	}
+}
 
 // PoisonVerdict describes one block skipped as a poison task; see
 // cluster.PoisonTaskError.
@@ -441,11 +515,17 @@ func EnumerateContext(ctx context.Context, g *Graph, opts ...Option) (*Result, e
 	}
 	if client != nil {
 		defer client.Close()
+		if cfg.healthReport != nil {
+			// The health summary fires however the run ends — a cancelled
+			// or failed run is exactly when the benched-worker record
+			// matters most.
+			defer func() { cfg.healthReport(client.HealthReport()) }()
+		}
 	}
 	if cfg.checkpointDir != "" {
 		// The checkpoint opens here, not in setup: its identity needs the
 		// graph, which options never see.
-		cp, err := runlog.Open(cfg.checkpointDir, core.CheckpointIdentity(g, cfg.core), runlog.Options{Metrics: cfg.core.Metrics})
+		cp, err := runlog.Open(cfg.checkpointDir, core.CheckpointIdentity(g, cfg.core), runlog.Options{Metrics: cfg.core.Metrics, OnDegrade: cfg.checkpointWarn})
 		if err != nil {
 			return nil, err
 		}
