@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test vet lint fmt race vulncheck fuzz-smoke bench-smoke bench-baseline check bench chaos chaos-straggler
+.PHONY: all build test vet lint fmt race vulncheck fuzz-smoke bench-smoke bench-baseline bench-record check bench chaos chaos-straggler
+
+# The checked-in per-PR benchmark record (bench-record writes BENCH_$(PR).json).
+PR ?= 7
 
 all: check
 
@@ -19,10 +22,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific invariants (context plumbing, lock balance, sorted adjacency,
-# goroutine leaks, gob wire safety, map-order determinism, atomic-field
-# consistency, telemetry nil guards, suppression hygiene). See DESIGN.md
-# §9 + §11 and `go run ./cmd/mcevet -list`.
+# Repo-specific invariants (context plumbing, lock balance and ordering,
+# sorted adjacency, goroutine lifecycle, channel discipline, CAS loops, gob
+# wire safety, map-order determinism, telemetry nil guards, suppression
+# hygiene). Test files are part of the unit (-tests defaults to on). See
+# DESIGN.md §9, §11 + §14 and `go run ./cmd/mcevet -list`.
 lint: vet
 	$(GO) run ./cmd/mcevet ./...
 
@@ -71,6 +75,11 @@ bench-smoke: build
 # Refresh the baseline after an intentional performance change.
 bench-baseline: build
 	$(GO) run ./cmd/mcebench -smoke -smoke-runs 5 -out .github/bench-baseline.json
+
+# Check in the per-PR benchmark record at the repo root (BENCH_<PR>.json),
+# the running history of what each stacked PR did to the smoke workload.
+bench-record: build
+	$(GO) run ./cmd/mcebench -smoke -out BENCH_$(PR).json
 
 check: build fmt lint test race vulncheck bench-smoke
 

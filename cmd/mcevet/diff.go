@@ -13,16 +13,21 @@ import (
 // The -diff mode: analyze only the packages whose files changed against a
 // git base revision, plus every package that (transitively) imports one of
 // them — importers see changed export data, so a cross-package analyzer
-// (maporder facts, atomicfield's whole-suite scan) can produce new findings
+// (maporder facts, casloop's whole-suite atomic-field scan) can produce new findings
 // there even when their own files are untouched. This is the fast PR gate;
 // the full ./... run stays the merge gate on main.
 
 // listedPackage is the slice of `go list -json` the diff mode needs.
+// TestImports and XTestImports matter because the suite analyzes test files:
+// a package whose *tests* import a changed package sees changed export data
+// in its test unit, so it belongs in the closure too.
 type listedPackage struct {
-	Dir        string
-	ImportPath string
-	Imports    []string
-	GoFiles    []string
+	Dir          string
+	ImportPath   string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	GoFiles      []string
 }
 
 // changedPackages returns the import paths to analyze for changes against
@@ -70,11 +75,14 @@ func changedPackages(dir, base string) ([]string, error) {
 		return nil, nil
 	}
 
-	// Closure: reverse importers, to a fixpoint.
+	// Closure: reverse importers, to a fixpoint. Test imports count: the
+	// test unit of an importer is analyzed alongside its package.
 	importers := make(map[string][]string)
 	for _, p := range pkgs {
-		for _, imp := range p.Imports {
-			importers[imp] = append(importers[imp], p.ImportPath)
+		for _, list := range [][]string{p.Imports, p.TestImports, p.XTestImports} {
+			for _, imp := range list {
+				importers[imp] = append(importers[imp], p.ImportPath)
+			}
 		}
 	}
 	queue := make([]string, 0, len(seeds))
@@ -133,7 +141,7 @@ func gitTopLevel(dir string) (string, error) {
 
 // listPackages runs `go list -json ./...` in dir and decodes the stream.
 func listPackages(dir string) ([]listedPackage, error) {
-	cmd := exec.Command("go", "list", "-e", "-json=Dir,ImportPath,Imports,GoFiles", "./...")
+	cmd := exec.Command("go", "list", "-e", "-json=Dir,ImportPath,Imports,TestImports,XTestImports,GoFiles", "./...")
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer
 	cmd.Stdout = &stdout

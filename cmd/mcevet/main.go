@@ -64,6 +64,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		diffBase = fs.String("diff", "", "analyze only packages changed against this git revision (plus their importers)")
 		applyFix = fs.Bool("fix", false, "apply suggested fixes, then re-run once and report what remains")
 		chdir    = fs.String("C", ".", "resolve package patterns relative to this directory")
+		tests    = fs.Bool("tests", true, "include _test.go files (in-package and external test packages) in the analysis")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -127,7 +128,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
-	diags, code := analyze(*chdir, patterns, analyzers, stderr)
+	diags, code := analyze(*chdir, patterns, analyzers, *tests, stderr)
 	if code != 0 {
 		return code
 	}
@@ -143,7 +144,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "mcevet: fixed %s\n", f)
 			}
 			// The tree changed under us: one re-run decides what remains.
-			diags, code = analyze(*chdir, patterns, analyzers, stderr)
+			diags, code = analyze(*chdir, patterns, analyzers, *tests, stderr)
 			if code != 0 {
 				return code
 			}
@@ -194,8 +195,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // analyze loads the patterns and runs the analyzers, returning the
 // diagnostics and a non-zero exit code on load/analysis failure.
-func analyze(dir string, patterns []string, analyzers []*lint.Analyzer, stderr io.Writer) ([]lint.Diagnostic, int) {
-	pkgs, err := lint.Load(dir, patterns...)
+func analyze(dir string, patterns []string, analyzers []*lint.Analyzer, tests bool, stderr io.Writer) ([]lint.Diagnostic, int) {
+	pkgs, err := lint.LoadTests(dir, tests, patterns...)
 	if err != nil {
 		fmt.Fprintf(stderr, "mcevet: %v\n", err)
 		return nil, 2

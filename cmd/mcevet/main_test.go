@@ -33,8 +33,10 @@ func TestListExitsZero(t *testing.T) {
 		t.Fatalf("run(-list) = %d, want 0 (stderr: %s)", code, errb.String())
 	}
 	for _, name := range []string{
-		"ctxplumb", "lockbalance", "sortedadj", "goroutineleak", "wiretypes",
-		"maporder", "atomicfield", "telemetryguard", "staleignore",
+		"ctxplumb", "lockbalance", "sortedadj", "wiretypes",
+		"maporder", "telemetryguard",
+		"lockorder", "golifecycle", "chandiscipline", "casloop",
+		"staleignore",
 	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output is missing analyzer %q:\n%s", name, out.String())

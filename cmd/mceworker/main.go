@@ -81,14 +81,13 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 
 	drained := make(chan struct{})
 	forced := make(chan struct{})
-	//lint:ignore goroutineleak the signal handler lives for the whole worker by design; it exits with run
 	go func() {
 		s, ok := <-sig
 		if !ok {
 			return
 		}
 		fmt.Fprintf(stdout, "mceworker: %v received, draining in-flight tasks (repeat to force exit)\n", s)
-		//lint:ignore goroutineleak the force-exit watcher lives until the process exits; that is its entire job
+		//lint:ignore golifecycle the force-exit watcher lives until the process exits; that is its entire job
 		go func() {
 			if s, ok := <-sig; ok {
 				fmt.Fprintf(stderr, "mceworker: %v received again, forcing exit\n", s)

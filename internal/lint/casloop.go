@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CasLoop machine-checks the compare-and-swap discipline the lock-free
+// paths of the telemetry engine and the cluster health registry rely on:
+//
+//   - a CompareAndSwap result must be consumed — a discarded result means
+//     the caller proceeds as if the swap happened whether it did or not,
+//     which on contention silently drops the update;
+//   - a CAS retry loop must re-load its expected ("old") value each
+//     iteration — a loop that keeps presenting the same stale snapshot
+//     spins forever once another goroutine wins a single race (CAS from a
+//     constant, e.g. the 0→1 latch idiom, is exempt: the expected value
+//     cannot go stale);
+//   - a struct field accessed through sync/atomic anywhere in the module
+//     must be accessed that way everywhere — one plain `s.f++` in a
+//     far-away package races every concurrent atomic update. This rule
+//     subsumes and retires PR 3's atomicfield analyzer; its whole-suite
+//     scan lives on here unchanged.
+var CasLoop = &Analyzer{
+	Name: "casloop",
+	Doc: "compare-and-swap discipline: CAS results must be checked, CAS " +
+		"retry loops must re-load the expected value, and atomically-" +
+		"accessed fields must never see plain reads or writes",
+	Run: runCasLoop,
+}
+
+func runCasLoop(pass *Pass) error {
+	if err := runMixedAtomic(pass); err != nil {
+		return err
+	}
+	tinfo := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Rule 1: discarded CAS results. A CAS as a bare statement (or
+		// assigned only to blanks) throws away the one bit that says whether
+		// the swap took effect.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if name, _ := casCall(tinfo, call); name != "" {
+						pass.Reportf(call.Pos(),
+							"result of %s is discarded: on contention the swap silently fails and this code proceeds as if it succeeded (check the returned bool)",
+							name)
+					}
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, _ := casCall(tinfo, call)
+				if name == "" {
+					return true
+				}
+				allBlank := true
+				for _, lhs := range n.Lhs {
+					if id, ok := ast.Unparen(lhs).(*ast.Ident); !ok || id.Name != "_" {
+						allBlank = false
+					}
+				}
+				if allBlank {
+					pass.Reportf(call.Pos(),
+						"result of %s is discarded: on contention the swap silently fails and this code proceeds as if it succeeded (check the returned bool)",
+						name)
+				}
+			}
+			return true
+		})
+
+		// Rule 2: stale-old retry loops. Inside each for loop, a CAS whose
+		// expected value is a variable that is never reassigned within the
+		// loop body presents the same snapshot every iteration: the first
+		// lost race makes every subsequent attempt fail too.
+		ast.Inspect(f, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Body == nil {
+				return true
+			}
+			checkStaleOldLoop(pass, tinfo, loop)
+			return true
+		})
+	}
+	return nil
+}
+
+// casCall recognises a compare-and-swap call: the sync/atomic package
+// functions (CompareAndSwapInt64, ...) and the CompareAndSwap methods of
+// the sync/atomic wrapper types (atomic.Int64, atomic.Pointer[T], ...).
+// It returns a printable name and the expected-value ("old") argument.
+func casCall(info *types.Info, call *ast.CallExpr) (string, ast.Expr) {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return "", nil
+	}
+	if !strings.HasPrefix(fn.Name(), "CompareAndSwap") {
+		return "", nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return "", nil
+	}
+	if sig.Recv() != nil {
+		// Method form: CompareAndSwap(old, new) on atomic.Int64 et al.
+		if len(call.Args) != 2 {
+			return "", nil
+		}
+		return "atomic." + namedType(sig.Recv().Type()).Obj().Name() + ".CompareAndSwap", call.Args[0]
+	}
+	// Function form: CompareAndSwapInt64(addr, old, new).
+	if len(call.Args) != 3 {
+		return "", nil
+	}
+	return "atomic." + fn.Name(), call.Args[1]
+}
+
+// checkStaleOldLoop reports CAS calls in loop whose expected value is a
+// variable not refreshed inside the loop body. Nested function literals are
+// skipped (they run on their own schedule), as are nested for loops (they
+// get their own visit).
+func checkStaleOldLoop(pass *Pass, info *types.Info, loop *ast.ForStmt) {
+	// Variables (re)assigned or address-taken anywhere in the loop body —
+	// any of those can refresh the snapshot between attempts.
+	refreshed := make(map[*types.Var]bool)
+	mark := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				refreshed[v] = true
+			}
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				refreshed[v] = true
+			}
+		}
+	}
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		case *ast.RangeStmt:
+			mark(n.Key)
+			mark(n.Value)
+		}
+		return true
+	})
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			// A nested loop is visited on its own; analysing it here would
+			// misattribute its refreshes.
+			return false
+		case *ast.CallExpr:
+			name, old := casCall(info, n)
+			if name == "" || old == nil {
+				return true
+			}
+			v := usedVar(info, old)
+			if v == nil || refreshed[v] {
+				return true // constant expected value, or refreshed in-loop
+			}
+			pass.Reportf(n.Pos(),
+				"CAS retry loop never re-loads expected value %s: after one lost race every retry presents the same stale snapshot and the loop spins forever (re-load %s inside the loop)",
+				v.Name(), v.Name())
+		}
+		return true
+	})
+}
+
+// ---- absorbed atomicfield scan (PR 3) -------------------------------------
+//
+// Once any code accesses a struct field through sync/atomic
+// (atomic.AddInt64(&s.f), ...), every access to that field anywhere in the
+// module must be atomic too. A single plain read races every concurrent
+// atomic update — the race detector only catches it when a test happens to
+// exercise both sides concurrently, while this scan catches it on any
+// `make lint`. The set of atomically-accessed fields is collected across
+// every loaded package first (one shared scan), then each package is
+// searched for plain accesses to any of them. Composite literals are exempt
+// (pre-publication initialisation), as is the &s.f operand position of the
+// sync/atomic call itself.
+
+// atomicFieldInfo is the suite-wide scan result: for every field touched
+// through sync/atomic, one representative call position (for the
+// diagnostic), plus the set of positions that are legitimate atomic
+// operands and therefore not plain accesses. Fields are keyed by canonical
+// object key, not pointer: the declaring package sees the source-checked
+// field object while every other package sees its export-data twin.
+type atomicFieldInfo struct {
+	fields   map[string]atomicSite // field key -> one atomic call site
+	operands map[token.Pos]bool    // positions of s.f operands inside atomic calls
+}
+
+// atomicSite describes one representative sync/atomic access of a field.
+type atomicSite struct {
+	pos   token.Position
+	owner string // declaring struct type name
+	name  string // field name
+}
+
+func runMixedAtomic(pass *Pass) error {
+	info := pass.Suite.Memo("casloop.atomicfields", func() any {
+		return scanAtomicFields(pass.Suite)
+	}).(*atomicFieldInfo)
+	if len(info.fields) == 0 {
+		return nil
+	}
+
+	type finding struct {
+		pos   token.Pos
+		field string
+		write bool
+	}
+	var findings []finding
+	for _, f := range pass.Pkg.Files {
+		// Track which selector positions are writes (assignment LHS or
+		// IncDec operands) so the diagnostic can say read vs write, and
+		// which are address-taken: passing &s.f to a helper that itself
+		// uses atomics is legitimate (the helper's accesses are checked in
+		// their own right), so bare address-of is skipped, not flagged.
+		writes := make(map[token.Pos]bool)
+		addr := make(map[token.Pos]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					writes[ast.Unparen(lhs).Pos()] = true
+				}
+			case *ast.IncDecStmt:
+				writes[ast.Unparen(n.X).Pos()] = true
+			case *ast.UnaryExpr:
+				if n.Op == token.AND {
+					addr[ast.Unparen(n.X).Pos()] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				return false // initialisation before publication
+			case *ast.SelectorExpr:
+				field := selectedField(pass.Pkg.Info, n)
+				if field == nil {
+					return true
+				}
+				key := objKey(field)
+				if _, atomic := info.fields[key]; !atomic {
+					return true
+				}
+				if info.operands[n.Pos()] {
+					return true // the &s.f inside the atomic call itself
+				}
+				if addr[n.Pos()] {
+					return true // address passed on; not a plain access
+				}
+				findings = append(findings, finding{n.Pos(), key, writes[n.Pos()]})
+			}
+			return true
+		})
+	}
+	sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+	for _, fd := range findings {
+		verb := "plain read of"
+		if fd.write {
+			verb = "plain write to"
+		}
+		at := info.fields[fd.field]
+		pass.Reportf(fd.pos,
+			"%s field %s.%s, which is accessed with sync/atomic at %s:%d: mixed access races every atomic update (use the atomic API everywhere)",
+			verb, at.owner, at.name, shortPath(at.pos.Filename), at.pos.Line)
+	}
+	return nil
+}
+
+// scanAtomicFields walks every package of the suite once, recording each
+// struct field that appears as &s.f (or s.f) in an argument of a
+// sync/atomic call.
+func scanAtomicFields(suite *Suite) *atomicFieldInfo {
+	out := &atomicFieldInfo{
+		fields:   make(map[string]atomicSite),
+		operands: make(map[token.Pos]bool),
+	}
+	for _, pkg := range suite.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					expr := ast.Unparen(arg)
+					if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+						expr = ast.Unparen(u.X)
+					}
+					sel, ok := expr.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					field := selectedField(pkg.Info, sel)
+					if field == nil {
+						continue
+					}
+					key := objKey(field)
+					if _, seen := out.fields[key]; !seen {
+						out.fields[key] = atomicSite{
+							pos:   pkg.Fset.Position(call.Pos()),
+							owner: ownerName(field),
+							name:  field.Name(),
+						}
+					}
+					out.operands[sel.Pos()] = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

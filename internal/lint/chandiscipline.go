@@ -1,0 +1,315 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanDiscipline machine-checks the channel-ownership rules the cluster
+// runtime's wire and control planes depend on:
+//
+//   - never send on a channel after closing it in the same body — the send
+//     panics, and since both sites are in one function the bug is certain,
+//     not an interleaving;
+//   - close on the sender side: a function that receives from a channel and
+//     never sends to it must not close it — the real sender will panic on
+//     its next send. Done-style channels (element type struct{}) are exempt:
+//     closing one *is* the send;
+//   - a bare `for { ... }` retry loop that waits on the clock (time.Sleep,
+//     <-time.After, a timer select) must consult a cancellation signal that
+//     is in scope — a ctx parameter or a done channel. This is the PR 7
+//     quarantine-recheck livelock shape: the health gate's recheck variant
+//     re-evaluated the penalty window forever because nothing in the loop
+//     could ever observe shutdown. The rule fires only when a ctx/done is
+//     actually available and unconsulted, so loops in contexts with nothing
+//     to consult stay clean.
+var ChanDiscipline = &Analyzer{
+	Name: "chandiscipline",
+	Doc: "channel ownership: no send after close, close on the sender side " +
+		"only, and clock-driven retry loops must consult an in-scope " +
+		"ctx/done cancellation signal",
+	Run: runChanDiscipline,
+}
+
+func runChanDiscipline(pass *Pass) error {
+	tinfo := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkSendAfterClose(pass, tinfo, fd.Body)
+			checkCloseByReceiver(pass, tinfo, fd)
+			checkLivelockLoops(pass, tinfo, fd)
+		}
+	}
+	return nil
+}
+
+// checkSendAfterClose walks each statement list tracking the channels a
+// direct close(ch) statement has closed earlier in the same list (or an
+// enclosing one): any later send to the same channel variable is a
+// guaranteed panic. The per-list scoping keeps `if done { close(ch);
+// return }` from poisoning the sibling statements that run only on the
+// other branch, and nested function literals are skipped — they execute on
+// their own schedule.
+func checkSendAfterClose(pass *Pass, info *types.Info, body *ast.BlockStmt) {
+	var walkList func(stmts []ast.Stmt, closed map[*types.Var]token.Pos)
+	walkStmt := func(s ast.Stmt, closed map[*types.Var]token.Pos) {
+		// Record closes appearing as direct statements.
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if call, ok := ast.Unparen(es.X).(*ast.CallExpr); ok {
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+					if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+						if v := usedVar(info, call.Args[0]); v != nil {
+							closed[v] = call.Pos()
+						}
+					}
+				}
+			}
+		}
+		// Flag sends to already-closed channels, recursing into nested
+		// blocks with a copy of the closed set (branch bodies must not
+		// poison their siblings, so walkList below copies too).
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.BlockStmt:
+				if bs, ok := s.(*ast.BlockStmt); ok && n == bs {
+					return true
+				}
+				inner := make(map[*types.Var]token.Pos, len(closed))
+				for k, v := range closed {
+					inner[k] = v
+				}
+				walkList(n.List, inner)
+				return false
+			case *ast.SendStmt:
+				if v := usedVar(info, n.Chan); v != nil {
+					if cpos, ok := closed[v]; ok && n.Pos() > cpos {
+						pass.Reportf(n.Pos(),
+							"send on %s after close(%s) at line %d: this send always panics",
+							v.Name(), v.Name(), pass.Pkg.Fset.Position(cpos).Line)
+					}
+				}
+			}
+			return true
+		})
+	}
+	walkList = func(stmts []ast.Stmt, closed map[*types.Var]token.Pos) {
+		for _, s := range stmts {
+			walkStmt(s, closed)
+		}
+	}
+	walkList(body.List, make(map[*types.Var]token.Pos))
+}
+
+// checkCloseByReceiver flags close(ch) inside a function that receives from
+// ch but never sends to it: in the sender/receiver split that shape means
+// the receiver is closing a channel the sender still writes to, and the
+// sender's next send panics. struct{}-element channels are exempt — a done
+// channel is closed by its controller, which by design never sends.
+func checkCloseByReceiver(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	sends := make(map[*types.Var]bool)
+	receives := make(map[*types.Var]bool)
+	type closeSite struct {
+		v   *types.Var
+		pos token.Pos
+	}
+	var closes []closeSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if v := usedVar(info, n.Chan); v != nil {
+				sends[v] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if v := usedVar(info, n.X); v != nil {
+					receives[v] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if v := usedVar(info, n.X); v != nil && isChanType(v.Type()) {
+				receives[v] = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					if v := usedVar(info, n.Args[0]); v != nil && !isDoneChan(v.Type()) {
+						closes = append(closes, closeSite{v, n.Pos()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, c := range closes {
+		if receives[c.v] && !sends[c.v] {
+			pass.Reportf(c.pos,
+				"close(%s) on the receiver side: this function receives from %s and never sends, so the real sender panics on its next send (close belongs to the sender)",
+				c.v.Name(), c.v.Name())
+		}
+	}
+}
+
+// checkLivelockLoops finds bare `for { ... }` loops that wait on the clock
+// without consulting an in-scope cancellation signal. The gating condition
+// — a signal must actually be in scope — is what separates "this loop can
+// never observe shutdown" (the PR 7 quarantine-recheck livelock) from
+// "there is nothing to observe".
+func checkLivelockLoops(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	signals := cancellationSignals(info, fd)
+	if len(signals) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own schedule; captured signals differ
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || loop.Body == nil {
+			return true
+		}
+		if !loopWaitsOnClock(info, loop.Body) {
+			return true
+		}
+		if loopConsultsSignal(info, loop.Body, signals) {
+			return true
+		}
+		pass.Reportf(loop.Pos(),
+			"unconditioned retry loop waits on the clock but never consults %s: on shutdown it spins forever re-evaluating the same state (add a ctx.Done/done-channel case)",
+			signalNames(signals))
+		return true
+	})
+}
+
+// cancellationSignals collects the cancellation handles visible to the
+// function body: context.Context and struct{}-channel parameters and
+// receivers, plus any such variable the body references (captured or
+// package-level).
+func cancellationSignals(info *types.Info, fd *ast.FuncDecl) map[*types.Var]bool {
+	signals := make(map[*types.Var]bool)
+	add := func(fields *ast.FieldList) {
+		if fields == nil {
+			return
+		}
+		for _, f := range fields.List {
+			for _, name := range f.Names {
+				if v, ok := info.Defs[name].(*types.Var); ok {
+					if isContextType(v.Type()) || isDoneChan(v.Type()) {
+						signals[v] = true
+					}
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	if fd.Type.Params != nil {
+		add(fd.Type.Params)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			if isContextType(v.Type()) || isDoneChan(v.Type()) {
+				signals[v] = true
+			}
+		}
+		return true
+	})
+	return signals
+}
+
+// loopWaitsOnClock reports whether the loop body blocks on time:
+// time.Sleep, a receive from time.After/Tick, or a select whose comm cases
+// include a timer-channel receive.
+func loopWaitsOnClock(info *types.Info, body *ast.BlockStmt) bool {
+	waits := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if waits {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isPkgFunc(info, n, "time", "Sleep") {
+				waits = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isTimerChan(info, n.X) {
+				waits = true
+			}
+		}
+		return true
+	})
+	return waits
+}
+
+// isTimerChan reports whether e evaluates to a time.Time channel — the
+// shape of time.After(...), Ticker.C and Timer.C.
+func isTimerChan(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	ch, ok := types.Unalias(tv.Type).Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	return isNamed(ch.Elem(), "time", "Time")
+}
+
+// loopConsultsSignal reports whether the loop body observes any of the
+// in-scope cancellation signals: a ctx.Done()/ctx.Err() call, a receive
+// (direct or in a select case) from a done channel, or passing the signal
+// to another function (which is then responsible for honouring it).
+func loopConsultsSignal(info *types.Info, body *ast.BlockStmt, signals map[*types.Var]bool) bool {
+	consults := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if consults {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok && signals[v] {
+			consults = true
+		}
+		return true
+	})
+	return consults
+}
+
+// signalNames renders the available signals for the diagnostic,
+// deterministically.
+func signalNames(signals map[*types.Var]bool) string {
+	names := make([]string, 0, len(signals))
+	for v := range signals {
+		names = append(names, v.Name())
+	}
+	if len(names) == 0 {
+		return "a cancellation signal"
+	}
+	// Smallest name keeps the message stable across map iteration order.
+	min := names[0]
+	for _, n := range names[1:] {
+		if n < min {
+			min = n
+		}
+	}
+	if len(names) == 1 {
+		return "in-scope " + min
+	}
+	return "any in-scope cancellation signal (e.g. " + min + ")"
+}

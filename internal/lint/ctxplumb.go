@@ -52,7 +52,7 @@ func runCtxPlumb(pass *Pass) error {
 				continue
 			}
 			sig := obj.Type().(*types.Signature)
-			if hasCtxParam(sig) {
+			if hasCtxParam(sig) || isTestingEntry(fd.Name.Name, sig) {
 				continue
 			}
 			what := blockingOp(info, fd.Body)
@@ -83,6 +83,31 @@ func runCtxPlumb(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// isTestingEntry reports whether the function is a go-test entry point —
+// TestXxx(*testing.T), BenchmarkXxx(*testing.B), FuzzXxx(*testing.F) or
+// TestMain(*testing.M). The testing framework owns their lifecycle (deadline,
+// cleanup, panic recovery), so the exported-pair contract does not apply:
+// nobody calls a Test function but the test binary.
+func isTestingEntry(name string, sig *types.Signature) bool {
+	prefixOK := strings.HasPrefix(name, "Test") ||
+		strings.HasPrefix(name, "Benchmark") ||
+		strings.HasPrefix(name, "Fuzz") ||
+		strings.HasPrefix(name, "Example")
+	if !prefixOK || sig.Recv() != nil || sig.Params().Len() != 1 {
+		return false
+	}
+	ptr, ok := sig.Params().At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "testing"
 }
 
 // blockingOp scans a function body for the operations that make an API

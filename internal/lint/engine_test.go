@@ -222,6 +222,121 @@ func TestFactStoreObjectIdentity(t *testing.T) {
 	}
 }
 
+// lockPackageFiles seeds a two-package mutex inversion: pkg b acquires
+// a.Mu while holding its own lock *through a.LockMu's summary* (the
+// acquisition is invisible without cross-package facts), and separately
+// acquires b's lock while holding a.Mu directly. Each half looks fine in
+// isolation; only the whole-module graph has the cycle.
+func lockPackageFiles() map[string]string {
+	return map[string]string{
+		"a/a.go": `package a
+
+import "sync"
+
+// Mu guards package a's registry.
+var Mu sync.Mutex
+
+// LockMu and UnlockMu are the exported acquisition helpers: callers in
+// other packages never touch Mu directly.
+func LockMu()   { Mu.Lock() }
+func UnlockMu() { Mu.Unlock() }
+`,
+		"b/b.go": `package b
+
+import (
+	"sync"
+
+	"tmpmod/a"
+)
+
+var mu sync.Mutex
+
+// Inverted1 holds b's lock and then acquires a.Mu one call deep.
+func Inverted1() {
+	mu.Lock()
+	defer mu.Unlock()
+	a.LockMu()
+	defer a.UnlockMu()
+}
+
+// Inverted2 holds a.Mu and then acquires b's lock: the reverse order.
+func Inverted2() {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	mu.Lock()
+	defer mu.Unlock()
+}
+`,
+	}
+}
+
+// TestLockFactsCrossPackages proves the lock-set fact layer sees through
+// export data: package b's view of a.LockMu is a different *types.Func
+// than a's own, yet b's indirect acquisition of a.Mu while holding b.mu
+// must surface as a pair attributed to the helper.
+func TestLockFactsCrossPackages(t *testing.T) {
+	pkgs := loadTempModule(t, lockPackageFiles())
+	suite := newSuite(pkgs)
+	var passB *Pass
+	for _, p := range suite.Pkgs {
+		if p.PkgPath == "tmpmod/b" {
+			passB = &Pass{Analyzer: LockOrder, Pkg: p, Suite: suite}
+		}
+	}
+	if passB == nil {
+		t.Fatal("package b not loaded")
+	}
+	info := lockFacts(passB)
+
+	// The exported summary for a.LockMu names a.Mu.
+	lockMu := lookupFunc(t, pkgs, "tmpmod/a", "LockMu")
+	var fact LockSetFact
+	if !passB.ImportObjectFact(lockMu, &fact) {
+		t.Fatal("no LockSetFact exported for a.LockMu")
+	}
+	foundMu := false
+	for _, acq := range fact.Acquires {
+		if acq == "tmpmod/a::Mu" {
+			foundMu = true
+		}
+	}
+	if !foundMu {
+		t.Errorf("LockSetFact(a.LockMu).Acquires = %v, want [tmpmod/a::Mu]", fact.Acquires)
+	}
+
+	// The cross-package pair: b.mu held, a.Mu acquired, via the helper.
+	foundPair := false
+	for _, p := range info.pairs {
+		if p.held == "tmpmod/b::mu" && p.acquired == "tmpmod/a::Mu" && p.via != "" {
+			foundPair = true
+		}
+	}
+	if !foundPair {
+		t.Errorf("lock pairs missing the indirect b.mu→a.Mu edge:\n%v", info.pairs)
+	}
+}
+
+// TestLockOrderCycleAcrossPackages is the tentpole acceptance test: the
+// seeded two-mutex inversion split across two packages is reported as a
+// cycle, exactly once.
+func TestLockOrderCycleAcrossPackages(t *testing.T) {
+	pkgs := loadTempModule(t, lockPackageFiles())
+	diags, err := RunAnalyzers(pkgs, []*Analyzer{LockOrder})
+	if err != nil {
+		t.Fatalf("running lockorder: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostic(s), want exactly 1 (one report per cycle):\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "lockorder" || !strings.Contains(d.Message, "lock-order cycle") {
+		t.Errorf("diagnostic does not report the cycle: %s", d)
+	}
+	if !strings.Contains(d.Message, "Mu") || !strings.Contains(d.Message, "mu") {
+		t.Errorf("diagnostic does not name both locks of the cycle: %s", d)
+	}
+}
+
 // checkSnippet type-checks one inline source file and returns the package.
 func checkSnippet(t *testing.T, src string) *Package {
 	t.Helper()

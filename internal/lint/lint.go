@@ -1,6 +1,6 @@
 // Package lint is a repo-specific static-analysis suite: a small, dependency
 // free re-implementation of the golang.org/x/tools/go/analysis model (the
-// builder has no network, so the real module cannot be vendored) plus nine
+// builder has no network, so the real module cannot be vendored) plus eleven
 // analyzers that machine-check invariants the engine's correctness argument
 // leans on.
 //
@@ -13,28 +13,43 @@
 //   - sortedadj: adjacency slices returned by graph.Neighbors are read-only
 //     outside internal/graph (the binary-search sortedness invariant behind
 //     HasEdge, hence behind Lemma 1 and Theorem 1);
-//   - goroutineleak: goroutine literals that pump captured channels must
-//     carry a cancellation path (ctx.Done, a done channel, or channel close);
 //   - wiretypes: structs crossing the gob wire protocol must survive the
 //     round trip losslessly (no silently-dropped or unencodable fields).
 //
 // The v2 engine adds a whole-suite layer — a static call graph
 // (callgraph.go), a per-function forward dataflow pass (dataflow.go) and an
 // exported-facts mechanism (facts.go) so analyzers reason across package
-// boundaries — and four analyzers built on it:
+// boundaries — and analyzers built on it:
 //
 //   - maporder: map-iteration-ordered values must not flow into seeded
 //     rand draws, gob encoding or ordered output without an intervening
 //     sort (the PR 3 cross-process nondeterminism bug class, caught
 //     statically);
-//   - atomicfield: a struct field accessed through sync/atomic anywhere in
-//     the repo must be accessed that way everywhere (the telemetry counter
-//     discipline);
 //   - telemetryguard: every instrumentation site on a possibly-nil
 //     *telemetry.Engine or *telemetry.BlockInstr must be nil-guarded (the
 //     PR 3 zero-overhead-when-disabled contract);
 //   - staleignore: a //lint:ignore directive that no longer suppresses any
 //     finding is itself a finding.
+//
+// The PR 7 concurrency layer computes per-function held-lock summaries
+// (lockfacts.go) over the call graph and adds four analyzers that model
+// goroutine interleavings rather than single-threaded dataflow:
+//
+//   - lockorder: the global mutex-acquisition graph must be acyclic — a
+//     cycle means two goroutines can deadlock (facts cross package
+//     boundaries, so each half of the inversion can live in a different
+//     package);
+//   - golifecycle: the interprocedural upgrade of PR 2's goroutineleak —
+//     every `go` statement whose goroutine (transitively) blocks on
+//     channels must reach a cancellation path through the call graph;
+//   - chandiscipline: channel ownership rules — no send after close in one
+//     body, close on the sender side only, and no unconditioned
+//     sleep-recheck loop that ignores an in-scope ctx/done channel (the
+//     PR 7 quarantine-recheck livelock shape);
+//   - casloop: compare-and-swap discipline — CAS results must be checked,
+//     CAS retry loops must re-load the old value, and a field accessed
+//     through sync/atomic anywhere must be accessed that way everywhere
+//     (subsumes and retires PR 3's atomicfield).
 //
 // The suite runs via cmd/mcevet (standalone driver, `make lint`; -sarif,
 // -diff and -fix for CI integration) and in the analyzers' own
@@ -98,11 +113,14 @@ func (d Diagnostic) String() string {
 }
 
 // Analyzers returns the full suite in reporting order: the PR 2
-// per-package analyzers first, then the v2 dataflow analyzers.
+// per-package analyzers first, then the v2 dataflow analyzers, then the
+// PR 7 concurrency analyzers, with the staleignore meta-pass last.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
-		CtxPlumb, LockBalance, SortedAdj, GoroutineLeak, WireTypes,
-		MapOrder, AtomicField, TelemetryGuard, StaleIgnore,
+		CtxPlumb, LockBalance, SortedAdj, WireTypes,
+		MapOrder, TelemetryGuard,
+		LockOrder, GoLifecycle, ChanDiscipline, CasLoop,
+		StaleIgnore,
 	}
 }
 

@@ -78,19 +78,52 @@ func newImporter(dir string, fset *token.FileSet) types.Importer {
 	return importer.ForCompiler(fset, "gc", l.lookup)
 }
 
+// preloadImporter resolves a fixed set of import paths to already-checked
+// packages and delegates everything else. It exists for external test
+// packages (package foo_test): their import of the package under test must
+// see the *test-augmented* view — exported helpers declared in in-package
+// _test.go files are absent from the build cache's export data, which only
+// knows the non-test compilation unit.
+type preloadImporter struct {
+	preloaded map[string]*types.Package
+	next      types.Importer
+}
+
+func (p *preloadImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := p.preloaded[path]; ok {
+		return pkg, nil
+	}
+	return p.next.Import(path)
+}
+
 // listedPackage is the subset of `go list -json` output the loader needs.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	GoFiles    []string
-	Standard   bool
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	Standard     bool
+	Error        *struct{ Err string }
 }
 
 // Load lists the patterns with the go tool and type-checks every matched
 // package (non-test files only, mirroring `go vet`'s default unit). dir is
 // the directory the patterns are resolved in, typically the module root.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	return LoadTests(dir, false, patterns...)
+}
+
+// LoadTests is Load with control over the compilation unit: with tests set,
+// in-package _test.go files are type-checked into their package (the go
+// test unit) and external test packages (package foo_test) are loaded as
+// their own packages with PkgPath "<importpath>_test". Most of the repo's
+// concurrency machinery is exercised — and often *declared* — in test
+// files, so an analysis run that skips them misses exactly the goroutine
+// and locking shapes the concurrency analyzers exist for.
+func LoadTests(dir string, tests bool, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -116,27 +149,112 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := newImporter(dir, fset)
+	base := newImporter(dir, fset)
+	// Without tests every package resolves its imports through export data —
+	// the gc importer's package cache keeps identities consistent. With
+	// tests, the test-augmented units are not in the build cache, so the
+	// loader mirrors `go test`'s model instead: listed packages are checked
+	// in dependency order and every checked result is preloaded, so an
+	// in-module import always resolves to the source-checked (augmented)
+	// view and export data is only consulted for packages outside the load
+	// (stdlib), which can never reference back into the module. This keeps
+	// one identity per dependency: mixing a source-checked view with an
+	// export-data twin inside one type-check is a type error.
+	imp := types.Importer(base)
+	var preloaded map[string]*types.Package
+	if tests {
+		listed = listDependencyOrder(listed)
+		preloaded = make(map[string]*types.Package)
+		imp = &preloadImporter{preloaded: preloaded, next: base}
+	}
 	var pkgs []*Package
 	for _, lp := range listed {
-		if lp.Standard || len(lp.GoFiles) == 0 {
+		if lp.Standard {
 			continue
 		}
 		if lp.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		files := make([]string, len(lp.GoFiles))
-		for i, f := range lp.GoFiles {
-			files[i] = filepath.Join(lp.Dir, f)
+		srcs := lp.GoFiles
+		if tests {
+			srcs = append(append([]string(nil), lp.GoFiles...), lp.TestGoFiles...)
 		}
-		pkg, err := check(lp.ImportPath, lp.Dir, fset, imp, files)
-		if err != nil {
-			return nil, err
+		if len(srcs) > 0 {
+			files := make([]string, len(srcs))
+			for i, f := range srcs {
+				files[i] = filepath.Join(lp.Dir, f)
+			}
+			pkg, err := check(lp.ImportPath, lp.Dir, fset, imp, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+			if preloaded != nil {
+				preloaded[lp.ImportPath] = pkg.Types
+			}
 		}
-		pkgs = append(pkgs, pkg)
+	}
+	// External test packages go in a second pass, once every base package
+	// has been checked and preloaded: an xtest may import any other listed
+	// package (test helpers like runlog/faultfs), and mixing a preloaded
+	// view of its own package with an export-data view of a helper that
+	// itself references that package would split the type identities.
+	if tests {
+		for _, lp := range listed {
+			if lp.Standard || len(lp.XTestGoFiles) == 0 {
+				continue
+			}
+			files := make([]string, len(lp.XTestGoFiles))
+			for i, f := range lp.XTestGoFiles {
+				files[i] = filepath.Join(lp.Dir, f)
+			}
+			pkg, err := check(lp.ImportPath+"_test", lp.Dir, fset, imp, files)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
 	return pkgs, nil
+}
+
+// listDependencyOrder sorts the listed packages so that imports come before
+// importers, considering both regular and in-package-test imports (the test
+// unit of a package is checked together with it). Only edges within the
+// listed set matter — everything else resolves through export data. Cycles
+// through test imports (A's tests import B, B's tests import A — legal,
+// since the non-test units stay acyclic) are broken by the stable input
+// order; the preload importer then falls back to export data for the
+// not-yet-checked member, which is the regular unit the go tool would use
+// there anyway.
+func listDependencyOrder(listed []listedPackage) []listedPackage {
+	index := make(map[string]int, len(listed))
+	for i, lp := range listed {
+		index[lp.ImportPath] = i
+	}
+	ordered := make([]listedPackage, 0, len(listed))
+	state := make([]int, len(listed)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != 0 {
+			return
+		}
+		state[i] = 1
+		for _, deps := range [][]string{listed[i].Imports, listed[i].TestImports} {
+			for _, dep := range deps {
+				if j, ok := index[dep]; ok && state[j] == 0 {
+					visit(j)
+				}
+			}
+		}
+		state[i] = 2
+		ordered = append(ordered, listed[i])
+	}
+	for i := range listed {
+		visit(i)
+	}
+	return ordered
 }
 
 // LoadFiles parses and type-checks an explicit file list as one package —

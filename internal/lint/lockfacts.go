@@ -1,0 +1,454 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the lock-order fact layer of the v3 concurrency engine: for
+// every declared function it computes, interprocedurally over the suite's
+// call graph, (a) the set of locks the function may acquire — directly or
+// through any callee — and (b) the ordered acquisition pairs it generates:
+// "lock b is acquired while lock a is held". The per-function acquire sets
+// are exported as LockSetFact on the *types.Func (the same fact mechanism
+// maporder's summaries use), so the layer's knowledge crosses package
+// boundaries through export-data object views; the pairs feed the lockorder
+// analyzer's global mutex-acquisition graph.
+//
+// Lock identity is a canonical string key, not a pointer: struct fields and
+// package-level variables use objKey (so the defining package's view and
+// every importer's export-data view of `Client.mu` unify on one node), and
+// function-local mutexes are keyed under their owning function (a local
+// lock cannot participate in a cross-function cycle under a different
+// name, and scoping the key stops two unrelated locals called `mu` from
+// fabricating one).
+//
+// The walk is deliberately an over-approximation in the direction that
+// suits a deadlock linter: branches both taken, loops run once, held sets
+// merged by union. A may-hold that never happens can at worst report a
+// cycle that careful runtime ordering avoids — worth a justified ignore —
+// while an under-approximation would silently miss real deadlocks.
+
+// LockSetFact is the exported per-function summary: the canonical keys of
+// every lock the function may acquire, directly or transitively. Sorted,
+// so fact equality is content equality.
+type LockSetFact struct {
+	Acquires []string
+}
+
+// AFact marks LockSetFact as a fact type.
+func (*LockSetFact) AFact() {}
+
+// lockPair is one edge of the acquisition-order graph: while `held` was
+// held, `acquired` was acquired at pos (in pkg). via distinguishes a direct
+// Lock call from an acquisition inside a callee, for the diagnostic text.
+type lockPair struct {
+	held     string
+	acquired string
+	pos      token.Pos
+	pkg      *Package
+	via      string // callee FullName for indirect acquisitions, "" for direct
+}
+
+// lockInfo is the whole-suite result the lockorder analyzer consumes.
+type lockInfo struct {
+	// pairs is every acquisition-order edge observed anywhere in the suite,
+	// in deterministic order.
+	pairs []lockPair
+	// acquires maps function key -> set of lock keys (transitive).
+	acquires map[string]map[string]bool
+	// names maps a lock key to a short printable name ("Client.mu").
+	names map[string]string
+}
+
+// lockFacts computes (once per suite) the lock fact layer. pass is only
+// used to export facts and reach the suite.
+func lockFacts(pass *Pass) *lockInfo {
+	return pass.Suite.Memo("lockfacts", func() any {
+		return buildLockInfo(pass)
+	}).(*lockInfo)
+}
+
+func buildLockInfo(pass *Pass) *lockInfo {
+	suite := pass.Suite
+	cg := suite.CallGraph()
+	info := &lockInfo{
+		acquires: make(map[string]map[string]bool),
+		names:    make(map[string]string),
+	}
+
+	// Local summaries first: direct acquisitions and held-at-call records
+	// per function (and per goroutine literal, which contributes pairs as an
+	// anonymous scope but no summary — its body runs on nobody's stack).
+	type callUnder struct {
+		callee *types.Func
+		held   []string
+		pos    token.Pos
+		pkg    *Package
+	}
+	direct := make(map[string]map[string]bool) // fn key -> directly acquired keys
+	calls := make(map[string][]callUnder)      // fn key -> calls with held sets
+	var anonCalls []callUnder                  // calls inside go/defer literals
+
+	for _, fn := range cg.Funcs() {
+		pkg, decl := cg.Decl(fn)
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		key := objKey(fn)
+		direct[key] = make(map[string]bool)
+		w := &lockWalker{
+			pkg:     pkg,
+			info:    info,
+			fnKey:   key,
+			acquire: func(lock string) { direct[key][lock] = true },
+			call: func(callee *types.Func, held []string, pos token.Pos) {
+				calls[key] = append(calls[key], callUnder{callee, held, pos, pkg})
+			},
+		}
+		w.anonCall = func(callee *types.Func, held []string, pos token.Pos) {
+			anonCalls = append(anonCalls, callUnder{callee, held, pos, pkg})
+		}
+		w.walkBody(decl.Body)
+	}
+
+	// Transitive acquire sets to fixpoint over the call graph: a function
+	// acquires what it locks plus what its callees acquire. The worklist is
+	// seeded with every function and re-queues callers on change.
+	keys := make([]string, 0, len(direct))
+	for k := range direct {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		set := make(map[string]bool, len(direct[k]))
+		for l := range direct[k] {
+			set[l] = true
+		}
+		info.acquires[k] = set
+	}
+	work := append([]string(nil), keys...)
+	queued := make(map[string]bool, len(keys))
+	for len(work) > 0 {
+		k := work[0]
+		work = work[1:]
+		queued[k] = false
+		changed := false
+		for _, cu := range calls[k] {
+			for l := range info.acquires[objKey(cu.callee)] {
+				if !info.acquires[k][l] {
+					info.acquires[k][l] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			continue
+		}
+		s := cg.decls[k]
+		if s.obj == nil {
+			continue
+		}
+		for _, caller := range cg.Callers(s.obj) {
+			ck := objKey(caller)
+			if _, tracked := info.acquires[ck]; tracked && !queued[ck] {
+				queued[ck] = true
+				work = append(work, ck)
+			}
+		}
+	}
+
+	// Indirect pairs: a call made with locks held pairs each held lock with
+	// everything the callee (transitively) acquires.
+	emit := func(cu callUnder) {
+		ck := objKey(cu.callee)
+		targets := make([]string, 0, len(info.acquires[ck]))
+		for l := range info.acquires[ck] {
+			targets = append(targets, l)
+		}
+		sort.Strings(targets)
+		for _, held := range cu.held {
+			for _, acq := range targets {
+				if held == acq {
+					continue // self-order (recursive acquire) is lockbalance's beat
+				}
+				info.pairs = append(info.pairs, lockPair{
+					held: held, acquired: acq, pos: cu.pos, pkg: cu.pkg,
+					via: cu.callee.FullName(),
+				})
+			}
+		}
+	}
+	for _, k := range keys {
+		for _, cu := range calls[k] {
+			emit(cu)
+		}
+	}
+	for _, cu := range anonCalls {
+		emit(cu)
+	}
+
+	// Export the per-function summaries as facts so downstream packages —
+	// and the engine tests — can import them through export-data views.
+	for _, k := range keys {
+		s := cg.decls[k]
+		if s.obj == nil {
+			continue
+		}
+		set := info.acquires[k]
+		if len(set) == 0 {
+			continue
+		}
+		sorted := make([]string, 0, len(set))
+		for l := range set {
+			sorted = append(sorted, l)
+		}
+		sort.Strings(sorted)
+		pass.ExportObjectFact(s.obj, &LockSetFact{Acquires: sorted})
+	}
+
+	sort.Slice(info.pairs, func(i, j int) bool {
+		a, b := info.pairs[i], info.pairs[j]
+		if a.held != b.held {
+			return a.held < b.held
+		}
+		if a.acquired != b.acquired {
+			return a.acquired < b.acquired
+		}
+		return a.pos < b.pos
+	})
+	return info
+}
+
+// lockWalker walks one function body in source order, maintaining the held
+// set. Function literals under go/defer are walked as fresh scopes (their
+// body runs on another stack or at exit); immediately-invoked and assigned
+// literals are walked inline with the current held set — a closure called
+// while a lock is held acquires on the caller's stack.
+type lockWalker struct {
+	pkg      *Package
+	info     *lockInfo
+	fnKey    string
+	held     []string
+	acquire  func(lock string)
+	call     func(callee *types.Func, held []string, pos token.Pos)
+	anonCall func(callee *types.Func, held []string, pos token.Pos)
+}
+
+// lockKey canonicalises the receiver expression of a Lock/Unlock call.
+// Fields and package-level vars key by object (cross-package identity);
+// locals key under the owning function.
+func (w *lockWalker) lockKey(recv ast.Expr, read bool) string {
+	var key string
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		if f := selectedField(w.pkg.Info, e); f != nil {
+			key = objKey(f)
+		} else if v, ok := w.pkg.Info.Uses[e.Sel].(*types.Var); ok && v.Pkg() != nil {
+			key = objKey(v) // pkg.Var qualified reference
+		}
+	case *ast.Ident:
+		if v, ok := w.pkg.Info.Uses[e].(*types.Var); ok {
+			if v.IsField() || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+				key = objKey(v)
+			}
+		}
+	}
+	if key == "" {
+		key = w.fnKey + "/" + types.ExprString(recv)
+	}
+	if read {
+		key = "R:" + key
+	}
+	if _, ok := w.info.names[key]; !ok {
+		name := types.ExprString(recv)
+		if read {
+			name += " (RLock)"
+		}
+		w.info.names[key] = name
+	}
+	return key
+}
+
+// lockCallOf classifies e as a Lock/Unlock-family call on a sync.Mutex or
+// sync.RWMutex.
+func (w *lockWalker) lockCallOf(e ast.Expr) (key string, acquire, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var read bool
+	switch sel.Sel.Name {
+	case "Lock", "Unlock":
+	case "RLock", "RUnlock":
+		read = true
+	default:
+		return "", false, false
+	}
+	tv, has := w.pkg.Info.Types[sel.X]
+	if !has {
+		return "", false, false
+	}
+	if !isNamed(tv.Type, "sync", "Mutex") && !isNamed(tv.Type, "sync", "RWMutex") {
+		return "", false, false
+	}
+	return w.lockKey(sel.X, read), sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock", true
+}
+
+func (w *lockWalker) push(key string, pos token.Pos) {
+	// Record the order edge against every currently-held lock, then hold it.
+	for _, h := range w.held {
+		if h != key {
+			w.info.pairs = append(w.info.pairs, lockPair{
+				held: h, acquired: key, pos: pos, pkg: w.pkg,
+			})
+		}
+	}
+	w.acquireKey(key)
+	w.held = append(w.held, key)
+}
+
+func (w *lockWalker) acquireKey(key string) {
+	if w.acquire != nil {
+		w.acquire(key)
+	}
+}
+
+func (w *lockWalker) release(key string) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i] == key {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+// walkBody drives the source-order traversal of one scope.
+func (w *lockWalker) walkBody(body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	w.walkNode(body)
+}
+
+func (w *lockWalker) walkNode(n ast.Node) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		if key, acquire, ok := w.lockCallOf(n.X); ok {
+			if acquire {
+				w.push(key, n.Pos())
+			} else {
+				w.release(key)
+			}
+			return
+		}
+		w.walkExpr(n.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps mu held to scope end (that is the point),
+		// so the key stays in the held set; other deferred calls — including
+		// literals — run after this scope's locks are notionally released,
+		// so they are walked with no holds.
+		if _, acquire, ok := w.lockCallOf(n.Call); ok && !acquire {
+			return
+		}
+		w.walkDetached(n.Call)
+	case *ast.GoStmt:
+		// The spawned body runs on its own stack with nothing held.
+		w.walkDetached(n.Call)
+	case *ast.FuncLit:
+		// A literal not under go/defer: its body may run here, on this
+		// stack, with the current holds (worst case). Walk it inline.
+		w.walkNode(n.Body)
+	default:
+		// Statements and expressions with sub-structure: walk children in
+		// source order. Calls are intercepted by walkExpr.
+		switch e := n.(type) {
+		case ast.Expr:
+			w.walkExpr(e)
+			return
+		}
+		var children []ast.Node
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				children = append(children, c)
+			}
+			return false
+		})
+		for _, c := range children {
+			w.walkNode(c)
+		}
+	}
+}
+
+// walkExpr walks an expression, recording call sites with the current held
+// set and descending into immediately-walked literals.
+func (w *lockWalker) walkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkNode(n.Body)
+			return false
+		case *ast.CallExpr:
+			if key, acquire, ok := w.lockCallOf(n); ok {
+				if acquire {
+					w.push(key, n.Pos())
+				} else {
+					w.release(key)
+				}
+				return false
+			}
+			if callee := calleeOf(w.pkg.Info, n); callee != nil && len(w.held) > 0 {
+				if w.call != nil {
+					w.call(callee, append([]string(nil), w.held...), n.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// walkDetached analyzes a call that runs on another stack (go statement,
+// non-unlock defer): literals are walked with an empty held set so their
+// internal acquisition orders still register; named callees need no record
+// here — their own bodies are walked as functions in their own right, and
+// they start with no caller-held locks.
+func (w *lockWalker) walkDetached(call *ast.CallExpr) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		d := &lockWalker{
+			pkg:   w.pkg,
+			info:  w.info,
+			fnKey: w.fnKey,
+			call:  w.anonOrCall(),
+		}
+		d.anonCall = d.call
+		d.walkBody(lit.Body)
+	}
+	// Arguments are evaluated on this stack, with the current holds.
+	for _, arg := range call.Args {
+		w.walkExpr(arg)
+	}
+}
+
+// anonOrCall routes held-at-call records of detached scopes to the
+// anonymous sink (they have no function summary of their own).
+func (w *lockWalker) anonOrCall() func(*types.Func, []string, token.Pos) {
+	if w.anonCall != nil {
+		return w.anonCall
+	}
+	return w.call
+}

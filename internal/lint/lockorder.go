@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// LockOrder reports cycles in the global mutex-acquisition graph — the
+// classic two-lock deadlock, generalised: if one code path acquires B while
+// holding A and another acquires A while holding B (directly or through any
+// chain of calls, in any pair of packages), two goroutines interleaving
+// those paths block each other forever. The cluster runtime is exactly the
+// code shape that breeds this: the client's batch mutex, the health
+// registry's mutex and the telemetry engine's cells are touched from
+// dispatch goroutines, the hedging monitor and reconnect callbacks, so a
+// locally-reasonable `registry.mu inside client.mu` in one file and the
+// reverse in another is invisible to any per-function check.
+//
+// The analyzer runs on the lock-order fact layer (lockfacts.go): per
+// function, the set of locks transitively acquired is computed over the
+// suite call graph and exported as LockSetFact; every acquisition made
+// while another lock is held contributes an ordered edge. A cycle in the
+// edge graph is reported once, at the lexicographically-first edge that
+// closes it, with the full cycle spelled out. Read locks participate as
+// their own nodes: an RLock ordering against a write Lock can deadlock just
+// as hard (RWMutex write acquisition blocks new readers).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "mutex acquisition order must be acyclic across the whole module " +
+		"(a cycle means two goroutines can deadlock)",
+	Run: runLockOrder,
+}
+
+// lockCycle is one reported cycle: the representative edge (where the
+// diagnostic lands) plus the printable path.
+type lockCycle struct {
+	pkg  *Package
+	pair lockPair
+	path string // "A → B → A" with positions
+}
+
+func runLockOrder(pass *Pass) error {
+	info := lockFacts(pass)
+	cycles := pass.Suite.Memo("lockorder.cycles", func() any {
+		return findLockCycles(info)
+	}).([]lockCycle)
+	for _, c := range cycles {
+		if c.pkg != pass.Pkg {
+			continue // reported while analysing the owning package
+		}
+		via := ""
+		if c.pair.via != "" {
+			via = " (acquired inside " + c.pair.via + ")"
+		}
+		pass.Reportf(c.pair.pos,
+			"lock-order cycle: %s is acquired while %s is held%s, but the reverse order also exists: %s — concurrent callers can deadlock; pick one global order",
+			info.name(c.pair.acquired), info.name(c.pair.held), via, c.path)
+	}
+	return nil
+}
+
+// findLockCycles builds the acquisition graph from the fact layer's pairs
+// and returns one representative diagnostic per elementary cycle family:
+// for every strongly-connected component with at least one internal edge,
+// the smallest edge (by held/acquired key, then position) is chosen and the
+// shortest cycle through it is rendered.
+func findLockCycles(info *lockInfo) []lockCycle {
+	// Adjacency with one representative pair per edge (the first in the
+	// already-sorted pair list — deterministic).
+	type edge struct {
+		to   string
+		pair lockPair
+	}
+	adj := make(map[string][]edge)
+	plain := make(map[string][]string)
+	seen := make(map[[2]string]bool)
+	for _, p := range info.pairs {
+		k := [2]string{p.held, p.acquired}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		adj[p.held] = append(adj[p.held], edge{p.acquired, p})
+		plain[p.held] = append(plain[p.held], p.acquired)
+	}
+	for n, es := range adj {
+		sort.Slice(es, func(i, j int) bool { return es[i].to < es[j].to })
+		sort.Strings(plain[n])
+	}
+
+	// Tarjan SCC over the lock nodes.
+	nodes := make([]string, 0, len(adj))
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, ncomp := 0, 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range adj[v] {
+			w := e.to
+			if _, visited := index[w]; !visited {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = ncomp
+				if w == v {
+					break
+				}
+			}
+			ncomp++
+		}
+	}
+	for _, n := range nodes {
+		if _, visited := index[n]; !visited {
+			strong(n)
+		}
+	}
+
+	// A component deadlocks when it contains an edge between two of its own
+	// nodes with distinct endpoints (self-loops were filtered at record
+	// time). Report once per component, at its smallest internal edge.
+	byComp := make(map[int][]edge)
+	for _, n := range nodes {
+		for _, e := range adj[n] {
+			if ec, ok := comp[e.to]; ok && ec == comp[n] && e.to != n {
+				byComp[comp[n]] = append(byComp[comp[n]], e)
+			}
+		}
+	}
+	var cycles []lockCycle
+	for _, edges := range byComp {
+		sort.Slice(edges, func(i, j int) bool {
+			a, b := edges[i].pair, edges[j].pair
+			if a.held != b.held {
+				return a.held < b.held
+			}
+			if a.acquired != b.acquired {
+				return a.acquired < b.acquired
+			}
+			return a.pos < b.pos
+		})
+		rep := edges[0].pair
+		cycles = append(cycles, lockCycle{
+			pkg:  rep.pkg,
+			pair: rep,
+			path: renderCycle(info, plain, rep),
+		})
+	}
+	sort.Slice(cycles, func(i, j int) bool {
+		a, b := cycles[i].pair, cycles[j].pair
+		if a.held != b.held {
+			return a.held < b.held
+		}
+		return a.acquired < b.acquired
+	})
+	return cycles
+}
+
+// renderCycle renders the shortest cycle through rep's edge as
+// "A → B → … → A", with the closing position.
+func renderCycle(info *lockInfo, adj map[string][]string, rep lockPair) string {
+	// BFS from rep.acquired back to rep.held closes the loop.
+	type hop struct {
+		node string
+		prev int
+	}
+	hops := []hop{{rep.acquired, -1}}
+	visited := map[string]bool{rep.acquired: true}
+	found := -1
+	for i := 0; i < len(hops) && found < 0; i++ {
+		for _, nxt := range adj[hops[i].node] {
+			if nxt == rep.held {
+				hops = append(hops, hop{nxt, i})
+				found = len(hops) - 1
+				break
+			}
+			if !visited[nxt] {
+				visited[nxt] = true
+				hops = append(hops, hop{nxt, i})
+			}
+		}
+	}
+	var names []string
+	if found >= 0 {
+		for i := found; i >= 0; i = hops[i].prev {
+			names = append(names, info.name(hops[i].node))
+		}
+		// names is acquired…held reversed; prepend held to close the loop.
+		for l, r := 0, len(names)-1; l < r; l, r = l+1, r-1 {
+			names[l], names[r] = names[r], names[l]
+		}
+	} else {
+		names = []string{info.name(rep.acquired), info.name(rep.held)}
+	}
+	names = append(names, names[0])
+	return strings.Join(names, " → ")
+}
+
+// name returns the printable form of a lock key.
+func (info *lockInfo) name(key string) string {
+	if n, ok := info.names[key]; ok {
+		return n
+	}
+	return key
+}

@@ -9,7 +9,7 @@ import (
 // Suite is the whole-run view the v2 engine gives every analyzer: all
 // loaded packages (in dependency order), the shared fact store, the lazily
 // built call graph, and a scratch memo for analyses that need one
-// whole-suite pass before per-package reporting (atomicfield). A Suite is
+// whole-suite pass before per-package reporting (casloop's atomic-field scan). A Suite is
 // built once per RunAnalyzers call and shared by every Pass of that run.
 type Suite struct {
 	// Pkgs holds the loaded packages in dependency order: a package appears

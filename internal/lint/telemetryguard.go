@@ -80,11 +80,13 @@ type tgWalker struct {
 // telemetryPtr reports whether t is *telemetry.Engine or
 // *telemetry.BlockInstr, returning the bare type name.
 func telemetryPtr(t types.Type) (string, bool) {
-	ptr, ok := t.(*types.Pointer)
+	ptr, ok := types.Unalias(t).(*types.Pointer)
 	if !ok {
 		return "", false
 	}
-	named, ok := ptr.Elem().(*types.Named)
+	// Unalias again below the pointer: mce.TelemetryEngine is an alias of
+	// telemetry.Engine, and *TelemetryEngine must guard like *Engine.
+	named, ok := types.Unalias(ptr.Elem()).(*types.Named)
 	if !ok {
 		return "", false
 	}
@@ -161,9 +163,16 @@ func (w *tgWalker) nonNil(e ast.Expr, g map[string]bool) bool {
 				return b.Name() == "new"
 			}
 		}
-		if fn := calleeOf(w.info, e); fn != nil && fn.Pkg() != nil &&
-			fn.Pkg().Path() == telemetryPath && strings.HasPrefix(fn.Name(), "New") {
-			return true
+		// A New*-named constructor counts wherever it is declared: the
+		// telemetry package's own NewEngine, but also module-local wrappers
+		// like mce.NewTelemetryEngine. By Go convention a New* function
+		// returning a handle pointer yields a usable value, never nil.
+		if fn := calleeOf(w.info, e); fn != nil && strings.HasPrefix(fn.Name(), "New") {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() == 1 {
+				if _, ok := telemetryPtr(sig.Results().At(0).Type()); ok {
+					return true
+				}
+			}
 		}
 	case *ast.Ident, *ast.SelectorExpr:
 		if key, ok := w.chainKey(e); ok {

@@ -1,0 +1,43 @@
+package fixture
+
+import "sync/atomic"
+
+// gauge re-loads the expected value every lap: the canonical CAS retry
+// loop.
+type gauge struct {
+	n int64
+}
+
+func (g *gauge) Add(delta int64) int64 {
+	for {
+		old := atomic.LoadInt64(&g.n)
+		if atomic.CompareAndSwapInt64(&g.n, old, old+delta) {
+			return old + delta
+		}
+	}
+}
+
+// onceFlag CASes from a constant: the expected value cannot go stale, so
+// looping on the same 0 is the correct latch idiom (resguard's breaker
+// does exactly this).
+type onceFlag struct {
+	armed int32
+}
+
+func (f *onceFlag) TryArm() bool {
+	return atomic.CompareAndSwapInt32(&f.armed, 0, 1)
+}
+
+// typedCounter uses the method form with a per-iteration re-load.
+type typedCounter struct {
+	v atomic.Int64
+}
+
+func (c *typedCounter) Bump() {
+	for {
+		old := c.v.Load()
+		if c.v.CompareAndSwap(old, old+1) {
+			return
+		}
+	}
+}

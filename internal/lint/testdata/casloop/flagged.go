@@ -1,0 +1,52 @@
+package fixture
+
+import "sync/atomic"
+
+// latch drops the CAS result on the floor: on contention the swap fails
+// silently and the caller proceeds as if it had won.
+type latch struct {
+	state int64
+}
+
+func (l *latch) Arm() {
+	atomic.CompareAndSwapInt64(&l.state, 0, 1) // want `result of atomic\.CompareAndSwapInt64 is discarded`
+}
+
+func (l *latch) ArmBlank() {
+	_ = atomic.CompareAndSwapInt64(&l.state, 0, 1) // want `result of atomic\.CompareAndSwapInt64 is discarded`
+}
+
+// stale loads the expected value once, outside the loop: the first lost
+// race makes every retry present the same stale snapshot, and the loop
+// spins forever.
+type counter struct {
+	n int64
+}
+
+func (c *counter) AddStale(delta int64) {
+	old := atomic.LoadInt64(&c.n)
+	for {
+		if atomic.CompareAndSwapInt64(&c.n, old, old+delta) { // want `CAS retry loop never re-loads expected value old`
+			return
+		}
+	}
+}
+
+// mixed is the absorbed atomicfield rule: highWater is CAS-updated above,
+// so the plain read races every concurrent update.
+type mixed struct {
+	highWater int64
+}
+
+func (m *mixed) Raise(v int64) {
+	for {
+		cur := atomic.LoadInt64(&m.highWater)
+		if v <= cur || atomic.CompareAndSwapInt64(&m.highWater, cur, v) {
+			return
+		}
+	}
+}
+
+func (m *mixed) Peek() int64 {
+	return m.highWater // want `plain read of field mixed\.highWater`
+}

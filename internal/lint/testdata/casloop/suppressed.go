@@ -1,0 +1,29 @@
+package fixture
+
+import "sync/atomic"
+
+// seqCounter is written atomically while workers run; the one plain read
+// below happens after the writers have joined.
+type seqCounter struct {
+	epoch int64
+}
+
+func (s *seqCounter) bump() {
+	atomic.AddInt64(&s.epoch, 1)
+}
+
+func (s *seqCounter) finalEpoch() int64 {
+	//lint:ignore casloop read runs after every worker goroutine has joined, so no concurrent atomic update remains
+	return s.epoch
+}
+
+// bestEffortLatch arms a one-shot flag where losing the race is fine: the
+// winner did the same work, so the result genuinely does not matter.
+type bestEffortLatch struct {
+	armed int32
+}
+
+func (l *bestEffortLatch) arm() {
+	//lint:ignore casloop losing the arm race is fine: the winner set the same value, so the outcome is identical
+	atomic.CompareAndSwapInt32(&l.armed, 0, 1)
+}

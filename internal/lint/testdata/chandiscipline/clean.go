@@ -1,0 +1,60 @@
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// Producer sends everything, then closes: the canonical sender-side close.
+func Producer(vals []int) <-chan int {
+	out := make(chan int, len(vals))
+	for _, v := range vals {
+		out <- v
+	}
+	close(out)
+	return out
+}
+
+// CloseOnAbort closes only on the early-return branch; the send on the
+// sibling path never follows the close at runtime.
+func CloseOnAbort(ch chan int, abort bool) {
+	if abort {
+		close(ch)
+		return
+	}
+	ch <- 1
+}
+
+// Controller closes a done channel it never sends on: done-style channels
+// (element struct{}) are the close-is-the-send idiom, exempt by design.
+func Controller(done chan struct{}) {
+	<-done // wait for the previous generation to finish
+	close(done)
+}
+
+// PollCtx waits on the clock but consults ctx every lap: the gate loop
+// shape done right (this is what internal/cluster's dispatch runner does
+// with its done channel).
+func PollCtx(ctx context.Context, ready func() bool) bool {
+	for {
+		if ready() {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// PollNoSignal has nothing to consult — no ctx, no done channel in scope —
+// so the livelock rule stays quiet: there is nothing to observe.
+func PollNoSignal(ready func() bool) {
+	for {
+		if ready() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,31 @@
+package fixture
+
+// FlushAndNotify closes the results channel and then sends on it: the send
+// is a guaranteed panic, in one straight-line body.
+func FlushAndNotify(results chan int, vals []int) {
+	for _, v := range vals {
+		results <- v
+	}
+	close(results)
+	results <- 0 // want `send on results after close`
+}
+
+// CloseInBranchThenSend closes inside a nested block whose statements keep
+// running: the later send in the same block still panics.
+func CloseInBranchThenSend(ch chan string, shutdown bool) {
+	if shutdown {
+		close(ch)
+		ch <- "bye" // want `send on ch after close`
+	}
+}
+
+// Consume is a receiver closing the channel it drains: the producer's next
+// send panics. Close belongs on the sender side.
+func Consume(feed chan int) int {
+	total := 0
+	for i := 0; i < 3; i++ {
+		total += <-feed
+	}
+	close(feed) // want `close\(feed\) on the receiver side`
+	return total
+}

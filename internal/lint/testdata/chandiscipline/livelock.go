@@ -1,0 +1,56 @@
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// quarantineGate models internal/cluster's health gate: it returns how long
+// the caller must wait before dispatching to a quarantined worker, and
+// whether the window should be re-evaluated after sleeping.
+func quarantineGate() (time.Duration, bool) {
+	return time.Millisecond, true
+}
+
+// RecheckLoop is the PR 7 quarantine-recheck livelock, preserved as a
+// regression fixture: the penalty window is re-evaluated after every sleep,
+// and because the gate keeps extending the window the loop never falls
+// through — and nothing in it can observe ctx being cancelled, so shutdown
+// hangs the dispatcher forever. The shipped fix made the penalty path
+// return recheck=false; this analyzer makes the broken variant impossible
+// to reintroduce.
+func RecheckLoop(ctx context.Context, dispatch func()) {
+	for { // want `unconditioned retry loop waits on the clock but never consults in-scope ctx`
+		wait, recheck := quarantineGate()
+		if wait <= 0 {
+			break
+		}
+		time.Sleep(wait)
+		if !recheck {
+			break
+		}
+	}
+	dispatch()
+}
+
+// RecheckLoopFixed is the same gate loop with the cancellation observed:
+// the sleep is a select against ctx.Done, so shutdown interrupts the wait.
+func RecheckLoopFixed(ctx context.Context, dispatch func()) {
+	for {
+		wait, recheck := quarantineGate()
+		if wait <= 0 {
+			break
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if !recheck {
+			break
+		}
+	}
+	dispatch()
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+// WarmCache polls a startup condition on the clock while a ctx is in scope
+// but deliberately unconsulted: the loop is bounded by the attempts counter
+// cap, so it always terminates — the justification carries that argument.
+func WarmCache(ctx context.Context, ready func() bool) {
+	attempts := 0
+	//lint:ignore chandiscipline the attempts cap bounds this loop to ten laps, so it terminates without observing ctx
+	for {
+		if ready() || attempts > 10 {
+			return
+		}
+		attempts++
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,71 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+// ServeCtx selects on ctx.Done alongside the pump: cancellable, clean.
+func ServeCtx(ctx context.Context, out chan int) {
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case out <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// drainUntil blocks on work but carries its own lifecycle path: the done
+// channel receive. Spawning it (directly or wrapped) is clean because the
+// summary says cancels=true.
+func drainUntil(work chan int, done chan struct{}) {
+	for {
+		select {
+		case <-work:
+		case <-done:
+			return
+		}
+	}
+}
+
+// SpawnDrain launches the cancellable helper by name.
+func SpawnDrain(work chan int, done chan struct{}) {
+	go drainUntil(work, done)
+}
+
+// SpawnDrainWrapped launches it through a literal.
+func SpawnDrainWrapped(work chan int, done chan struct{}) {
+	go func() {
+		drainUntil(work, done)
+	}()
+}
+
+// Joined goroutines balance a WaitGroup: their lifetime is bounded by the
+// Wait below, so the channel pump is accounted for.
+func Joined(items []int) []int {
+	out := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, it := range items {
+			out <- it
+		}
+	}()
+	var res []int
+	for range items {
+		res = append(res, <-out)
+	}
+	wg.Wait()
+	return res
+}
+
+// Compute never touches a channel: pure computation needs no lifecycle.
+func Compute(n *int) {
+	go func() {
+		*n = 42
+	}()
+}

@@ -1,0 +1,40 @@
+package fixture
+
+// Produce pumps results into a captured channel with no way to stop: if
+// the consumer returns early, the goroutine blocks on the send forever.
+func Produce(items []int) <-chan int {
+	out := make(chan int)
+	go func() { // want `goroutine blocks on captured channel out`
+		for _, it := range items {
+			out <- it
+		}
+		close(out)
+	}()
+	return out
+}
+
+// pump blocks on its channel argument with no lifecycle path of its own —
+// it is the helper the interprocedural check must see through.
+func pump(ch chan int) {
+	for {
+		ch <- 1
+	}
+}
+
+// SpawnPump hands the blocking body to a named function: the old syntactic
+// check saw a clean literal here; the call-graph summary says otherwise.
+func SpawnPump() {
+	ch := make(chan int)
+	go pump(ch) // want `goroutine runs fixture\.pump, which blocks on channels with no reachable cancellation path`
+	<-ch
+}
+
+// SpawnWrapped wraps the same helper in a literal: the block is one call
+// deep inside the literal body.
+func SpawnWrapped() {
+	ch := make(chan int)
+	go func() { // want `goroutine blocks on channels inside fixture\.pump`
+		pump(ch)
+	}()
+	<-ch
+}

@@ -1,0 +1,15 @@
+package fixture
+
+// watch blocks forever on its channel by design.
+func watch(sig chan int) {
+	for {
+		<-sig
+	}
+}
+
+// SpawnWatcher pins a process-lifetime goroutine: the justification is the
+// point — it dies with the process, so no cancellation path is needed.
+func SpawnWatcher(sig chan int) {
+	//lint:ignore golifecycle the watcher lives for the whole process by design; it exits when the process does
+	go watch(sig)
+}

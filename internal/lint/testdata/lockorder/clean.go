@@ -1,0 +1,47 @@
+package fixture
+
+import "sync"
+
+// store and index always nest in the same order (store.mu outside
+// index.mu), from every entry point and through helpers — no cycle.
+type index struct {
+	mu sync.RWMutex
+}
+
+type store struct {
+	mu  sync.Mutex
+	idx *index
+}
+
+func (s *store) put() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.mu.Lock()
+	defer s.idx.mu.Unlock()
+}
+
+func (s *store) get() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.mu.RLock()
+	defer s.idx.mu.RUnlock()
+}
+
+// rebuild goes through a helper; the indirect acquisition keeps the same
+// global order.
+func (s *store) rebuild() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx.reindex()
+}
+
+func (i *index) reindex() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+}
+
+// soloLock never holds another lock: no edges at all.
+func (i *index) soloLock() {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+}

@@ -1,0 +1,61 @@
+package fixture
+
+import "sync"
+
+// registry and client model the real shape: two mutexes owned by different
+// structs, locked in opposite orders by different entry points.
+type registry struct {
+	mu sync.Mutex
+}
+
+type client struct {
+	mu  sync.Mutex
+	reg *registry
+}
+
+// dispatch locks client.mu then registry.mu — one order.
+func (c *client) dispatch() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg.mu.Lock() // want `lock-order cycle`
+	defer c.reg.mu.Unlock()
+}
+
+// report locks registry.mu then client.mu — the inverted order. Two
+// goroutines running dispatch and report concurrently deadlock. The
+// diagnostic lands on the lexicographically-smallest edge of the cycle.
+func (r *registry) report(c *client) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c.mu.Lock() // the other half of the cycle; reported once, above
+	defer c.mu.Unlock()
+}
+
+// indirect builds the same edge through a helper: the acquisition is one
+// call deep, so only the interprocedural fact layer sees it.
+type gauge struct {
+	mu sync.Mutex
+}
+
+type meter struct {
+	mu sync.Mutex
+	g  *gauge
+}
+
+func (g *gauge) touch() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+}
+
+func (m *meter) sample() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.g.touch() // the indirect half of the cycle; reported once, below
+}
+
+func (g *gauge) flush(m *meter) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	m.mu.Lock() // want `lock-order cycle`
+	defer m.mu.Unlock()
+}

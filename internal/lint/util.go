@@ -103,3 +103,52 @@ func isChanType(t types.Type) bool {
 	_, ok := types.Unalias(t).Underlying().(*types.Chan)
 	return ok
 }
+
+// selectedField resolves a selector expression to the struct field it
+// selects, or nil for methods, package selectors and qualified identifiers.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}
+
+// ownerName names the struct type declaring field, best effort.
+func ownerName(field *types.Var) string {
+	if field.Pkg() != nil {
+		scope := field.Pkg().Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == field {
+					return tn.Name()
+				}
+			}
+		}
+	}
+	return "struct"
+}
+
+// shortPath trims the path to its last two elements for readable
+// diagnostics.
+func shortPath(p string) string {
+	slash := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return p[i+1:]
+			}
+		}
+	}
+	return p
+}
