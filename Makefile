@@ -3,7 +3,7 @@ GO ?= go
 .PHONY: all build test vet lint fmt race vulncheck fuzz-smoke bench-smoke bench-baseline bench-record check bench chaos chaos-straggler
 
 # The checked-in per-PR benchmark record (bench-record writes BENCH_$(PR).json).
-PR ?= 7
+PR ?= 8
 
 all: check
 
@@ -70,7 +70,7 @@ chaos-straggler:
 # The CI benchmark gate: deterministic workload, machine-normalized timing,
 # ±30% tolerance against the checked-in baseline (cmd/mcebench/smoke.go).
 bench-smoke: build
-	$(GO) run ./cmd/mcebench -smoke -out BENCH_3.json -baseline .github/bench-baseline.json
+	$(GO) run ./cmd/mcebench -smoke -out BENCH_$(PR).json -baseline .github/bench-baseline.json
 
 # Refresh the baseline after an intentional performance change.
 bench-baseline: build

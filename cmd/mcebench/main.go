@@ -62,11 +62,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	baseline := fs.String("baseline", "", "with -smoke: gate against this baseline report JSON")
 	regress := fs.Float64("regress", 0.30, "with -smoke: max allowed normalized-time regression fraction")
 	smokeRuns := fs.Int("smoke-runs", 3, "with -smoke: best-of-N timed runs")
+	parFloor := fs.Float64("par-floor", 1.25, "with -smoke: min dense-block speedup of the intra-block pool (enforced only on 4+ CPU machines)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *smoke {
-		return runSmoke(stdout, stderr, *smokeOut, *baseline, *regress, *smokeRuns)
+		return runSmoke(stdout, stderr, *smokeOut, *baseline, *regress, *smokeRuns, *parFloor)
 	}
 
 	exps := index()

@@ -9,8 +9,10 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"mce/internal/core"
@@ -34,7 +36,25 @@ const (
 	calibTriad = 0.6
 	calibSeed  = 7
 
-	smokeSchema = 1
+	// The dense-block scenario: an Erdős–Rényi graph dense enough that the
+	// whole run is one terminal-core enumeration — the exact shape
+	// intra-block parallelism exists for. It runs twice, sequential and
+	// with a 4-wide work-stealing pool, and gates on two things: the FNV
+	// digests of the two output streams must be bit-identical (determinism
+	// is a hard contract, not a statistic), and on machines with enough
+	// cores the parallel run must actually be faster (-par-floor).
+	denseNodes   = 200
+	denseEdgeP   = 0.5
+	denseSeed    = 2016
+	denseWorkers = 4
+
+	// parFloorMinCPUs is the smallest runtime.NumCPU() at which the speedup
+	// floor is enforced: below it the pool is time-slicing one or two
+	// cores, where a speedup is physically impossible and the digest check
+	// is the only meaningful gate.
+	parFloorMinCPUs = 4
+
+	smokeSchema = 2
 )
 
 // smokeGraph pins the workload identity into the report; a baseline from a
@@ -47,6 +67,26 @@ type smokeGraph struct {
 	Ratio float64 `json:"ratio"`
 }
 
+// parScenario records the dense-block sequential-vs-parallel comparison.
+// Digest and Cliques are machine-independent (the workload is
+// deterministic), so the baseline gates on them exactly; the timing fields
+// are evidence, compared only within this run (Speedup), never across
+// machines.
+type parScenario struct {
+	Nodes         int     `json:"nodes"`
+	EdgeP         float64 `json:"edge_p"`
+	Seed          int64   `json:"seed"`
+	Workers       int     `json:"workers"`
+	Cliques       int     `json:"cliques"`
+	Digest        string  `json:"digest"`
+	SeqBestNs     int64   `json:"seq_best_ns"`
+	ParBestNs     int64   `json:"par_best_ns"`
+	Speedup       float64 `json:"speedup"`
+	NumCPU        int     `json:"num_cpu"`
+	FloorEnforced bool    `json:"floor_enforced"`
+	Floor         float64 `json:"floor"`
+}
+
 type smokeReport struct {
 	Schema     int                `json:"schema"`
 	Graph      smokeGraph         `json:"graph"`
@@ -55,6 +95,7 @@ type smokeReport struct {
 	BestWallNs int64              `json:"best_wall_ns"`
 	CalibNs    int64              `json:"calib_ns"`
 	Normalized float64            `json:"normalized"`
+	Parallel   parScenario        `json:"parallel"`
 	Telemetry  telemetry.Snapshot `json:"telemetry"`
 }
 
@@ -74,13 +115,77 @@ func bestWall(n int, f func() error) (time.Duration, error) {
 	return best, nil
 }
 
-func runSmoke(stdout, stderr io.Writer, outPath, baselinePath string, regress float64, runs int) int {
+// runParScenario runs the dense-block workload sequentially and with the
+// intra-block pool, best-of-N each, digesting both output streams. The
+// digests must agree unconditionally; the error return carries a mismatch.
+func runParScenario(runs int, parFloor float64) (parScenario, error) {
+	g := gen.ErdosRenyi(denseNodes, denseEdgeP, denseSeed)
+	sc := parScenario{
+		Nodes: denseNodes, EdgeP: denseEdgeP, Seed: denseSeed, Workers: denseWorkers,
+		NumCPU: runtime.NumCPU(),
+		Floor:  parFloor,
+	}
+	run := func(opts core.Options) (int, string, time.Duration, error) {
+		cliques, digest := -1, ""
+		wall, err := bestWall(runs, func() error {
+			h := fnv.New64a()
+			n := 0
+			var buf [4]byte
+			res, err := core.FindMaxCliques(g, opts)
+			if err != nil {
+				return err
+			}
+			for _, c := range res.Cliques {
+				for _, v := range c {
+					buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+					h.Write(buf[:])
+				}
+				h.Write([]byte{0xff, 0xff, 0xff, 0xff}) // clique separator
+				n++
+			}
+			d := fmt.Sprintf("%016x", h.Sum64())
+			if cliques >= 0 && (cliques != n || digest != d) {
+				return fmt.Errorf("nondeterministic output across repeats: %d/%s then %d/%s", cliques, digest, n, d)
+			}
+			cliques, digest = n, d
+			return nil
+		})
+		return cliques, digest, wall, err
+	}
+	seqCliques, seqDigest, seqWall, err := run(core.Options{Parallelism: 1})
+	if err != nil {
+		return sc, fmt.Errorf("dense sequential: %w", err)
+	}
+	parCliques, parDigest, parWall, err := run(core.Options{Parallelism: 1, IntraBlockParallelism: denseWorkers})
+	if err != nil {
+		return sc, fmt.Errorf("dense parallel: %w", err)
+	}
+	sc.Cliques, sc.Digest = seqCliques, seqDigest
+	sc.SeqBestNs, sc.ParBestNs = seqWall.Nanoseconds(), parWall.Nanoseconds()
+	sc.Speedup = float64(seqWall) / float64(parWall)
+	sc.FloorEnforced = sc.NumCPU >= parFloorMinCPUs
+	if parDigest != seqDigest || parCliques != seqCliques {
+		return sc, fmt.Errorf("parallel output diverged from sequential: %d cliques/%s vs %d/%s — determinism regression",
+			parCliques, parDigest, seqCliques, seqDigest)
+	}
+	if sc.FloorEnforced && sc.Speedup < parFloor {
+		return sc, fmt.Errorf("parallel speedup %.2fx below floor %.2fx on %d CPUs (seq %v, par %v) — scaling regression",
+			sc.Speedup, parFloor, sc.NumCPU, seqWall.Round(time.Millisecond), parWall.Round(time.Millisecond))
+	}
+	return sc, nil
+}
+
+func runSmoke(stdout, stderr io.Writer, outPath, baselinePath string, regress float64, runs int, parFloor float64) int {
 	if runs < 1 {
 		fmt.Fprintln(stderr, "mcebench: -smoke-runs must be at least 1")
 		return 2
 	}
 	if regress <= 0 {
 		fmt.Fprintln(stderr, "mcebench: -regress must be positive")
+		return 2
+	}
+	if parFloor <= 0 {
+		fmt.Fprintln(stderr, "mcebench: -par-floor must be positive")
 		return 2
 	}
 
@@ -126,6 +231,11 @@ func runSmoke(stdout, stderr io.Writer, outPath, baselinePath string, regress fl
 		return 1
 	}
 
+	// The dense-block parallel scenario gates in-run (digest equality,
+	// speedup floor); its verdict is deferred until after the report is
+	// written so a failing gate still leaves the artifact behind.
+	parSc, parErr := runParScenario(runs, parFloor)
+
 	rep := smokeReport{
 		Schema:     smokeSchema,
 		Graph:      smokeGraph{Nodes: smokeNodes, Deg: smokeDeg, Triad: smokeTriad, Seed: smokeSeed, Ratio: smokeRatio},
@@ -134,10 +244,18 @@ func runSmoke(stdout, stderr io.Writer, outPath, baselinePath string, regress fl
 		BestWallNs: wall.Nanoseconds(),
 		CalibNs:    calib.Nanoseconds(),
 		Normalized: float64(wall) / float64(calib),
+		Parallel:   parSc,
 		Telemetry:  eng.Snapshot(),
 	}
 	fmt.Fprintf(stdout, "smoke: %d cliques, best of %d: %v (calib %v, normalized %.3f)\n",
 		rep.Cliques, rep.Runs, wall.Round(time.Millisecond), calib.Round(time.Millisecond), rep.Normalized)
+	floorNote := "enforced"
+	if !parSc.FloorEnforced {
+		floorNote = fmt.Sprintf("not enforced, %d CPUs < %d", parSc.NumCPU, parFloorMinCPUs)
+	}
+	fmt.Fprintf(stdout, "smoke: dense block %d cliques, seq %v vs %d-worker %v (%.2fx, floor %.2fx %s), digest %s\n",
+		parSc.Cliques, time.Duration(parSc.SeqBestNs).Round(time.Millisecond), parSc.Workers,
+		time.Duration(parSc.ParBestNs).Round(time.Millisecond), parSc.Speedup, parSc.Floor, floorNote, parSc.Digest)
 
 	// The report is written before the gate runs, so CI can always upload
 	// the artifact — a failing gate still leaves evidence behind.
@@ -152,6 +270,11 @@ func runSmoke(stdout, stderr io.Writer, outPath, baselinePath string, regress fl
 			return 1
 		}
 		fmt.Fprintf(stdout, "smoke: report written to %s\n", outPath)
+	}
+
+	if parErr != nil {
+		fmt.Fprintln(stderr, "mcebench: parallel gate:", parErr)
+		return 1
 	}
 
 	if baselinePath != "" {
@@ -187,6 +310,23 @@ func gateAgainstBaseline(stdout io.Writer, rep smokeReport, path string, regress
 	}
 	if base.Normalized <= 0 {
 		return fmt.Errorf("baseline normalized time %.3f is not positive — regenerate the baseline", base.Normalized)
+	}
+	// The parallel scenario's workload identity, clique count and output
+	// digest are machine-independent; its timings are not, so the baseline
+	// never gates on them (the in-run speedup floor does that).
+	if base.Parallel.Nodes != rep.Parallel.Nodes || base.Parallel.EdgeP != rep.Parallel.EdgeP ||
+		base.Parallel.Seed != rep.Parallel.Seed || base.Parallel.Workers != rep.Parallel.Workers {
+		return fmt.Errorf("baseline dense scenario (n=%d p=%.2f seed=%d w=%d) differs from this run (n=%d p=%.2f seed=%d w=%d) — regenerate the baseline",
+			base.Parallel.Nodes, base.Parallel.EdgeP, base.Parallel.Seed, base.Parallel.Workers,
+			rep.Parallel.Nodes, rep.Parallel.EdgeP, rep.Parallel.Seed, rep.Parallel.Workers)
+	}
+	if base.Parallel.Cliques != rep.Parallel.Cliques {
+		return fmt.Errorf("dense-block clique count %d differs from baseline %d — correctness regression",
+			rep.Parallel.Cliques, base.Parallel.Cliques)
+	}
+	if base.Parallel.Digest != rep.Parallel.Digest {
+		return fmt.Errorf("dense-block output digest %s differs from baseline %s — determinism regression",
+			rep.Parallel.Digest, base.Parallel.Digest)
 	}
 	ratio := rep.Normalized / base.Normalized
 	if ratio > 1+regress {

@@ -47,14 +47,29 @@ func TestSmokeReport(t *testing.T) {
 		t.Fatalf("telemetry cliques %d−%d disagree with report %d",
 			rep.Telemetry.CliquesFound, rep.Telemetry.HubCliquesFiltered, rep.Cliques)
 	}
+	// The dense parallel scenario must have run and digested both modes
+	// identically (runSmoke fails otherwise, so reaching here means the
+	// digests already matched); sanity-check the recorded evidence.
+	p := rep.Parallel
+	if p.Cliques <= 0 || p.Digest == "" || p.SeqBestNs <= 0 || p.ParBestNs <= 0 || p.Speedup <= 0 {
+		t.Fatalf("degenerate parallel scenario: %+v", p)
+	}
+	if p.Workers != denseWorkers || p.Nodes != denseNodes {
+		t.Fatalf("parallel scenario ran wrong workload: %+v", p)
+	}
+	if p.FloorEnforced != (p.NumCPU >= parFloorMinCPUs) {
+		t.Fatalf("floor enforcement %v inconsistent with %d CPUs", p.FloorEnforced, p.NumCPU)
+	}
 }
 
 func TestSmokeGate(t *testing.T) {
 	rep, path := smokeOnce(t)
 
-	// Gating a run against its own report passes.
+	// Gating a run against its own report passes. The loose -regress keeps
+	// single-run scheduler noise out of this check — gate tightness is CI's
+	// concern (best-of-N there), correctness of the pass path is ours.
 	var stdout bytes.Buffer
-	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", path}, &stdout, io.Discard); code != 0 {
+	if code := run([]string{"-smoke", "-smoke-runs", "1", "-regress", "2", "-baseline", path}, &stdout, io.Discard); code != 0 {
 		t.Fatalf("self-gate failed: %s", stdout.String())
 	}
 	if !strings.Contains(stdout.String(), "gate passed") {
@@ -92,6 +107,38 @@ func TestSmokeGate(t *testing.T) {
 	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", path}, io.Discard, io.Discard); code != 1 {
 		t.Fatal("workload mismatch not caught")
 	}
+
+	// A dense-block digest drift is a determinism regression.
+	drift := rep
+	drift.Parallel.Digest = "0000000000000000"
+	writeBaseline(t, path, drift)
+	stderr.Reset()
+	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", path}, io.Discard, &stderr); code != 1 {
+		t.Fatal("digest drift not caught")
+	}
+	if !strings.Contains(stderr.String(), "determinism regression") {
+		t.Fatalf("unexpected gate error: %s", stderr.String())
+	}
+
+	// A dense-block clique-count drift is a correctness regression.
+	pdrift := rep
+	pdrift.Parallel.Cliques++
+	writeBaseline(t, path, pdrift)
+	stderr.Reset()
+	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", path}, io.Discard, &stderr); code != 1 {
+		t.Fatal("dense clique-count drift not caught")
+	}
+	if !strings.Contains(stderr.String(), "correctness regression") {
+		t.Fatalf("unexpected gate error: %s", stderr.String())
+	}
+
+	// A baseline recorded from a different dense scenario refuses to gate.
+	pident := rep
+	pident.Parallel.Workers++
+	writeBaseline(t, path, pident)
+	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", path}, io.Discard, io.Discard); code != 1 {
+		t.Fatal("dense scenario identity mismatch not caught")
+	}
 }
 
 func writeBaseline(t *testing.T, path string, rep smokeReport) {
@@ -111,6 +158,9 @@ func TestSmokeBadInputs(t *testing.T) {
 	}
 	if code := run([]string{"-smoke", "-regress", "-1"}, io.Discard, io.Discard); code != 2 {
 		t.Errorf("-regress -1 exit = %d, want 2", code)
+	}
+	if code := run([]string{"-smoke", "-par-floor", "0"}, io.Discard, io.Discard); code != 2 {
+		t.Errorf("-par-floor 0 exit = %d, want 2", code)
 	}
 	if code := run([]string{"-smoke", "-smoke-runs", "1", "-baseline", "/no/such/file.json"}, io.Discard, io.Discard); code != 1 {
 		t.Errorf("missing baseline exit = %d, want 1", code)

@@ -100,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		hedge       = fs.Bool("hedge", false, "speculatively re-dispatch straggling blocks (first result wins)")
 		memBudgetMB = fs.Int64("mem-budget-mb", 0, "pause dispatch while the heap exceeds this many MiB (0 = no budget)")
 		par         = fs.Int("p", 0, "local parallelism")
+		intraPar    = fs.Int("intra-par", 0, "work-stealing workers inside each block enumeration (0/1 = sequential; output is identical at any width)")
 		minSize     = fs.Int("min", 1, "minimum clique size to print")
 		countOnly   = fs.Bool("count", false, "print only the clique count")
 		stats       = fs.Bool("stats", false, "print run statistics to stderr")
@@ -205,6 +206,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *par > 0 {
 		opts = append(opts, mce.WithParallelism(*par))
+	}
+	if *intraPar > 0 {
+		opts = append(opts, mce.WithIntraBlockParallelism(*intraPar))
 	}
 	if *memBudgetMB > 0 {
 		opts = append(opts, mce.WithMemoryBudget(*memBudgetMB<<20))

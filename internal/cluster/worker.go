@@ -315,6 +315,13 @@ func runTask(t *blockTask, met *telemetry.Engine) (res blockResult) {
 		ins = &telemetry.BlockInstr{}
 		t0 = time.Now()
 	}
+	// Intra-block parallelism rides the combo, not the wire protocol: a
+	// coordinator that selected BitSetsParallel gets a work-stealing pool
+	// here sized to the worker's GOMAXPROCS (mcealg's auto default), and the
+	// pool's depth-first merge keeps the result bytes — and therefore the
+	// task checksum and checkpoint digests — identical to a sequential run.
+	// A pool-worker panic propagates to this goroutine and lands in the
+	// recover above, preserving the worker's poison-task isolation.
 	err = decomp.AnalyzeBlockInstr(b, combo, func(c []int32) {
 		cp := make([]int32, len(c))
 		copy(cp, c)

@@ -91,6 +91,15 @@ type Options struct {
 	// Parallelism is the local worker count when Executor is nil;
 	// 0 means GOMAXPROCS.
 	Parallelism int
+	// IntraBlockParallelism is the work-stealing worker count inside a
+	// single block's enumeration (and the terminal core's): when > 1, the
+	// combo selector upgrades BitSets picks on large blocks to
+	// BitSetsParallel, so one dense block no longer serializes a run. It
+	// multiplies with Parallelism (each block worker spawns its own pool),
+	// so the useful product is about GOMAXPROCS. Output — cliques and their
+	// order — is identical at every setting; 0 or 1 keeps the sequential
+	// recursion.
+	IntraBlockParallelism int
 	// MaxLevels caps the recursion depth as a safety net; 0 means no cap.
 	// The cap triggers the same direct-core fallback as a stalled
 	// recursion, so results stay complete.
@@ -231,6 +240,12 @@ type LocalExecutor struct {
 	// accumulating more results toward an OOM kill (one worker is always
 	// admitted, so progress is guaranteed). 0 disables the guard.
 	MemoryBudget int64
+	// IntraBlockParallelism is the per-block work-stealing width handed to
+	// mcealg for BitSetsParallel combos; see Options.IntraBlockParallelism.
+	// The pool's split gate is wired to the executor's memory guard, so
+	// stealable-subproblem growth pauses with the same budget that paces
+	// block dispatch.
+	IntraBlockParallelism int
 }
 
 // AnalyzeBlocks implements Executor.
@@ -283,6 +298,10 @@ func (e *LocalExecutor) analyze(ctx context.Context, blocks []decomp.Block, comb
 		met.QueueDepth.Add(int64(len(blocks)))
 	}
 	guard := resguard.New(e.MemoryBudget, met)
+	// Intra-block pools split subtrees into heap-held tasks; gating the
+	// splits on the same guard keeps deque growth inside the budget. The
+	// method value is safe on a nil guard (unlimited budget → never over).
+	par := mcealg.Par{Workers: e.IntraBlockParallelism, SplitGate: guard.OverBudget}
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -318,11 +337,11 @@ func (e *LocalExecutor) analyze(ctx context.Context, blocks []decomp.Block, comb
 					t0 = time.Now()
 				}
 				var cliques [][]int32
-				err := decomp.AnalyzeBlockInstr(&blocks[i], combos[i], func(c []int32) {
+				err := decomp.AnalyzeBlockPar(&blocks[i], combos[i], func(c []int32) {
 					cp := make([]int32, len(c))
 					copy(cp, c)
 					cliques = append(cliques, cp)
-				}, ins)
+				}, ins, par)
 				if met != nil {
 					idx := combos[i].Index()
 					met.ComboAnalyzed(idx, combos[i].Label(), time.Since(t0))
@@ -386,7 +405,7 @@ func FindMaxCliquesContext(ctx context.Context, g *graph.Graph, opts Options) (*
 	sel := selector(opts)
 	exec := opts.Executor
 	if exec == nil {
-		exec = &LocalExecutor{Parallelism: opts.Parallelism, Metrics: opts.Metrics, MemoryBudget: opts.MemoryBudget}
+		exec = &LocalExecutor{Parallelism: opts.Parallelism, Metrics: opts.Metrics, MemoryBudget: opts.MemoryBudget, IntraBlockParallelism: opts.IntraBlockParallelism}
 	}
 
 	res := &Result{Stats: Stats{BlockSize: m, MaxDegree: maxDeg}}
@@ -455,8 +474,33 @@ func CheckpointIdentity(g *graph.Graph, opts Options) runlog.Identity {
 	}
 }
 
-// selector builds the per-block combo chooser from the options.
+// parallelMinBlockNodes is the smallest block worth the intra-block pool:
+// below it the pool-spawn and merge overhead beats any fan-out gain, so the
+// selector leaves small blocks on the sequential BitSets path.
+const parallelMinBlockNodes = 128
+
+// selector builds the per-block combo chooser from the options. With
+// IntraBlockParallelism > 1 the chosen combo is upgraded from BitSets to
+// BitSetsParallel on blocks large enough to amortise the pool (the decision
+// tree already steers dense blocks — where the parallel win lives — to
+// BitSets). The upgrade never changes the emitted cliques or their order:
+// both structures share the same rows and the same pivot arithmetic, and
+// the parallel enumerator merges back into depth-first order.
 func selector(opts Options) func(*decomp.Block) mcealg.Combo {
+	base := baseSelector(opts)
+	if opts.IntraBlockParallelism <= 1 {
+		return base
+	}
+	return func(b *decomp.Block) mcealg.Combo {
+		c := base(b)
+		if c.Struct == mcealg.BitSets && b.Graph.N() >= parallelMinBlockNodes {
+			c.Struct = mcealg.BitSetsParallel
+		}
+		return c
+	}
+}
+
+func baseSelector(opts Options) func(*decomp.Block) mcealg.Combo {
 	if opts.FixedCombo != nil {
 		c := *opts.FixedCombo
 		return func(b *decomp.Block) mcealg.Combo {
@@ -491,7 +535,7 @@ func findRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decomp.
 	// remaining graph is the terminal (m+1)-core. Enumerate it directly —
 	// Lemma 1 still applies with C2 = all maximal cliques of this subgraph.
 	if len(feasible) == 0 || (opts.MaxLevels > 0 && level >= opts.MaxLevels && len(hubs) > 0) {
-		return enumerateCore(g, sel, opts.Checkpoint, res, level, start, met)
+		return enumerateCore(g, sel, opts, res, level, start)
 	}
 
 	blocks := decomp.Blocks(g, feasible, m, opts.Block)
@@ -730,8 +774,11 @@ func analyzeScheduled(ctx context.Context, exec Executor, blocks []decomp.Block,
 
 // enumerateCore handles the terminal core directly with a single MCE run.
 // Under a checkpoint it is journaled as a one-block level, so a resumed run
-// loads the terminal core's cliques from its segment too.
-func enumerateCore(g *graph.Graph, sel func(*decomp.Block) mcealg.Combo, cp *runlog.Checkpoint, res *Result, level int, start time.Time, met *telemetry.Engine) error {
+// loads the terminal core's cliques from its segment too. This is exactly
+// where intra-block parallelism matters most: the terminal hub core is one
+// dense enumeration with no block-level parallelism to hide behind.
+func enumerateCore(g *graph.Graph, sel func(*decomp.Block) mcealg.Combo, opts Options, res *Result, level int, start time.Time) error {
+	cp, met := opts.Checkpoint, opts.Metrics
 	id := runlog.BlockID{Level: level, Plan: 0}
 	if cp != nil {
 		if err := cp.BeginLevel(level, 1); err != nil {
@@ -760,7 +807,7 @@ func enumerateCore(g *graph.Graph, sel func(*decomp.Block) mcealg.Combo, cp *run
 	}
 	n := 0
 	first := len(res.Cliques)
-	err := mcealg.Enumerate(g, combo, func(c []int32) {
+	err := mcealg.EnumeratePar(g, combo, corePar(opts), func(c []int32) {
 		dup := make([]int32, len(c))
 		copy(dup, c)
 		res.Cliques = append(res.Cliques, dup)
@@ -788,6 +835,14 @@ func enumerateCore(g *graph.Graph, sel func(*decomp.Block) mcealg.Combo, cp *run
 		met.LevelsCompleted.Inc()
 	}
 	return nil
+}
+
+// corePar is the Par for the terminal-core fallback, which runs on the
+// coordinator goroutine rather than inside an executor: same worker width,
+// with the split gate on a guard over the run's memory budget.
+func corePar(opts Options) mcealg.Par {
+	guard := resguard.New(opts.MemoryBudget, opts.Metrics)
+	return mcealg.Par{Workers: opts.IntraBlockParallelism, SplitGate: guard.OverBudget}
 }
 
 // wholeGraphBlock wraps g as a single all-kernel block so combo selectors

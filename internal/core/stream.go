@@ -48,7 +48,7 @@ func StreamContext(ctx context.Context, g *graph.Graph, opts Options, emit func(
 	sel := selector(opts)
 	exec := opts.Executor
 	if exec == nil {
-		exec = &LocalExecutor{Parallelism: opts.Parallelism, Metrics: opts.Metrics, MemoryBudget: opts.MemoryBudget}
+		exec = &LocalExecutor{Parallelism: opts.Parallelism, Metrics: opts.Metrics, MemoryBudget: opts.MemoryBudget, IntraBlockParallelism: opts.IntraBlockParallelism}
 	}
 	stats := &Stats{BlockSize: m, MaxDegree: maxDeg}
 	if err := streamRecursive(ctx, g, m, sel, exec, opts, stats, 0, emit); err != nil {
@@ -76,7 +76,7 @@ func streamRecursive(ctx context.Context, g *graph.Graph, m int, sel func(*decom
 			met.ComboPicked(combo.Index(), combo.Label())
 		}
 		n := 0
-		err := mcealg.Enumerate(g, combo, func(c []int32) {
+		err := mcealg.EnumeratePar(g, combo, corePar(opts), func(c []int32) {
 			emit(c, level)
 			n++
 		})

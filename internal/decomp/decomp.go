@@ -258,6 +258,16 @@ func AnalyzeBlock(b *Block, combo mcealg.Combo, emit func(clique []int32)) error
 // with zero extra allocations — the instrumented executors pass nil when
 // telemetry is disabled, keeping the hot loop paper-faithful.
 func AnalyzeBlockInstr(b *Block, combo mcealg.Combo, emit func(clique []int32), ins *telemetry.BlockInstr) error {
+	return AnalyzeBlockPar(b, combo, emit, ins, mcealg.Par{})
+}
+
+// AnalyzeBlockPar is AnalyzeBlockInstr with explicit intra-block
+// parallelism: a BitSetsParallel combo (or par.Workers > 1) runs each
+// kernel subproblem on mcealg's work-stealing pool. Emission order, and
+// therefore the downstream checkpoint digests and Lemma-1 filter input, is
+// identical to the sequential path — the pool merges per-worker cliques
+// back into depth-first order before emitting (see mcealg/parallel.go).
+func AnalyzeBlockPar(b *Block, combo mcealg.Combo, emit func(clique []int32), ins *telemetry.BlockInstr, par mcealg.Par) error {
 	n := b.Graph.N()
 	// P starts as K ∪ H; V̄ starts as the visited set (line 2–3).
 	P := bitset.New(n)
@@ -272,7 +282,7 @@ func AnalyzeBlockInstr(b *Block, combo mcealg.Combo, emit func(clique []int32), 
 		vbar.Add(v)
 	}
 
-	runner, err := mcealg.NewRunner(b.Graph, combo)
+	runner, err := mcealg.NewRunnerPar(b.Graph, combo, par)
 	if err != nil {
 		return err
 	}

@@ -38,7 +38,10 @@ func newAdjacency(g *graph.Graph, s Structure) (adjacency, error) {
 		return newMatrixAdj(g), nil
 	case Lists:
 		return listsAdj{g: g}, nil
-	case BitSets:
+	case BitSets, BitSetsParallel:
+		// BitSetsParallel shares the BitSets rows: the structure is
+		// read-only after construction, so the work-stealing workers can
+		// intersect against it concurrently without synchronisation.
 		return newBitsetAdj(g), nil
 	}
 	return nil, fmt.Errorf("mcealg: unknown structure %v", s)

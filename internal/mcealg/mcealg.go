@@ -14,6 +14,7 @@ package mcealg
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
 	"mce/internal/bitset"
@@ -49,11 +50,14 @@ func (a Algorithm) String() string {
 // Structure selects the adjacency representation.
 type Structure uint8
 
-// The three data structures of the paper's framework.
+// The three data structures of the paper's framework, plus BitSetsParallel —
+// the same word-parallel rows driven by the intra-block work-stealing
+// enumerator (parallel.go) instead of the single-goroutine recursion.
 const (
 	Matrix Structure = iota
 	Lists
 	BitSets
+	BitSetsParallel
 )
 
 // String returns the paper's name for the structure.
@@ -65,6 +69,8 @@ func (s Structure) String() string {
 		return "Lists"
 	case BitSets:
 		return "BitSets"
+	case BitSetsParallel:
+		return "BitSetsParallel"
 	}
 	return fmt.Sprintf("Structure(%d)", uint8(s))
 }
@@ -76,8 +82,11 @@ type Combo struct {
 	Struct Structure
 }
 
-// NumCombos is the size of the framework's combination grid (Table 1).
-const NumCombos = 12
+// NumCombos is the size of the framework's combination grid: the paper's 4×3
+// Table 1 plus the four BitSetsParallel combos of the intra-block parallel
+// mode. AllCombos still returns only the paper's twelve; the extra slots
+// exist so Index and the per-combo telemetry cells cover the parallel mode.
+const NumCombos = 16
 
 // Index maps the combo onto 0..NumCombos-1 — structures outer, algorithms
 // inner, matching the AllCombos order — for per-combo telemetry slots.
@@ -92,8 +101,11 @@ func (c Combo) String() string {
 // telemetry hot paths record a label per block.
 var comboNames = func() [NumCombos]string {
 	var names [NumCombos]string
-	for _, c := range AllCombos() {
-		names[c.Index()] = c.String()
+	for _, s := range []Structure{Matrix, Lists, BitSets, BitSetsParallel} {
+		for _, a := range []Algorithm{BKPivot, Tomita, Eppstein, XPivot} {
+			c := Combo{Alg: a, Struct: s}
+			names[c.Index()] = c.String()
+		}
 	}
 	return names
 }()
@@ -107,8 +119,10 @@ func (c Combo) Label() string {
 	return ""
 }
 
-// AllCombos returns the 12 data-structure/algorithm combinations in a stable
-// order (structures outer, algorithms inner).
+// AllCombos returns the paper's 12 data-structure/algorithm combinations in
+// a stable order (structures outer, algorithms inner). BitSetsParallel is
+// excluded: it is an execution mode of the BitSets structure, not a Table 1
+// contestant, so corpus races and the decision tree stay on the paper grid.
 func AllCombos() []Combo {
 	var cs []Combo
 	for _, s := range []Structure{Matrix, Lists, BitSets} {
@@ -126,17 +140,31 @@ const MatrixMaxNodes = 1 << 14
 
 // Enumerate finds every maximal clique of g using the given combo and calls
 // emit once per clique with the member IDs in ascending order. The slice
-// passed to emit is reused between calls; copy it to retain.
+// passed to emit is reused between calls; copy it to retain. A
+// BitSetsParallel combo runs the work-stealing enumerator with GOMAXPROCS
+// workers; use EnumeratePar to pick the width explicitly.
 func Enumerate(g *graph.Graph, c Combo, emit func(clique []int32)) error {
+	return EnumeratePar(g, c, Par{}, emit)
+}
+
+// EnumeratePar is Enumerate with explicit intra-enumeration parallelism (see
+// Par). The cliques emitted — and their order — are identical to Enumerate's
+// for every worker count.
+func EnumeratePar(g *graph.Graph, c Combo, par Par, emit func(clique []int32)) error {
 	n := g.N()
 	if n == 0 {
 		return nil
+	}
+	r, err := NewRunnerPar(g, c, par)
+	if err != nil {
+		return err
 	}
 	P := bitset.New(n)
 	for v := int32(0); v < int32(n); v++ {
 		P.Add(v)
 	}
-	return EnumerateSubproblem(g, c, nil, P, bitset.New(n), emit)
+	r.Subproblem(nil, P, bitset.New(n), emit)
+	return nil
 }
 
 // EnumerateSubproblem runs MCE(R, P, X) on g: it emits every clique K with
@@ -159,10 +187,19 @@ func EnumerateSubproblem(g *graph.Graph, c Combo, R []int32, P, X *bitset.Set, e
 type Runner struct {
 	combo Combo
 	e     *enumerator
+	par   Par
 }
 
-// NewRunner prepares the combo's adjacency structure for g.
+// NewRunner prepares the combo's adjacency structure for g. A
+// BitSetsParallel combo gets GOMAXPROCS intra-enumeration workers; use
+// NewRunnerPar to pick the width explicitly.
 func NewRunner(g *graph.Graph, c Combo) (*Runner, error) {
+	return NewRunnerPar(g, c, Par{})
+}
+
+// NewRunnerPar is NewRunner with explicit intra-enumeration parallelism.
+// par.Workers ≤ 1 always runs the sequential recursion, whatever the combo.
+func NewRunnerPar(g *graph.Graph, c Combo, par Par) (*Runner, error) {
 	switch c.Alg {
 	case BKPivot, Tomita, Eppstein, XPivot:
 	default:
@@ -172,12 +209,22 @@ func NewRunner(g *graph.Graph, c Combo) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{combo: c, e: &enumerator{adj: adj, n: g.N()}}, nil
+	if par.Workers == 0 && c.Struct == BitSetsParallel {
+		par.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{combo: c, e: &enumerator{adj: adj, n: g.N()}, par: par}, nil
 }
 
 // Subproblem runs MCE(R, P, X) with the runner's combo; see
-// EnumerateSubproblem for the semantics. P and X are consumed.
+// EnumerateSubproblem for the semantics. P and X are consumed. When the
+// runner was built with Par.Workers > 1 and the candidate set is large
+// enough, the subproblem fans out over the work-stealing pool; the emitted
+// cliques and their order are identical to the sequential path either way.
 func (r *Runner) Subproblem(R []int32, P, X *bitset.Set, emit func(clique []int32)) {
+	if r.par.Workers > 1 && P.Count() >= r.par.minCandidates() {
+		r.parallelSubproblem(R, P, X, emit)
+		return
+	}
 	r.e.emit = emit
 	base := make([]int32, len(R), len(R)+16)
 	copy(base, R)

@@ -1,0 +1,503 @@
+// Intra-block parallel Bron–Kerbosch: a work-stealing pool over (R, P, X)
+// subproblems, in the shape of the shared-memory parallel MCE literature
+// (Das et al., arXiv 1807.09417): per-vertex fan-out at the subproblem root
+// seeded from the pivot-ordered candidate set, plus subtree-splitting work
+// donation when a worker runs dry mid-run.
+//
+// Determinism. The Bron–Kerbosch recursion tree is a pure function of
+// (adjacency, R, P, X): the pivot choice scans P (and X) in ascending bit
+// order and every candidate iteration is over a bit set, so the tree — and
+// therefore the set of leaves — is identical no matter how execution is
+// divided among workers. Splitting a node materialises exactly the child
+// subproblems the sequential loop would have recursed into, with the same
+// P/X mutation order, so parallelism only moves task boundaries, never the
+// tree. Each emitted clique is keyed by the child-index path from the
+// subproblem root to its leaf; sorting the keys lexicographically is
+// sorting leaves into depth-first order, which is precisely the sequential
+// emission order. The parallel mode therefore emits bit-identical cliques
+// in bit-identical order to the sequential enumerator, which keeps
+// checkpoint segment digests and the Lemma 1 filter's input unchanged.
+package mcealg
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mce/internal/bitset"
+)
+
+// Par configures intra-enumeration parallelism for a Runner.
+type Par struct {
+	// Workers is the goroutine count of the work-stealing pool. 0 means
+	// "auto": GOMAXPROCS for a BitSetsParallel combo, sequential otherwise.
+	// 1 forces the sequential recursion regardless of combo.
+	Workers int
+	// MinCandidates is the smallest |P| worth fanning out; subproblems
+	// below it run sequentially on the calling goroutine, skipping the
+	// pool-spawn cost. 0 means the default of 16.
+	MinCandidates int
+	// SplitGate, when non-nil, is consulted before a mid-run subtree
+	// donation: returning false suppresses the split (the worker keeps
+	// recursing sequentially, allocating nothing new). The executors wire
+	// the resguard memory budget here, so deque growth counts against the
+	// run's heap budget. Root fan-out is not gated — it is the baseline
+	// decomposition, bounded by |P| snapshots.
+	SplitGate func() bool
+}
+
+// defaultMinCandidates balances pool-spawn cost (~a few µs) against the
+// smallest subproblems worth sharing; kernels with tiny neighbourhoods stay
+// on the calling goroutine.
+const defaultMinCandidates = 16
+
+func (p Par) minCandidates() int {
+	if p.MinCandidates > 0 {
+		return p.MinCandidates
+	}
+	return defaultMinCandidates
+}
+
+// maxSplitDepth stops donation below this recursion depth: tasks that deep
+// are too small to be worth their snapshot cost, and the path keys stay
+// short.
+const maxSplitDepth = 64
+
+// parTask is one stealable MCE subproblem. path is the child-index route
+// from the subproblem root to this task's node — the determinism key. The
+// task owns R, P and X outright.
+type parTask struct {
+	path []uint32
+	alg  Algorithm
+	R    []int32
+	P, X *bitset.Set
+}
+
+// cliqueRun is a maximal contiguous stretch of cliques one worker emitted
+// in depth-first order. Between two splits a worker's emission IS the
+// sequential DFS order, so only run boundaries — task starts and subtree
+// donations — need a sort key: the leaf path of the run's first clique.
+// Runs are disjoint DFS intervals, so ordering them by first-leaf key and
+// concatenating reproduces the global sequential order at a cost of one key
+// per run instead of one per clique.
+type cliqueRun struct {
+	key     []uint32
+	cliques [][]int32
+}
+
+// workDeque is one worker's double-ended task queue: the owner pushes and
+// pops at the tail (depth-first, cache-warm), thieves steal from the head
+// (the largest subtrees, minimising steal traffic). A plain mutex per deque
+// is deliberate: steals are rare, the critical sections are a few pointer
+// moves, and the -race matrix must hold at every GOMAXPROCS.
+type workDeque struct {
+	mu  sync.Mutex
+	buf []*parTask
+}
+
+func (d *workDeque) push(t *parTask) {
+	d.mu.Lock()
+	d.buf = append(d.buf, t)
+	d.mu.Unlock()
+}
+
+// pop removes the newest task (owner side).
+func (d *workDeque) pop() *parTask {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.buf) == 0 {
+		return nil
+	}
+	t := d.buf[len(d.buf)-1]
+	d.buf[len(d.buf)-1] = nil
+	d.buf = d.buf[:len(d.buf)-1]
+	return t
+}
+
+// steal removes the oldest task (thief side).
+func (d *workDeque) steal() *parTask {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.buf) == 0 {
+		return nil
+	}
+	t := d.buf[0]
+	copy(d.buf, d.buf[1:])
+	d.buf[len(d.buf)-1] = nil
+	d.buf = d.buf[:len(d.buf)-1]
+	return t
+}
+
+// parPool coordinates one subproblem's workers. Lifetime is a single
+// Runner.Subproblem call: spawn, drain, merge, done.
+type parPool struct {
+	alg  Algorithm
+	adj  adjacency
+	n    int
+	gate func() bool
+
+	deques  []workDeque
+	workers []*parWorker
+
+	// pending counts tasks created but not finished; the run is over when
+	// it reaches zero (children are counted before their parent finishes,
+	// so it can never dip to zero early).
+	pending atomic.Int64
+	// hungry counts workers that found every deque empty and are about to
+	// wait — the donation signal the split heuristic reads.
+	hungry atomic.Int64
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	closed   bool // no more work will appear: drained or poisoned
+	panicVal any  // first worker panic, re-raised on the caller
+	wg       sync.WaitGroup
+}
+
+// parWorker is one goroutine of the pool, with its own enumerator (scratch
+// free-list and counters; the adjacency is shared read-only), its own output
+// buffer and its own DFS path stack — nothing here is touched by another
+// goroutine while the pool runs.
+type parWorker struct {
+	id   int
+	pool *parPool
+	e    *enumerator
+	path []uint32
+	runs []cliqueRun
+	// newRun marks the next emitted clique as a run boundary: set at task
+	// start and after every donation, the two places the worker's emission
+	// stops being DFS-contiguous.
+	newRun bool
+}
+
+// testHookTaskStart, when non-nil, runs at the start of every task — a test
+// seam for panic-propagation coverage. Always nil in production.
+var testHookTaskStart func()
+
+// parallelSubproblem fans MCE(R, P, X) out over a fresh pool and emits the
+// merged cliques in sequential order. P and X are consumed, matching the
+// sequential contract.
+func (r *Runner) parallelSubproblem(R []int32, P, X *bitset.Set, emit func([]int32)) {
+	p := &parPool{
+		alg:  r.combo.Alg,
+		adj:  r.e.adj,
+		n:    r.e.n,
+		gate: r.par.SplitGate,
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.deques = make([]workDeque, r.par.Workers)
+	p.workers = make([]*parWorker, r.par.Workers)
+	for i := range p.workers {
+		p.workers[i] = &parWorker{id: i, pool: p, e: &enumerator{adj: p.adj, n: p.n}}
+	}
+
+	base := make([]int32, len(R))
+	copy(base, R)
+	root := &parTask{alg: r.combo.Alg, R: base, P: P, X: X}
+	p.pending.Store(1)
+	p.deques[0].push(root)
+
+	for _, w := range p.workers {
+		p.wg.Add(1)
+		go p.runWorker(w)
+	}
+	p.wg.Wait()
+	if p.panicVal != nil {
+		panic(p.panicVal)
+	}
+
+	// Merge: runs are disjoint DFS intervals, so sorting them by first-leaf
+	// path and concatenating reproduces the sequential emission order — one
+	// key comparison per run, not per clique. Counters fold into the
+	// runner's enumerator here, single-threaded — no atomics anywhere in
+	// the recursion.
+	total := 0
+	for _, w := range p.workers {
+		total += len(w.runs)
+		r.e.nodes += w.e.nodes
+		r.e.pivots += w.e.pivots
+	}
+	all := make([]cliqueRun, 0, total)
+	for _, w := range p.workers {
+		all = append(all, w.runs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return pathLess(all[i].key, all[j].key) })
+	for i := range all {
+		for _, c := range all[i].cliques {
+			emit(c)
+		}
+	}
+}
+
+// pathLess orders leaf paths lexicographically. Run keys are leaf paths and
+// distinct leaves never prefix each other (a leaf has no descendants), so
+// the order is total.
+func pathLess(a, b []uint32) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// runWorker is the pool goroutine body: pop own work, steal otherwise, wait
+// when the whole pool is dry. A panicking task poisons the pool — every
+// worker unwinds and the caller re-panics, preserving the cluster worker's
+// per-task panic isolation.
+func (p *parPool) runWorker(w *parWorker) {
+	defer p.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			p.poison(r)
+		}
+	}()
+	for {
+		t := p.find(w.id)
+		if t == nil {
+			return
+		}
+		w.runTask(t)
+		p.finishTask()
+	}
+}
+
+// find returns the next task for worker id, blocking until one appears or
+// the pool closes. The double sweep around the condition wait closes the
+// missed-wakeup window: donors broadcast while holding p.mu, so a push that
+// raced the first (unlocked) sweep is caught by the second (locked) one.
+func (p *parPool) find(id int) *parTask {
+	for {
+		if t := p.sweep(id); t != nil {
+			return t
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil
+		}
+		p.hungry.Add(1)
+		if t := p.sweep(id); t != nil {
+			p.hungry.Add(-1)
+			p.mu.Unlock()
+			return t
+		}
+		p.cond.Wait()
+		p.hungry.Add(-1)
+		p.mu.Unlock()
+	}
+}
+
+// sweep tries the worker's own deque (newest first), then every peer
+// (oldest first).
+func (p *parPool) sweep(id int) *parTask {
+	if t := p.deques[id].pop(); t != nil {
+		return t
+	}
+	for k := 1; k < len(p.deques); k++ {
+		if t := p.deques[(id+k)%len(p.deques)].steal(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// finishTask retires one task; the last one out closes the pool.
+func (p *parPool) finishTask() {
+	if p.pending.Add(-1) == 0 {
+		p.mu.Lock()
+		p.closed = true
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// poison records a worker panic and releases everyone; leftover deque
+// entries are abandoned — the caller re-raises, nothing is emitted.
+func (p *parPool) poison(v any) {
+	p.mu.Lock()
+	if p.panicVal == nil {
+		p.panicVal = v
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// runTask executes one subproblem. Eppstein appears only on the root task
+// (its children are Tomita-pivoted, as in the sequential recursion).
+func (w *parWorker) runTask(t *parTask) {
+	if testHookTaskStart != nil {
+		testHookTaskStart()
+	}
+	w.path = append(w.path[:0], t.path...)
+	w.newRun = true
+	if t.alg == Eppstein {
+		w.eppsteinRoot(t)
+		return
+	}
+	w.bk(t.alg, t.R, t.P, t.X)
+}
+
+// bk mirrors enumerator.bk exactly, with two additions: the DFS path stack
+// (the determinism key) and the split check that can turn a node's children
+// into stealable tasks instead of recursing.
+func (w *parWorker) bk(alg Algorithm, R []int32, P, X *bitset.Set) {
+	e := w.e
+	e.nodes++
+	if P.Empty() {
+		if X.Empty() {
+			w.report(R)
+		}
+		return
+	}
+	u := e.pivot(alg, P, X)
+	cand := e.get()
+	e.adj.subtractNeighbors(cand, u, P) // cand = P \ N(u)
+	if w.shouldSplit(cand) {
+		w.split(alg, R, P, X, cand)
+		e.put(cand)
+		return
+	}
+	idx := uint32(0)
+	for v := cand.Next(0); v >= 0; v = cand.Next(v + 1) {
+		newP := e.get()
+		newX := e.get()
+		e.adj.intersectNeighbors(newP, v, P)
+		e.adj.intersectNeighbors(newX, v, X)
+		w.path = append(w.path, idx)
+		w.bk(alg, append(R, v), newP, newX)
+		w.path = w.path[:len(w.path)-1]
+		e.put(newP)
+		e.put(newX)
+		P.Remove(v)
+		X.Add(v)
+		idx++
+	}
+	e.put(cand)
+}
+
+// eppsteinRoot is the degeneracy-ordered top level of the Eppstein runs,
+// fanning out per vertex when it can (children recurse with the Tomita
+// pivot, as in the sequential path).
+func (w *parWorker) eppsteinRoot(t *parTask) {
+	e := w.e
+	e.nodes++
+	if t.P.Empty() {
+		if t.X.Empty() {
+			w.report(t.R)
+		}
+		return
+	}
+	order := e.degeneracyOrder(t.P)
+	if len(order) >= 2 {
+		w.splitOrdered(Tomita, t.R, t.P, t.X, order)
+		return
+	}
+	idx := uint32(0)
+	for _, v := range order {
+		newP := e.get()
+		newX := e.get()
+		e.adj.intersectNeighbors(newP, v, t.P)
+		e.adj.intersectNeighbors(newX, v, t.X)
+		w.path = append(w.path, idx)
+		w.bk(Tomita, append(t.R, v), newP, newX)
+		w.path = w.path[:len(w.path)-1]
+		e.put(newP)
+		e.put(newX)
+		t.P.Remove(v)
+		t.X.Add(v)
+		idx++
+	}
+}
+
+// shouldSplit decides whether this node's children become tasks. The root
+// always fans out (the per-vertex top-level decomposition); deeper nodes
+// donate only when some worker is hungry, the subtree is shallow enough to
+// be worth sharing, and the memory gate allows more buffered work.
+func (w *parWorker) shouldSplit(cand *bitset.Set) bool {
+	p := w.pool
+	if len(w.path) == 0 {
+		return cand.Count() >= 2
+	}
+	if p.hungry.Load() == 0 || len(w.path) >= maxSplitDepth {
+		return false
+	}
+	if p.gate != nil && !p.gate() {
+		return false
+	}
+	return cand.Count() >= 2
+}
+
+// split snapshots every child of the current node as an independent task —
+// same iteration, same P/X mutations as the sequential loop, so the
+// recursion tree is unchanged — and pushes them in reverse onto the
+// worker's own deque (pop order = depth-first order; thieves take from the
+// other end, grabbing the widest subtrees).
+func (w *parWorker) split(alg Algorithm, R []int32, P, X *bitset.Set, cand *bitset.Set) {
+	w.splitOrdered(alg, R, P, X, cand.Slice())
+}
+
+func (w *parWorker) splitOrdered(alg Algorithm, R []int32, P, X *bitset.Set, order []int32) {
+	p := w.pool
+	kids := make([]*parTask, 0, len(order))
+	for i, v := range order {
+		newP := bitset.New(p.n)
+		newX := bitset.New(p.n)
+		w.e.adj.intersectNeighbors(newP, v, P)
+		w.e.adj.intersectNeighbors(newX, v, X)
+		Rc := make([]int32, len(R)+1)
+		copy(Rc, R)
+		Rc[len(R)] = v
+		pc := make([]uint32, len(w.path)+1)
+		copy(pc, w.path)
+		pc[len(w.path)] = uint32(i)
+		kids = append(kids, &parTask{path: pc, alg: alg, R: Rc, P: newP, X: newX})
+		P.Remove(v)
+		X.Add(v)
+	}
+	p.pending.Add(int64(len(kids)))
+	d := &p.deques[w.id]
+	for i := len(kids) - 1; i >= 0; i-- {
+		d.push(kids[i])
+	}
+	// The donated subtrees sit between this worker's past and future
+	// emissions in DFS order, so the current run ends here.
+	w.newRun = true
+	if p.hungry.Load() > 0 {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// report records a sorted copy of R in the worker's current run, opening a
+// new run keyed by this leaf's path when the last one was closed by a task
+// switch or a donation.
+func (w *parWorker) report(R []int32) {
+	c := make([]int32, len(R))
+	copy(c, R)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	if w.newRun {
+		key := make([]uint32, len(w.path))
+		copy(key, w.path)
+		w.runs = append(w.runs, cliqueRun{key: key})
+		w.newRun = false
+	}
+	run := &w.runs[len(w.runs)-1]
+	run.cliques = append(run.cliques, c)
+}
+
+// sanity: the grid constant and the structure enum must agree, or Index
+// would alias telemetry cells.
+var _ = func() struct{} {
+	if int(BitSetsParallel)*4+int(XPivot) != NumCombos-1 {
+		panic(fmt.Sprintf("mcealg: NumCombos %d does not cover the structure grid", NumCombos))
+	}
+	return struct{}{}
+}()

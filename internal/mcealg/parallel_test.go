@@ -1,0 +1,238 @@
+package mcealg
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mce/internal/bitset"
+	"mce/internal/gen"
+	"mce/internal/graph"
+)
+
+func fullSet(n int) *bitset.Set {
+	s := bitset.New(n)
+	for v := int32(0); v < int32(n); v++ {
+		s.Add(v)
+	}
+	return s
+}
+
+func emptySet(n int) *bitset.Set { return bitset.New(n) }
+
+// collectPar gathers EnumeratePar's output preserving emission order.
+func collectPar(t *testing.T, g *graph.Graph, c Combo, par Par) [][]int32 {
+	t.Helper()
+	var out [][]int32
+	err := EnumeratePar(g, c, par, func(k []int32) {
+		cp := make([]int32, len(k))
+		copy(cp, k)
+		out = append(out, cp)
+	})
+	if err != nil {
+		t.Fatalf("EnumeratePar(%v, workers=%d): %v", c, par.Workers, err)
+	}
+	return out
+}
+
+func assertSameOrder(t *testing.T, what string, got, want [][]int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d cliques, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if key(got[i]) != key(want[i]) {
+			t.Fatalf("%s: clique %d is {%s}, want {%s} — parallel emission order diverged from sequential",
+				what, i, key(got[i]), key(want[i]))
+		}
+	}
+}
+
+// TestParallelMatchesSequentialOrder is the determinism contract: for every
+// algorithm, every worker count — including widths far beyond GOMAXPROCS,
+// which force constant stealing — the BitSetsParallel enumerator must emit
+// exactly the sequential BitSets clique sequence, element for element.
+func TestParallelMatchesSequentialOrder(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"holme-kim", gen.HolmeKim(140, 5, 0.5, 1)},
+		{"barabasi-albert", gen.BarabasiAlbert(140, 6, 2)},
+		{"erdos-renyi-dense", gen.ErdosRenyi(70, 0.45, 3)},
+	}
+	for _, tc := range graphs {
+		for _, alg := range []Algorithm{BKPivot, Tomita, Eppstein, XPivot} {
+			want := collectPar(t, tc.g, Combo{Alg: alg, Struct: BitSets}, Par{})
+			if len(want) == 0 {
+				t.Fatalf("%s/%v: sequential run found no cliques — workload too trivial", tc.name, alg)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("%s/%v/w%d", tc.name, alg, workers)
+				// MinCandidates 2 forces the pool even on small candidate
+				// sets, maximising split/steal traffic for the race detector.
+				got := collectPar(t, tc.g, Combo{Alg: alg, Struct: BitSetsParallel},
+					Par{Workers: workers, MinCandidates: 2})
+				assertSameOrder(t, name, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelCountersMatchSequential: the recursion-node and
+// pivot-selection counters feed per-block telemetry; splitting must move
+// work between goroutines without changing how much work is counted.
+func TestParallelCountersMatchSequential(t *testing.T) {
+	g := gen.HolmeKim(120, 5, 0.4, 7)
+	for _, alg := range []Algorithm{BKPivot, Tomita, Eppstein, XPivot} {
+		seq, err := NewRunner(g, Combo{Alg: alg, Struct: BitSets})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := NewRunnerPar(g, Combo{Alg: alg, Struct: BitSetsParallel}, Par{Workers: 4, MinCandidates: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		runAll := func(r *Runner) {
+			P := fullSet(g.N())
+			r.Subproblem(nil, P, emptySet(g.N()), func([]int32) {})
+		}
+		runAll(seq)
+		runAll(par)
+		sn, sp := seq.Counts()
+		pn, pp := par.Counts()
+		if sn != pn || sp != pp {
+			t.Fatalf("%v: parallel counters (nodes=%d pivots=%d) != sequential (nodes=%d pivots=%d)", alg, pn, pp, sn, sp)
+		}
+	}
+}
+
+// TestParallelStructureUpgradePreservesOrder guards the selector's
+// BitSets → BitSetsParallel upgrade: pivot arithmetic must not depend on the
+// adjacency representation, or upgrading a block would shift its output.
+func TestParallelStructureUpgradePreservesOrder(t *testing.T) {
+	g := gen.BarabasiAlbert(110, 5, 11)
+	for _, alg := range []Algorithm{BKPivot, Tomita, Eppstein, XPivot} {
+		lists := collectPar(t, g, Combo{Alg: alg, Struct: Lists}, Par{})
+		par := collectPar(t, g, Combo{Alg: alg, Struct: BitSetsParallel}, Par{Workers: 4, MinCandidates: 2})
+		assertSameOrder(t, fmt.Sprintf("lists-vs-parallel/%v", alg), par, lists)
+	}
+}
+
+// TestWorkDequeStealVsPop hammers one deque with a popping owner and many
+// stealing thieves; under -race this is the memory-model check, and the
+// accounting check is that every task is taken exactly once.
+func TestWorkDequeStealVsPop(t *testing.T) {
+	const tasks = 4096
+	const thieves = 7
+	var d workDeque
+	seen := make([]atomic.Int32, tasks)
+	var taken atomic.Int64
+
+	take := func(t *parTask) {
+		if t == nil {
+			return
+		}
+		seen[int(t.R[0])].Add(1)
+		taken.Add(1)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for taken.Load() < tasks {
+				take(d.steal())
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // owner: interleaves pushes with pops
+		defer wg.Done()
+		<-start
+		for i := 0; i < tasks; i++ {
+			d.push(&parTask{R: []int32{int32(i)}})
+			if i%3 == 0 {
+				take(d.pop())
+			}
+		}
+		for taken.Load() < tasks {
+			take(d.pop())
+		}
+	}()
+	close(start)
+	wg.Wait()
+	for i := range seen {
+		if n := seen[i].Load(); n != 1 {
+			t.Fatalf("task %d taken %d times", i, n)
+		}
+	}
+}
+
+// TestParallelPanicPropagates: a panic inside any pool worker must unwind
+// out of Subproblem on the calling goroutine — the cluster worker's
+// poison-task recover depends on it.
+func TestParallelPanicPropagates(t *testing.T) {
+	g := gen.ErdosRenyi(60, 0.4, 5)
+	var fired atomic.Bool
+	testHookTaskStart = func() {
+		if fired.CompareAndSwap(false, true) {
+			panic("injected task failure")
+		}
+	}
+	defer func() { testHookTaskStart = nil }()
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("pool worker panic did not propagate to the caller")
+		}
+		if fmt.Sprint(r) != "injected task failure" {
+			t.Fatalf("propagated panic = %v, want the injected value", r)
+		}
+	}()
+	_ = EnumeratePar(g, Combo{Alg: Tomita, Struct: BitSetsParallel},
+		Par{Workers: 4, MinCandidates: 2}, func([]int32) {})
+}
+
+// TestParallelSplitGateSuppresssDonation: a gate that always refuses must
+// still produce the full, ordered result — workers just stop donating and
+// recurse in place (only the root fan-out remains).
+func TestParallelSplitGateSuppressesDonation(t *testing.T) {
+	g := gen.HolmeKim(100, 5, 0.4, 13)
+	want := collectPar(t, g, Combo{Alg: Tomita, Struct: BitSets}, Par{})
+	got := collectPar(t, g, Combo{Alg: Tomita, Struct: BitSetsParallel},
+		Par{Workers: 4, MinCandidates: 2, SplitGate: func() bool { return false }})
+	assertSameOrder(t, "gated", got, want)
+}
+
+// TestParallelSubproblemSemantics: the (R, P, X) contract must hold through
+// the pool exactly as it does sequentially.
+func TestParallelSubproblemSemantics(t *testing.T) {
+	g := gen.ErdosRenyi(80, 0.35, 9)
+	n := g.N()
+	runSub := func(c Combo, par Par) [][]int32 {
+		r, err := NewRunnerPar(g, c, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Anchor on node 0: P = N(0) ∩ {v > 0}, X = ∅.
+		P := emptySet(n)
+		for _, u := range g.Neighbors(0) {
+			P.Add(u)
+		}
+		var out [][]int32
+		r.Subproblem([]int32{0}, P, emptySet(n), func(k []int32) {
+			cp := make([]int32, len(k))
+			copy(cp, k)
+			out = append(out, cp)
+		})
+		return out
+	}
+	want := runSub(Combo{Alg: Tomita, Struct: BitSets}, Par{})
+	got := runSub(Combo{Alg: Tomita, Struct: BitSetsParallel}, Par{Workers: 4, MinCandidates: 2})
+	assertSameOrder(t, "subproblem", got, want)
+}

@@ -124,6 +124,19 @@ func (g *Guard) Enter(done <-chan struct{}) {
 	}
 }
 
+// OverBudget reports whether the heap currently exceeds the budget. It is
+// advisory — a cheap cached read with no admission side effects — and is
+// wired as the intra-block enumerator's split gate: while the heap is over
+// budget, workers stop materialising new stealable subproblems and recurse
+// in place instead, so deque growth counts against the same budget that
+// paces block dispatch. A nil guard is never over budget.
+func (g *Guard) OverBudget() bool {
+	if g == nil {
+		return false
+	}
+	return g.heap() >= g.budget
+}
+
 // Exit releases one unit of work admitted by Enter.
 func (g *Guard) Exit() {
 	if g == nil {

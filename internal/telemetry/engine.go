@@ -8,10 +8,11 @@ import (
 
 // NumCombos is the number of algorithm/data-structure combinations the
 // engine tracks per-combo statistics for — the 4×3 grid of the paper's
-// Table 1. Indices come from mcealg.Combo.Index (structures outer,
-// algorithms inner); telemetry itself stays independent of that package and
-// learns the display label of each slot lazily from the caller.
-const NumCombos = 12
+// Table 1 plus the four BitSetsParallel combos of the intra-block parallel
+// mode. Indices come from mcealg.Combo.Index (structures outer, algorithms
+// inner); telemetry itself stays independent of that package and learns the
+// display label of each slot lazily from the caller.
+const NumCombos = 16
 
 // comboCell is one slot of the per-combo pick/timing distribution.
 type comboCell struct {

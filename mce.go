@@ -149,6 +149,25 @@ func WithParallelism(workers int) Option {
 	}
 }
 
+// WithIntraBlockParallelism sets the work-stealing worker count inside a
+// single block's Bron–Kerbosch enumeration (and the terminal core's). With
+// n > 1 the combo selector upgrades BitSets picks on large blocks to the
+// BitSetsParallel execution mode, so one dense block — typically the
+// terminal hub core — no longer serializes the run on a single goroutine.
+// It composes multiplicatively with WithParallelism (each block worker
+// spawns its own pool of n), so keep workers × n around GOMAXPROCS. The
+// result — every clique and its position in the output — is bit-identical
+// at every n; n = 1 keeps the sequential recursion.
+func WithIntraBlockParallelism(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("mce: intra-block parallelism %d is not positive", n)
+		}
+		c.core.IntraBlockParallelism = n
+		return nil
+	}
+}
+
 // WithAlgorithm bypasses the decision tree and uses one algorithm/structure
 // combination for every block. Valid names are "BKPivot", "Tomita",
 // "Eppstein", "XPivot" and "Matrix", "Lists", "BitSets".
