@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: all build test vet lint fmt race vulncheck fuzz-smoke bench-smoke bench-baseline bench-record check bench chaos chaos-straggler
+.PHONY: all build test vet lint fmt race vulncheck fuzz-smoke bench-smoke bench-baseline bench-record allocbudget-check check bench chaos chaos-straggler
 
 # The checked-in per-PR benchmark record (bench-record writes BENCH_$(PR).json).
-PR ?= 8
+PR ?= 9
 
 all: check
 
@@ -24,11 +24,19 @@ vet:
 
 # Repo-specific invariants (context plumbing, lock balance and ordering,
 # sorted adjacency, goroutine lifecycle, channel discipline, CAS loops, gob
-# wire safety, map-order determinism, telemetry nil guards, suppression
-# hygiene). Test files are part of the unit (-tests defaults to on). See
-# DESIGN.md §9, §11 + §14 and `go run ./cmd/mcevet -list`.
+# wire safety, map-order determinism, telemetry nil guards, hot-path
+# allocation/boxing/defer/preallocation discipline, suppression hygiene).
+# Test files are part of the unit (-tests defaults to on). See DESIGN.md
+# §9, §11, §14 + §16 and `go run ./cmd/mcevet -list`.
 lint: vet
 	$(GO) run ./cmd/mcevet ./...
+
+# The committed hot-path allocation budget must match the tree:
+# regenerating .mcevet/allocbudget.json has to be a no-op, or a hot
+# allocation changed without review (DESIGN.md §16).
+allocbudget-check:
+	$(GO) run ./cmd/mcevet -update-allocbudget
+	git diff --exit-code .mcevet/allocbudget.json
 
 # The whole tree runs under the race detector: the cluster runtime and the
 # engine are the hot spots, but satellite packages spawn goroutines too.
@@ -81,7 +89,7 @@ bench-baseline: build
 bench-record: build
 	$(GO) run ./cmd/mcebench -smoke -out BENCH_$(PR).json
 
-check: build fmt lint test race vulncheck bench-smoke
+check: build fmt lint allocbudget-check test race vulncheck bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

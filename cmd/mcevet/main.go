@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mcevet [-list] [-run name,name] [-json] [-sarif] [-diff base] [-fix] [packages...]
+//	mcevet [-list] [-run name,name] [-json] [-sarif] [-diff base] [-fix] [-update-allocbudget] [packages...]
 //
 // With no package patterns, ./... is analyzed relative to the current
 // directory. The exit status is 1 when any diagnostic is reported and 2 on
@@ -19,6 +19,11 @@
 // them — the fast PR gate. -fix applies the analyzers' suggested fixes
 // (inserting sorts, wrapping nil guards), re-runs the suite once over the
 // fixed tree, and reports what remains.
+//
+// -update-allocbudget regenerates .mcevet/allocbudget.json — the committed
+// list of accepted hot-path allocation sites that the hotalloc analyzer
+// reconciles the compiler's escape analysis against. The write is
+// deterministic, so CI can re-run it and fail on `git diff --exit-code`.
 //
 // The suite is also meant as a merge gate: `make lint` (and `make check`)
 // run `mcevet ./...` next to `go vet`. The driver is standalone rather than
@@ -65,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		applyFix = fs.Bool("fix", false, "apply suggested fixes, then re-run once and report what remains")
 		chdir    = fs.String("C", ".", "resolve package patterns relative to this directory")
 		tests    = fs.Bool("tests", true, "include _test.go files (in-package and external test packages) in the analysis")
+		upBudget = fs.Bool("update-allocbudget", false, "regenerate "+lint.DefaultBudgetPath+" from the current hot-path escape analysis and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -109,6 +115,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(selected) > 0 {
 			analyzers = selected
 		}
+	}
+
+	if *upBudget {
+		if len(patterns) == 0 {
+			patterns = []string{"./..."}
+		}
+		return updateBudget(*chdir, patterns, *tests, stdout, stderr)
 	}
 
 	if *diffBase != "" {
@@ -190,6 +203,47 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
+	return 0
+}
+
+// updateBudget regenerates the allocation budget file from the current
+// hot-path escape analysis: the accepted-allocation counterpart of gofmt -w.
+// Notes on surviving entries are carried over; the write is deterministic, so
+// `git diff --exit-code` after a run is the CI drift check.
+func updateBudget(dir string, patterns []string, tests bool, stdout, stderr io.Writer) int {
+	budgetPath := filepath.Join(dir, lint.DefaultBudgetPath)
+	prev, err := lint.LoadAllocBudget(budgetPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcevet: %v\n", err)
+		return 2
+	}
+	pkgs, err := lint.LoadTests(dir, tests, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcevet: %v\n", err)
+		return 2
+	}
+	entries, err := lint.CollectAllocBudget(pkgs, prev)
+	if err != nil {
+		fmt.Fprintf(stderr, "mcevet: %v\n", err)
+		return 2
+	}
+	if err := lint.WriteAllocBudget(budgetPath, entries); err != nil {
+		fmt.Fprintf(stderr, "mcevet: %v\n", err)
+		return 2
+	}
+	was := make(map[string]bool, len(prev))
+	for _, e := range prev {
+		was[e.Site] = true
+	}
+	added := 0
+	for _, e := range entries {
+		if !was[e.Site] {
+			added++
+		}
+		delete(was, e.Site)
+	}
+	fmt.Fprintf(stdout, "mcevet: wrote %s: %d site(s), %d added, %d dropped\n",
+		budgetPath, len(entries), added, len(was))
 	return 0
 }
 

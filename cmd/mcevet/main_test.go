@@ -36,6 +36,7 @@ func TestListExitsZero(t *testing.T) {
 		"ctxplumb", "lockbalance", "sortedadj", "wiretypes",
 		"maporder", "telemetryguard",
 		"lockorder", "golifecycle", "chandiscipline", "casloop",
+		"hotalloc", "hotbox", "hotdefer", "hotslice",
 		"staleignore",
 	} {
 		if !strings.Contains(out.String(), name) {
@@ -327,5 +328,104 @@ func main() {
 	}
 	if !strings.Contains(string(fixed), "slices.Sort(keys)") || !strings.Contains(string(fixed), `"slices"`) {
 		t.Errorf("-fix did not repair the violation:\n%s", fixed)
+	}
+}
+
+// TestAllocBudgetCycle drives the perf gate end to end, pinning the
+// acceptance criterion of the hot-path layer: a hot allocation fails until
+// -update-allocbudget accepts it, deleting the budget entry re-arms the
+// gate, and a planted fmt call in a hot loop fails regardless of budget.
+func TestAllocBudgetCycle(t *testing.T) {
+	dir := writeModule(t, `package main
+
+// Enumerate is this module's annotated enumeration root.
+//
+//mce:hotpath fixture enumeration root
+func Enumerate(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func main() { Enumerate(10) }
+`)
+	hotArgs := []string{"-C", dir, "-run", "hotalloc,hotbox,hotdefer,hotslice", "./..."}
+
+	// 1. No budget: the returned make() escapes and fails the gate.
+	var out, errb strings.Builder
+	if code := run(hotArgs, &out, &errb); code != 1 {
+		t.Fatalf("run with no budget = %d, want 1 (stdout: %s, stderr: %s)", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "hotalloc") || !strings.Contains(out.String(), "not in budget") {
+		t.Errorf("diagnostic does not name the analyzer and the missing budget:\n%s", out.String())
+	}
+
+	// 2. Accept the site the way a human would, then the gate passes.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", dir, "-update-allocbudget"}, &out, &errb); code != 0 {
+		t.Fatalf("-update-allocbudget = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	budgetPath := filepath.Join(dir, ".mcevet", "allocbudget.json")
+	raw, err := os.ReadFile(budgetPath)
+	if err != nil {
+		t.Fatalf("budget file was not written: %v", err)
+	}
+	if !strings.Contains(string(raw), "make([]int, n) escapes to heap") {
+		t.Errorf("budget file does not carry the accepted site:\n%s", raw)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(hotArgs, &out, &errb); code != 0 {
+		t.Fatalf("run with budget = %d, want 0 (stdout: %s)", code, out.String())
+	}
+
+	// 3. Deleting the entry re-arms the gate.
+	if err := os.WriteFile(budgetPath, []byte(`{"sites": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(hotArgs, &out, &errb); code != 1 {
+		t.Fatalf("run after deleting the budget entry = %d, want 1 (stdout: %s)", code, out.String())
+	}
+
+	// 4. A fmt call planted in the hot loop fails even with a fresh budget:
+	// hotbox findings are not budgetable.
+	src := `package main
+
+import "fmt"
+
+// Enumerate is this module's annotated enumeration root.
+//
+//mce:hotpath fixture enumeration root
+func Enumerate(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+		fmt.Sprintf("%d", i)
+	}
+	return out
+}
+
+func main() { Enumerate(10) }
+`
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-C", dir, "-update-allocbudget"}, &out, &errb); code != 0 {
+		t.Fatalf("-update-allocbudget after edit = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run(hotArgs, &out, &errb); code != 1 {
+		t.Fatalf("run with planted fmt.Sprintf = %d, want 1 (stdout: %s)", code, out.String())
+	}
+	if !strings.Contains(out.String(), "hotbox") || !strings.Contains(out.String(), "fmt.Sprintf") {
+		t.Errorf("diagnostic does not name hotbox and the fmt call:\n%s", out.String())
 	}
 }

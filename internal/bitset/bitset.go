@@ -24,6 +24,8 @@ type Set struct {
 }
 
 // New returns an empty Set with capacity for values in [0, n).
+//
+//mce:coldpath allocating constructor; hot callers amortise via scratch free lists
 func New(n int) *Set {
 	if n < 0 {
 		n = 0
@@ -33,6 +35,8 @@ func New(n int) *Set {
 
 // FromSlice returns a Set of capacity n containing every value in vs.
 // Values outside [0, n) are ignored.
+//
+//mce:coldpath allocating constructor
 func FromSlice(n int, vs []int32) *Set {
 	s := New(n)
 	for _, v := range vs {
@@ -48,21 +52,29 @@ func (s *Set) Cap() int { return s.n }
 
 // Add inserts v into the set. Adding a value outside [0, Cap()) panics,
 // matching the behaviour of an out-of-range slice index.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) Add(v int32) {
 	s.words[v>>6] |= 1 << (uint(v) & 63)
 }
 
 // Remove deletes v from the set if present.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) Remove(v int32) {
 	s.words[v>>6] &^= 1 << (uint(v) & 63)
 }
 
 // Has reports whether v is in the set.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) Has(v int32) bool {
 	return s.words[v>>6]&(1<<(uint(v)&63)) != 0
 }
 
 // Empty reports whether the set contains no values.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) Empty() bool {
 	for _, w := range s.words {
 		if w != 0 {
@@ -73,6 +85,8 @@ func (s *Set) Empty() bool {
 }
 
 // Count returns the number of values in the set.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) Count() int {
 	c := 0
 	for _, w := range s.words {
@@ -82,6 +96,8 @@ func (s *Set) Count() int {
 }
 
 // Clear removes every value, keeping the capacity.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
@@ -89,6 +105,8 @@ func (s *Set) Clear() {
 }
 
 // Clone returns an independent copy of the set.
+//
+//mce:coldpath allocating copy, used at subproblem setup
 func (s *Set) Clone() *Set {
 	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
 	copy(c.words, s.words)
@@ -97,11 +115,15 @@ func (s *Set) Clone() *Set {
 
 // CopyFrom overwrites the set with the contents of o. The capacities of the
 // two sets must match.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) CopyFrom(o *Set) {
 	copy(s.words, o.words)
 }
 
 // And replaces the set with the intersection of itself and o.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) And(o *Set) {
 	for i := range s.words {
 		s.words[i] &= o.words[i]
@@ -110,6 +132,8 @@ func (s *Set) And(o *Set) {
 
 // AndInto stores the intersection of a and b into s without allocating.
 // All three sets must share the same capacity.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) AndInto(a, b *Set) {
 	for i := range s.words {
 		s.words[i] = a.words[i] & b.words[i]
@@ -117,6 +141,8 @@ func (s *Set) AndInto(a, b *Set) {
 }
 
 // AndCount returns |s ∩ o| without materialising the intersection.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) AndCount(o *Set) int {
 	c := 0
 	for i, w := range s.words {
@@ -126,6 +152,8 @@ func (s *Set) AndCount(o *Set) int {
 }
 
 // AndNotInto stores a \ b into s without allocating.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) AndNotInto(a, b *Set) {
 	for i := range s.words {
 		s.words[i] = a.words[i] &^ b.words[i]
@@ -133,6 +161,8 @@ func (s *Set) AndNotInto(a, b *Set) {
 }
 
 // Or replaces the set with the union of itself and o.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) Or(o *Set) {
 	for i := range s.words {
 		s.words[i] |= o.words[i]
@@ -140,6 +170,8 @@ func (s *Set) Or(o *Set) {
 }
 
 // AndNot removes from the set every value present in o.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) AndNot(o *Set) {
 	for i := range s.words {
 		s.words[i] &^= o.words[i]
@@ -147,6 +179,8 @@ func (s *Set) AndNot(o *Set) {
 }
 
 // Intersects reports whether s and o share at least one value.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) Intersects(o *Set) bool {
 	for i, w := range s.words {
 		if w&o.words[i] != 0 {
@@ -157,6 +191,8 @@ func (s *Set) Intersects(o *Set) bool {
 }
 
 // SubsetOf reports whether every value of s is also in o.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) SubsetOf(o *Set) bool {
 	for i, w := range s.words {
 		if w&^o.words[i] != 0 {
@@ -167,6 +203,8 @@ func (s *Set) SubsetOf(o *Set) bool {
 }
 
 // Equal reports whether s and o contain exactly the same values.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) Equal(o *Set) bool {
 	if len(s.words) != len(o.words) {
 		return false
@@ -183,6 +221,8 @@ func (s *Set) Equal(o *Set) bool {
 // there is none. It enables allocation-free iteration:
 //
 //	for v := s.Next(0); v >= 0; v = s.Next(v + 1) { ... }
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) Next(from int32) int32 {
 	if from < 0 {
 		from = 0
@@ -204,6 +244,8 @@ func (s *Set) Next(from int32) int32 {
 }
 
 // ForEach calls fn for every value in the set in ascending order.
+//
+//mce:hotpath per-node bitset kernel
 func (s *Set) ForEach(fn func(v int32)) {
 	for i, w := range s.words {
 		base := int32(i << 6)

@@ -371,3 +371,35 @@ func assertSlices(t *testing.T, what string, got, want []int32) {
 		}
 	}
 }
+
+// TestKernelZeroAllocs is the dynamic half of the hotalloc gate for this
+// package: the //mce:hotpath-annotated kernels have no entry in
+// .mcevet/allocbudget.json (mce/internal/bitset carries only the explicitly
+// cold (*Set).Slice site), so a run must observe zero allocations too — the
+// static and dynamic gates name the same sites.
+func TestKernelZeroAllocs(t *testing.T) {
+	const n = 1 << 10
+	a, b, dst := New(n), New(n), New(n)
+	for i := int32(0); i < n; i += 3 {
+		a.Add(i)
+	}
+	for i := int32(0); i < n; i += 5 {
+		b.Add(i)
+	}
+	sink := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		sink += a.AndCount(b)
+		dst.AndInto(a, b)
+		dst.AndNotInto(a, b)
+		dst.CopyFrom(a)
+		dst.And(b)
+		dst.Or(a)
+		dst.AndNot(b)
+		for v := dst.Next(0); v >= 0; v = dst.Next(v + 1) {
+			sink++
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("bitset kernels allocate %v/run, want 0 (sink %d)", allocs, sink)
+	}
+}

@@ -273,9 +273,11 @@ func (e *LocalExecutor) AnalyzeBlocksCheckpoint(ctx context.Context, blocks []de
 
 // analyze is the pool shared by both executor shapes; ids/obs are nil for
 // plain batches.
+//
+//mce:hotpath block-analysis worker pool
 func (e *LocalExecutor) analyze(ctx context.Context, blocks []decomp.Block, combos []mcealg.Combo, ids []runlog.BlockID, obs runlog.BatchObserver) ([][][]int32, error) {
 	if len(blocks) != len(combos) {
-		return nil, fmt.Errorf("core: %d blocks but %d combos", len(blocks), len(combos))
+		return nil, arityMismatch(len(blocks), len(combos))
 	}
 	workers := e.Parallelism
 	if workers <= 0 {
@@ -289,8 +291,8 @@ func (e *LocalExecutor) analyze(ctx context.Context, blocks []decomp.Block, comb
 		return out, nil
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
+		wg       sync.WaitGroup //lint:ignore hotbox captured once per spawned worker, not per recursion node
+		mu       sync.Mutex     //lint:ignore hotbox captured once per spawned worker, not per recursion node
 		firstErr error
 	)
 	met := e.Metrics
@@ -336,7 +338,7 @@ func (e *LocalExecutor) analyze(ctx context.Context, blocks []decomp.Block, comb
 					met.TasksInFlight.Add(1)
 					t0 = time.Now()
 				}
-				var cliques [][]int32
+				var cliques [][]int32 //lint:ignore hotbox the emit sink must outlive the callback; captured once per block, not per node
 				err := decomp.AnalyzeBlockPar(&blocks[i], combos[i], func(c []int32) {
 					cp := make([]int32, len(c))
 					copy(cp, c)
@@ -378,6 +380,15 @@ func (e *LocalExecutor) analyze(ctx context.Context, blocks []decomp.Block, comb
 		return nil, firstErr
 	}
 	return out, nil
+}
+
+// arityMismatch formats the blocks/combos length error of analyze. It is a
+// separate function so the fmt machinery stays off the hot path: analyze is
+// a hot-path root and the mismatch fires at most once per batch.
+//
+//mce:coldpath error formatting, at most once per batch
+func arityMismatch(blocks, combos int) error {
+	return fmt.Errorf("core: %d blocks but %d combos", blocks, combos)
 }
 
 // ErrNoNodes is returned for a graph with no nodes at all; the empty graph
@@ -486,6 +497,8 @@ const parallelMinBlockNodes = 128
 // BitSets). The upgrade never changes the emitted cliques or their order:
 // both structures share the same rows and the same pivot arithmetic, and
 // the parallel enumerator merges back into depth-first order.
+//
+//mce:hotpath per-block combo pick
 func selector(opts Options) func(*decomp.Block) mcealg.Combo {
 	base := baseSelector(opts)
 	if opts.IntraBlockParallelism <= 1 {
@@ -500,6 +513,7 @@ func selector(opts Options) func(*decomp.Block) mcealg.Combo {
 	}
 }
 
+//mce:hotpath per-block combo pick (decision tree)
 func baseSelector(opts Options) func(*decomp.Block) mcealg.Combo {
 	if opts.FixedCombo != nil {
 		c := *opts.FixedCombo

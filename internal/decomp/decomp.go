@@ -14,6 +14,7 @@ package decomp
 
 import (
 	"math/rand"
+	"slices"
 	"sort"
 
 	"mce/internal/bitset"
@@ -267,6 +268,8 @@ func AnalyzeBlockInstr(b *Block, combo mcealg.Combo, emit func(clique []int32), 
 // therefore the downstream checkpoint digests and Lemma-1 filter input, is
 // identical to the sequential path — the pool merges per-worker cliques
 // back into depth-first order before emitting (see mcealg/parallel.go).
+//
+//mce:hotpath per-block Algorithm 4 kernel loop
 func AnalyzeBlockPar(b *Block, combo mcealg.Combo, emit func(clique []int32), ins *telemetry.BlockInstr, par mcealg.Par) error {
 	n := b.Graph.N()
 	// P starts as K ∪ H; V̄ starts as the visited set (line 2–3).
@@ -295,7 +298,7 @@ func AnalyzeBlockPar(b *Block, combo mcealg.Combo, emit func(clique []int32), in
 		for _, v := range local {
 			global = append(global, b.Orig[v])
 		}
-		sort.Slice(global, func(i, j int) bool { return global[i] < global[j] })
+		slices.Sort(global) // not sort.Slice: that boxes the slice per emitted clique
 		emit(global)
 	}
 	for _, k := range b.Kernel {

@@ -333,6 +333,8 @@ func (t *Tree) FeatureImportance() map[Feature]float64 {
 // all four leaves shown and keeps each leaf consistent with Table 1 (Matrix
 // combos win on small blocks, Lists/XPivot on sparse ones, BitSets/Tomita on
 // the densest ones).
+//
+//mce:coldpath tree construction, once per run (the selector caches it)
 func Published() *Tree {
 	leaf := func(a mcealg.Algorithm, s mcealg.Structure) *node {
 		return &node{leaf: true, combo: mcealg.Combo{Alg: a, Struct: s}}

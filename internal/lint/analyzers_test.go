@@ -26,6 +26,10 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{GoLifecycle, [][]string{{"golifecycle/flagged.go", "golifecycle/clean.go", "golifecycle/suppressed.go"}}},
 		{ChanDiscipline, [][]string{{"chandiscipline/flagged.go", "chandiscipline/clean.go", "chandiscipline/suppressed.go", "chandiscipline/livelock.go"}}},
 		{CasLoop, [][]string{{"casloop/flagged.go", "casloop/clean.go", "casloop/suppressed.go"}}},
+		{HotAlloc, [][]string{{"hotalloc/flagged.go", "hotalloc/budgeted.go", "hotalloc/clean.go", "hotalloc/suppressed.go"}}},
+		{HotBox, [][]string{{"hotbox/flagged.go", "hotbox/clean.go", "hotbox/suppressed.go"}}},
+		{HotDefer, [][]string{{"hotdefer/flagged.go", "hotdefer/clean.go", "hotdefer/suppressed.go"}}},
+		{HotSlice, [][]string{{"hotslice/flagged.go", "hotslice/clean.go", "hotslice/suppressed.go"}}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -39,7 +43,7 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 }
 
 // TestSuiteIsComplete pins the advertised analyzer set: the Makefile gate
-// and the docs both promise these eleven. goroutineleak (superseded by the
+// and the docs both promise these fifteen. goroutineleak (superseded by the
 // interprocedural golifecycle) and atomicfield (absorbed into casloop) are
 // deliberately absent.
 func TestSuiteIsComplete(t *testing.T) {
@@ -47,6 +51,7 @@ func TestSuiteIsComplete(t *testing.T) {
 		"ctxplumb", "lockbalance", "sortedadj", "wiretypes",
 		"maporder", "telemetryguard",
 		"lockorder", "golifecycle", "chandiscipline", "casloop",
+		"hotalloc", "hotbox", "hotdefer", "hotslice",
 		"staleignore",
 	}
 	got := Analyzers()

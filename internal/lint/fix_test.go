@@ -112,6 +112,47 @@ func bump(met *telemetry.Engine, ins *telemetry.BlockInstr) {
 	}
 }
 
+func TestApplyFixesPreallocatesHotSlice(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fixme.go")
+	src := `package fixme
+
+// Collect gathers the positive values.
+//
+//mce:hotpath fix fixture root
+func Collect(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatalf("writing fixture: %v", err)
+	}
+
+	diags, changed := fixRound(t, path, HotSlice)
+	if len(diags) != 1 {
+		t.Fatalf("got %d finding(s) before the fix, want 1:\n%v", len(diags), diags)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("ApplyFixes changed %v, want just the fixture", changed)
+	}
+	fixed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading fixed file: %v", err)
+	}
+	if !strings.Contains(string(fixed), "var out = make([]int, 0, len(xs))") {
+		t.Errorf("fix did not preallocate:\n%s", fixed)
+	}
+
+	diags, changed = fixRound(t, path, HotSlice)
+	if len(diags) != 0 || len(changed) != 0 {
+		t.Errorf("fix did not converge: %d finding(s), changed %v", len(diags), changed)
+	}
+}
+
 func TestApplyFixesNoDiagnosticsNoWrites(t *testing.T) {
 	changed, err := ApplyFixes(nil)
 	if err != nil || len(changed) != 0 {

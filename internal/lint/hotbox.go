@@ -1,0 +1,306 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// hotbox: no avoidable per-call allocation machinery in hot functions.
+// Three shapes, all of which the enumeration loop pays per recursion node:
+//
+//   - calls into fmt or reflect — both allocate and defeat inlining; the
+//     hot path has no business formatting anything;
+//   - implicit interface boxing of a non-pointer-shaped value (a slice
+//     passed to sort.Slice as `any`, an int assigned to an interface
+//     variable) — each conversion heap-allocates a box;
+//   - a variable the compiler moved to the heap because a closure in a hot
+//     loop captures it — the capture allocates once, but the variable's
+//     every access becomes an indirection inside the loop.
+//
+// Constant arguments and pointer-shaped values (pointers, channels, maps,
+// funcs) convert to interfaces without allocating and are not flagged.
+var HotBox = &Analyzer{
+	Name: "hotbox",
+	Doc: "interface boxing, fmt/reflect use, or closure-capture escape " +
+		"inside a hot-path function — per-node allocation machinery the " +
+		"enumeration cost model cannot absorb",
+	Run: runHotBox,
+}
+
+func runHotBox(pass *Pass) error {
+	h := hotData(pass.Suite)
+	decls := h.declsIn(pass.Pkg)
+	if len(decls) == 0 {
+		return nil
+	}
+	var esc *escapeData
+	for _, hd := range decls {
+		if declHasLoopClosure(hd.decl) {
+			// Escape data is only needed for the capture check; load it
+			// lazily so AST-only packages skip the compiler run.
+			var err error
+			if esc, err = escapeFor(pass.Suite, pass.Pkg); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	for _, hd := range decls {
+		checkBoxing(pass, hd)
+		if esc != nil {
+			checkCaptures(pass, hd, esc)
+		}
+	}
+	return nil
+}
+
+// checkBoxing walks one hot declaration for fmt/reflect calls and implicit
+// interface conversions that allocate.
+func checkBoxing(pass *Pass, hd hotDecl) {
+	info := pass.Pkg.Info
+	ast.Inspect(hd.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeOf(info, n); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "fmt", "reflect":
+					pass.Reportf(n.Pos(),
+						"hot-path call to %s.%s (hot via %s): fmt/reflect allocate on every call; hoist it off the hot path or lint:ignore a cold branch",
+						fn.Pkg().Name(), fn.Name(), hd.root)
+				}
+				checkCallBoxing(pass, hd, n, fn)
+			} else if tv, ok := info.Types[n.Fun]; ok && tv.IsType() && len(n.Args) == 1 {
+				// Explicit conversion T(x) with an interface target.
+				reportIfBoxes(pass, hd, n.Args[0], tv.Type, "converted to")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if lt := lhsType(info, lhs); lt != nil {
+						reportIfBoxes(pass, hd, n.Rhs[i], lt, "assigned to")
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if tv, ok := info.Types[n.Type]; ok {
+					for _, v := range n.Values {
+						reportIfBoxes(pass, hd, v, tv.Type, "assigned to")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCallBoxing flags arguments boxed into interface parameters.
+func checkCallBoxing(pass *Pass, hd hotDecl, call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= np-1:
+			if call.Ellipsis.IsValid() {
+				continue // xs... passes the slice through, no boxing
+			}
+			if sl, ok := sig.Params().At(np - 1).Type().Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < np:
+			pt = sig.Params().At(i).Type()
+		}
+		if pt != nil {
+			reportIfBoxes(pass, hd, arg, pt, "passed as")
+		}
+	}
+}
+
+// reportIfBoxes reports when assigning/passing expr to target allocates an
+// interface box: target is an interface, expr is a non-constant,
+// non-pointer-shaped concrete value.
+func reportIfBoxes(pass *Pass, hd hotDecl, expr ast.Expr, target types.Type, verb string) {
+	if _, ok := target.(*types.TypeParam); ok {
+		return // generic instantiation (slices.Sort and friends), not boxing
+	}
+	if !types.IsInterface(target) {
+		return
+	}
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return // untyped nil and constants box without a runtime allocation
+	}
+	if types.IsInterface(tv.Type) || isPointerShaped(tv.Type) {
+		return
+	}
+	pass.Reportf(expr.Pos(),
+		"hot-path interface boxing (hot via %s): %s %s %s allocates per call",
+		hd.root, tv.Type.String(), verb, target.String())
+}
+
+// isPointerShaped reports whether values of t fit an interface word
+// directly (no box allocation on conversion).
+func isPointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Basic:
+		if b, ok := t.Underlying().(*types.Basic); ok {
+			return b.Kind() == types.UnsafePointer
+		}
+		return true
+	}
+	return false
+}
+
+// lhsType resolves the static type of an assignment target, or nil for
+// blank and index targets.
+func lhsType(info *types.Info, lhs ast.Expr) types.Type {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return nil
+		}
+		if obj, ok := info.Defs[lhs]; ok && obj != nil {
+			return nil // := defines a new var, its type is the RHS's, no conversion
+		}
+		if obj, ok := info.Uses[lhs].(*types.Var); ok {
+			return obj.Type()
+		}
+	case *ast.SelectorExpr:
+		if v := selectedField(info, lhs); v != nil {
+			return v.Type()
+		}
+	}
+	return nil
+}
+
+// declHasLoopClosure reports whether the declaration contains a function
+// literal lexically inside a loop — the precondition for the capture check.
+func declHasLoopClosure(decl *ast.FuncDecl) bool {
+	found := false
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				if m.Body != nil {
+					walk(m.Body, true)
+				}
+				return false
+			case *ast.RangeStmt:
+				if m.Body != nil {
+					walk(m.Body, true)
+				}
+				return false
+			case *ast.FuncLit:
+				if inLoop {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	walk(decl.Body, false)
+	return found
+}
+
+// checkCaptures flags "moved to heap" escapes whose variable is captured by
+// a closure inside a loop of the hot function: hotalloc cedes these sites
+// (captureClaimed) because the remedy is restructuring the closure, not
+// budgeting the allocation.
+func checkCaptures(pass *Pass, hd hotDecl, esc *escapeData) {
+	for _, site := range esc.byFunc[hd.key] {
+		if !captureClaimed(pass.Pkg, hd.decl, site) {
+			continue
+		}
+		name := strings.TrimPrefix(site.msg, "moved to heap: ")
+		pass.Reportf(posFor(pass.Pkg, site.pos),
+			"hot-loop closure capture (hot via %s): %s is moved to the heap because a closure in a loop captures it; pass it as a parameter or hoist the closure",
+			hd.root, name)
+	}
+}
+
+// captureClaimed reports whether the escape site is a variable moved to the
+// heap by a loop-closure capture inside decl — the class hotbox owns and
+// hotalloc skips. The variable is identified by the site position (the
+// compiler reports "moved to heap" at the declaring identifier).
+func captureClaimed(pkg *Package, decl *ast.FuncDecl, site escapeSite) bool {
+	name, ok := strings.CutPrefix(site.msg, "moved to heap: ")
+	if !ok || decl.Body == nil {
+		return false
+	}
+	var obj types.Object
+	ast.Inspect(decl, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name != name {
+			return true
+		}
+		def := pkg.Info.Defs[id]
+		if def == nil {
+			return true
+		}
+		p := pkg.Fset.Position(id.Pos())
+		if p.Filename == site.pos.Filename && p.Line == site.pos.Line {
+			obj = def
+		}
+		return true
+	})
+	if obj == nil {
+		return false
+	}
+	claimed := false
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if claimed {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				if m.Body != nil {
+					walk(m.Body, true)
+				}
+				return false
+			case *ast.RangeStmt:
+				if m.Body != nil {
+					walk(m.Body, true)
+				}
+				return false
+			case *ast.FuncLit:
+				if inLoop && funcLitUses(pkg.Info, m, obj) {
+					claimed = true
+				}
+				return false
+			}
+			return true
+		})
+	}
+	walk(decl.Body, false)
+	return claimed
+}
+
+// funcLitUses reports whether the literal's body references obj.
+func funcLitUses(info *types.Info, lit *ast.FuncLit, obj types.Object) bool {
+	used := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

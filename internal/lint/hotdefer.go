@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// hotdefer: no defer inside a hot loop. Since Go 1.13 a defer is nearly
+// free when the compiler can open-code it — but open-coding is disabled for
+// defers inside loops, which fall back to a heap-allocated defer record per
+// iteration, and the records accumulate until the *function* returns, not
+// the iteration. Both costs multiply with the recursion-node count in the
+// enumeration inner loop. Recursion is a loop the parser cannot see, so a
+// defer anywhere in a hot function that participates in a call-graph cycle
+// (the Bron–Kerbosch recursion itself) is flagged too.
+//
+// Function-literal bodies reset the loop context: a defer at the top of a
+// closure or goroutine body runs per call of that closure and stays
+// open-coded, which is exactly the worker-spawn `defer wg.Done()` shape the
+// executor uses.
+var HotDefer = &Analyzer{
+	Name: "hotdefer",
+	Doc: "defer inside a hot loop or a recursive hot function — the defer " +
+		"record is heap-allocated per iteration and released only at " +
+		"function return",
+	Run: runHotDefer,
+}
+
+func runHotDefer(pass *Pass) error {
+	h := hotData(pass.Suite)
+	decls := h.declsIn(pass.Pkg)
+	if len(decls) == 0 {
+		return nil
+	}
+	g := pass.Suite.CallGraph()
+	for _, hd := range decls {
+		recursive := g.inCycle(hd.fn)
+		checkDefers(pass, hd, hd.decl.Body, false, recursive)
+	}
+	return nil
+}
+
+// checkDefers walks one function body tracking lexical loop nesting;
+// function literals recurse with a fresh loop context (their defers run at
+// closure return) and without the recursion flag (the cycle belongs to the
+// declaration, not the literal).
+func checkDefers(pass *Pass, hd hotDecl, body ast.Node, inLoop, recursive bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Init != nil {
+				checkDefers(pass, hd, n.Init, inLoop, recursive)
+			}
+			if n.Body != nil {
+				checkDefers(pass, hd, n.Body, true, recursive)
+			}
+			return false
+		case *ast.RangeStmt:
+			if n.Body != nil {
+				checkDefers(pass, hd, n.Body, true, recursive)
+			}
+			return false
+		case *ast.FuncLit:
+			checkDefers(pass, hd, n.Body, false, false)
+			return false
+		case *ast.DeferStmt:
+			switch {
+			case inLoop:
+				pass.Reportf(n.Pos(),
+					"defer inside a hot loop (%s, hot via %s): one heap-allocated defer record per iteration, released only at function return; open-code the cleanup or move it out of the loop",
+					funcDisplay(hd.fn), hd.root)
+			case recursive:
+				pass.Reportf(n.Pos(),
+					"defer in recursive hot function %s (hot via %s): one defer record per recursion node; open-code the cleanup",
+					funcDisplay(hd.fn), hd.root)
+			}
+		}
+		return true
+	})
+}

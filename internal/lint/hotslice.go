@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotslice: no append-growth in a bounded hot loop. When the iteration
+// count is syntactically evident — `for _, v := range xs` or
+// `for i := 0; i < n; i++` — a slice built by repeated append re-allocates
+// and copies O(log n) times per loop for no reason; declaring it with
+// `make(T, 0, bound)` makes the loop allocation-free after the first call.
+// The fix is suggested mechanically (-fix) when the bound expression is in
+// scope at the declaration.
+var HotSlice = &Analyzer{
+	Name: "hotslice",
+	Doc: "append-growth in a bounded hot loop without preallocation; " +
+		"declare the slice with make(..., 0, bound) so the loop does not " +
+		"re-allocate",
+	Run: runHotSlice,
+}
+
+func runHotSlice(pass *Pass) error {
+	h := hotData(pass.Suite)
+	for _, hd := range h.declsIn(pass.Pkg) {
+		checkLoopAppends(pass, hd)
+	}
+	return nil
+}
+
+// sliceDecl describes where and how a local slice variable was declared,
+// for building the preallocation fix.
+type sliceDecl struct {
+	spec *ast.ValueSpec // `var x []T` form (no values)
+	rhs  ast.Expr       // `x := []T{}` or `x := make([]T, 0)` right-hand side
+	typ  ast.Expr       // the []T type expression
+	pos  token.Pos      // declaration position
+}
+
+func checkLoopAppends(pass *Pass, hd hotDecl) {
+	info := pass.Pkg.Info
+	decls := growableSliceDecls(pass, hd.decl)
+	seen := make(map[*ast.CallExpr]bool)
+	ast.Inspect(hd.decl.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		var bound ast.Expr
+		wrapLen := false
+		switch loop := n.(type) {
+		case *ast.RangeStmt:
+			tv, ok := info.Types[loop.X]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice, *types.Array, *types.Map:
+			default:
+				if p, ok := tv.Type.Underlying().(*types.Pointer); !ok {
+					return true
+				} else if _, ok := p.Elem().Underlying().(*types.Array); !ok {
+					return true
+				}
+			}
+			if !sideEffectFree(loop.X) {
+				return true
+			}
+			body, bound, wrapLen = loop.Body, loop.X, true
+		case *ast.ForStmt:
+			cond, ok := loop.Cond.(*ast.BinaryExpr)
+			if !ok || cond.Op != token.LSS || !sideEffectFree(cond.Y) {
+				return true
+			}
+			body, bound = loop.Body, cond.Y
+		default:
+			return true
+		}
+		for _, ga := range loopAppends(info, body) {
+			call, target := ga.call, ga.target
+			if seen[call] {
+				continue
+			}
+			d, ok := decls[target]
+			if !ok || d.pos >= n.(ast.Stmt).Pos() {
+				continue // not a plain local, or declared inside the loop
+			}
+			seen[call] = true
+			boundText := types.ExprString(bound)
+			if wrapLen {
+				boundText = "len(" + boundText + ")"
+			}
+			msg := "append-growth in a bounded hot loop (hot via %s): preallocate %s with make(%s, 0, %s)"
+			if fix := prealloc(pass, d, bound, boundText); fix != nil {
+				pass.ReportFix(call.Pos(), fix, msg, hd.root, target.Name(), types.ExprString(d.typ), boundText)
+			} else {
+				pass.Reportf(call.Pos(), msg, hd.root, target.Name(), types.ExprString(d.typ), boundText)
+			}
+		}
+		return true
+	})
+}
+
+// growthSite is one `x = append(x, ...)` statement found inside a loop.
+type growthSite struct {
+	call   *ast.CallExpr
+	target *types.Var
+}
+
+// loopAppends collects the append-growth statements lexically inside one
+// loop body, descending through branches but not into nested loops (their
+// iteration count is the product, not the bound) or function literals.
+func loopAppends(info *types.Info, body *ast.BlockStmt) []growthSite {
+	var out []growthSite
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+			return false
+		case ast.Stmt:
+			if call, target := appendGrowth(info, n); call != nil {
+				out = append(out, growthSite{call: call, target: target})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// appendGrowth matches the statement form `x = append(x, ...)` and returns
+// the append call and x's variable.
+func appendGrowth(info *types.Info, stmt ast.Stmt) (*ast.CallExpr, *types.Var) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil, nil
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	target, ok := info.Uses[lhs].(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 || call.Ellipsis.IsValid() {
+		return nil, nil
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || info.Uses[id] != types.Universe.Lookup("append") {
+		return nil, nil
+	}
+	if first, ok := call.Args[0].(*ast.Ident); !ok || info.Uses[first] != target {
+		return nil, nil
+	}
+	return call, target
+}
+
+// growableSliceDecls finds the local slice variables of decl declared with
+// no capacity: `var x []T`, `x := []T{}`, `x := make([]T, 0)`.
+func growableSliceDecls(pass *Pass, decl *ast.FuncDecl) map[*types.Var]sliceDecl {
+	info := pass.Pkg.Info
+	out := make(map[*types.Var]sliceDecl)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, s := range gd.Specs {
+				spec, ok := s.(*ast.ValueSpec)
+				if !ok || len(spec.Values) != 0 || len(spec.Names) != 1 {
+					continue
+				}
+				if _, ok := spec.Type.(*ast.ArrayType); !ok || spec.Type.(*ast.ArrayType).Len != nil {
+					continue
+				}
+				if v, ok := info.Defs[spec.Names[0]].(*types.Var); ok {
+					out[v] = sliceDecl{spec: spec, typ: spec.Type, pos: spec.Pos()}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE || len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Defs[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			switch rhs := n.Rhs[0].(type) {
+			case *ast.CompositeLit:
+				if t, ok := rhs.Type.(*ast.ArrayType); ok && t.Len == nil && len(rhs.Elts) == 0 {
+					out[v] = sliceDecl{rhs: rhs, typ: rhs.Type, pos: n.Pos()}
+				}
+			case *ast.CallExpr:
+				if id, ok := rhs.Fun.(*ast.Ident); ok && id.Name == "make" &&
+					info.Uses[id] == types.Universe.Lookup("make") && len(rhs.Args) == 2 {
+					if t, ok := rhs.Args[0].(*ast.ArrayType); ok && t.Len == nil && isZeroLit(rhs.Args[1]) {
+						out[v] = sliceDecl{rhs: rhs, typ: rhs.Args[0], pos: n.Pos()}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// sideEffectFree accepts the bound expressions safe to duplicate into a
+// make capacity: identifiers, selector chains, and len() of those.
+func sideEffectFree(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		return sideEffectFree(e.X)
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "len" && len(e.Args) == 1 {
+			return sideEffectFree(e.Args[0])
+		}
+	}
+	return false
+}
+
+// prealloc builds the make(..., 0, bound) fix when the bound's identifiers
+// are all in scope at the declaration (declared before it); otherwise the
+// finding ships without a fix.
+func prealloc(pass *Pass, d sliceDecl, bound ast.Expr, boundText string) *SuggestedFix {
+	ok := true
+	ast.Inspect(bound, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || !ok {
+			return true
+		}
+		obj := pass.Pkg.Info.Uses[id]
+		if obj == nil {
+			return true // len, package qualifiers
+		}
+		if _, isVar := obj.(*types.Var); isVar && obj.Pos() >= d.pos {
+			ok = false
+		}
+		return true
+	})
+	if !ok {
+		return nil
+	}
+	makeText := "make(" + types.ExprString(d.typ) + ", 0, " + boundText + ")"
+	var e TextEdit
+	switch {
+	case d.spec != nil:
+		e = pass.edit(d.spec.Pos(), d.spec.End(), d.spec.Names[0].Name+" = "+makeText)
+	case d.rhs != nil:
+		e = pass.edit(d.rhs.Pos(), d.rhs.End(), makeText)
+	default:
+		return nil
+	}
+	return &SuggestedFix{
+		Message: "preallocate with " + makeText,
+		Edits:   []TextEdit{e},
+	}
+}

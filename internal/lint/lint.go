@@ -1,8 +1,8 @@
 // Package lint is a repo-specific static-analysis suite: a small, dependency
 // free re-implementation of the golang.org/x/tools/go/analysis model (the
-// builder has no network, so the real module cannot be vendored) plus eleven
-// analyzers that machine-check invariants the engine's correctness argument
-// leans on.
+// builder has no network, so the real module cannot be vendored) plus
+// fifteen analyzers that machine-check invariants the engine's correctness
+// and performance arguments lean on.
 //
 // The PR 2 per-package analyzers:
 //
@@ -51,9 +51,25 @@
 //     through sync/atomic anywhere must be accessed that way everywhere
 //     (subsumes and retires PR 3's atomicfield).
 //
+// The PR 10 perf layer turns the zero-alloc invariant of the enumeration
+// inner loop into a module-wide gate: a hot-path fact pass (hotpath.go)
+// seeds from //mce:hotpath annotations on the enumeration roots and closes
+// over the call graph, an escape-analysis ingester (escape.go) parses
+// `go build -gcflags=-m=2` per package, and four analyzers join the two:
+//
+//   - hotalloc: compiler-proven heap allocations in hot functions must be
+//     reconciled against the committed budget .mcevet/allocbudget.json —
+//     known sites pass, new sites fail, stale entries fail;
+//   - hotbox: no fmt/reflect calls, allocating interface boxing, or
+//     hot-loop closure captures in hot functions;
+//   - hotdefer: no defer inside hot loops or recursive hot functions (the
+//     defer record heap-allocates per iteration there);
+//   - hotslice: append-growth in bounded hot loops must preallocate
+//     (mechanical make(..., 0, n) fix under -fix).
+//
 // The suite runs via cmd/mcevet (standalone driver, `make lint`; -sarif,
-// -diff and -fix for CI integration) and in the analyzers' own
-// analysistest-style fixture tests.
+// -diff, -fix and -update-allocbudget for CI integration) and in the
+// analyzers' own analysistest-style fixture tests.
 package lint
 
 import (
@@ -114,12 +130,14 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in reporting order: the PR 2
 // per-package analyzers first, then the v2 dataflow analyzers, then the
-// PR 7 concurrency analyzers, with the staleignore meta-pass last.
+// PR 7 concurrency analyzers, then the PR 10 hot-path perf analyzers, with
+// the staleignore meta-pass last.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		CtxPlumb, LockBalance, SortedAdj, WireTypes,
 		MapOrder, TelemetryGuard,
 		LockOrder, GoLifecycle, ChanDiscipline, CasLoop,
+		HotAlloc, HotBox, HotDefer, HotSlice,
 		StaleIgnore,
 	}
 }

@@ -31,6 +31,13 @@ type Package struct {
 	// Types and Info carry the go/types results; analyzers rely on both.
 	Types *types.Package
 	Info  *types.Info
+	// ImporterClosed records that the load pattern covered the whole module
+	// ("./..."), so every importer of this package is also in the load. A
+	// cross-package property — "nothing heats this function" — is only
+	// decidable under a closed view; hotalloc's stale-entry check consults
+	// this to stay silent on partial loads, where an unloaded importer may
+	// hold the hot root.
+	ImporterClosed bool
 }
 
 // exportLookup resolves import paths to gc export data by shelling out to
@@ -127,6 +134,12 @@ func LoadTests(dir string, tests bool, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	closed := true
+	for _, p := range patterns {
+		if p != "./..." {
+			closed = false
+		}
+	}
 	args := append([]string{"list", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -214,6 +227,9 @@ func LoadTests(dir string, tests bool, patterns ...string) ([]*Package, error) {
 			}
 			pkgs = append(pkgs, pkg)
 		}
+	}
+	for _, pkg := range pkgs {
+		pkg.ImporterClosed = closed
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
 	return pkgs, nil

@@ -1,0 +1,15 @@
+package hotallocfix
+
+// budgetedRoot allocates on the hot path, but the site is listed in this
+// fixture tree's .mcevet/allocbudget.json (nearest-ancestor resolution
+// finds it before the module root's real budget), so hotalloc stays quiet.
+//
+//mce:hotpath budgeted root
+//go:noinline
+func budgetedRoot(n int) []int32 {
+	out := make([]int32, 0, n) // in budget: intentional per-call snapshot
+	for i := 0; i < n; i++ {
+		out = append(out, int32(i))
+	}
+	return out
+}

@@ -1,0 +1,20 @@
+package hotallocfix
+
+import "math/bits"
+
+// andCount is hot but allocation-free: the kernel shape the gate protects.
+//
+//mce:hotpath clean root: word-parallel kernel
+func andCount(a, b []uint64) int {
+	c := 0
+	for i := range a {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
+}
+
+// notHot allocates freely — it is unreachable from every root, so the gate
+// does not apply.
+func notHot(n int) []int {
+	return make([]int, n)
+}

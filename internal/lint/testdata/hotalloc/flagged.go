@@ -1,0 +1,52 @@
+package hotallocfix
+
+// Fixture for hotalloc: compiler-proven heap allocations inside the hot
+// set that no budget entry covers. Helpers carry //go:noinline so each
+// escape is reported once, at its own declaration, keeping the expected
+// diagnostics position-stable.
+
+// enumerate is the annotated root of this file's hot set; it allocates
+// nothing itself.
+//
+//mce:hotpath fixture enumeration root
+func enumerate(n int) int {
+	buf := grow(n)
+	scratch := setup(n)
+	return len(buf) + len(scratch) + helperDepth(n)
+}
+
+// grow is hot via enumerate and allocates per call.
+//
+//go:noinline
+func grow(n int) []int {
+	buf := make([]int, n) // want `hot-path allocation not in budget: make\(\[\]int, n\) escapes to heap`
+	for i := range buf {
+		buf[i] = i
+	}
+	return buf
+}
+
+// setup is reachable from the root but runs per block, not per node: the
+// coldpath annotation prunes it (and anything only it reaches) from the
+// hot set, so its allocation is not flagged.
+//
+//mce:coldpath per-run setup, not per-node work
+//go:noinline
+func setup(n int) []byte {
+	return make([]byte, n)
+}
+
+// helperDepth proves the closure is transitive: leaf is two hops from the
+// root.
+//
+//go:noinline
+func helperDepth(n int) int {
+	p := leaf(n)
+	return *p
+}
+
+//go:noinline
+func leaf(n int) *int {
+	v := n * 2 // want `hot-path allocation not in budget: moved to heap: v`
+	return &v
+}

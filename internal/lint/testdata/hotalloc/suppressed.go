@@ -1,0 +1,13 @@
+package hotallocfix
+
+// suppressedRoot pins the lint:ignore path: an allocation can be waived
+// in-line instead of budgeted when the justification belongs next to the
+// code.
+//
+//mce:hotpath suppressed root
+//go:noinline
+func suppressedRoot(n int) *int {
+	//lint:ignore hotalloc fixture: result must outlive the call by design
+	v := n + 1
+	return &v
+}

@@ -1,0 +1,43 @@
+package hotboxfix
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
+
+// countBits is hot and box-free.
+//
+//mce:hotpath clean root
+func countBits(words []uint64) int {
+	n := 0
+	for _, w := range words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// pointerShaped pins the exemptions: pointer-shaped values and constants
+// convert to interfaces without allocating.
+//
+//mce:hotpath pointer-shaped root
+func pointerShaped(m map[string]int, p *int) (any, any, any) {
+	var a, b, c any
+	a = m // maps are pointer-shaped: no box allocation
+	b = p // pointers too
+	c = 7 // constants are materialised statically
+	return a, b, c
+}
+
+// genericSort pins the generics exemption: a slice passed to a type
+// parameter instantiates, it does not box.
+//
+//mce:hotpath generic root
+func genericSort(xs []int32) {
+	slices.Sort(xs)
+}
+
+// describe is not hot; fmt is fine off the hot path.
+func describe(n int) string {
+	return fmt.Sprintf("%d", n)
+}

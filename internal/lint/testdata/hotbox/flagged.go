@@ -1,0 +1,63 @@
+package hotboxfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fixture for hotbox: fmt/reflect calls, allocating interface boxing, and
+// hot-loop closure captures inside the hot set.
+
+// report is this file's annotated root.
+//
+//mce:hotpath boxing fixture root
+func report(vals []int) string {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] }) // want `hot-path interface boxing.*\[\]int`
+	n := len(vals)
+	return fmt.Sprintf("%d", n) // want `hot-path call to fmt.Sprintf` `hot-path interface boxing.*int`
+}
+
+// assignBox boxes through an assignment to an interface variable.
+//
+//mce:hotpath assignment root
+func assignBox(n int) any {
+	var v any
+	v = n // want `hot-path interface boxing.*int.*assigned to`
+	return v
+}
+
+// convBox boxes through an explicit conversion.
+//
+//mce:hotpath conversion root
+func convBox(s string) any {
+	return any(s) // want `hot-path interface boxing.*string.*converted to`
+}
+
+// captureLoop declares a variable inside a hot loop and lets an escaping
+// closure capture it; the compiler moves it to the heap and hotbox, not
+// hotalloc, owns the finding.
+//
+//mce:hotpath capture root
+//go:noinline
+func captureLoop(rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		acc := 0 // want `hot-loop closure capture.*acc`
+		walk(row, func(v int) {
+			acc += v
+		})
+		total += acc
+	}
+	return total
+}
+
+// sink forces the walk callback (and everything it captures) to escape.
+var sink func(int)
+
+//go:noinline
+func walk(xs []int, f func(int)) {
+	sink = f
+	for _, v := range xs {
+		f(v)
+	}
+}

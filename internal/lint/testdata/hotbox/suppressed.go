@@ -1,0 +1,12 @@
+package hotboxfix
+
+import "fmt"
+
+// logHot pins the lint:ignore path: one directive covers both the fmt-call
+// and the boxing finding on the same line.
+//
+//mce:hotpath suppressed root
+func logHot(n int) string {
+	//lint:ignore hotbox fixture: cold diagnostic branch kept hot for the test
+	return fmt.Sprint(n)
+}

@@ -1,0 +1,39 @@
+package hotdeferfix
+
+import "sync"
+
+// cleanDefer: a top-of-function defer in a non-recursive hot function is
+// open-coded and free.
+//
+//mce:hotpath clean root
+func cleanDefer(mu *sync.Mutex, xs []int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// spawn: a defer at the top of a goroutine body launched from a loop runs
+// once per goroutine on a fresh stack — the executor's worker-spawn shape.
+//
+//mce:hotpath goroutine root
+func spawn(wg *sync.WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// coldLoop is not hot: the same shape draws no finding off the hot path.
+func coldLoop(mu *sync.Mutex, n int) {
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		defer mu.Unlock()
+	}
+}

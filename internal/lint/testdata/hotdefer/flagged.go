@@ -1,0 +1,43 @@
+package hotdeferfix
+
+import "sync"
+
+// Fixture for hotdefer: defer records that heap-allocate per iteration or
+// per recursion node.
+
+// lockLoop defers inside a hot loop: the records pile up until the
+// function returns.
+//
+//mce:hotpath defer-loop root
+func lockLoop(mu *sync.Mutex, n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		defer mu.Unlock() // want `defer inside a hot loop`
+		total += i
+	}
+	return total
+}
+
+// recurse is hot and participates in a call-graph cycle: a defer here runs
+// once per recursion node, which is a loop the parser cannot see.
+//
+//mce:hotpath recursion root
+func recurse(mu *sync.Mutex, depth int) int {
+	if depth == 0 {
+		return 0
+	}
+	mu.Lock()
+	defer mu.Unlock() // want `defer in recursive hot function`
+	return 1 + recurse(mu, depth-1)
+}
+
+// rangeDefer pins the range-loop form.
+//
+//mce:hotpath range root
+func rangeDefer(files []*sync.Mutex) {
+	for _, mu := range files {
+		mu.Lock()
+		defer mu.Unlock() // want `defer inside a hot loop`
+	}
+}

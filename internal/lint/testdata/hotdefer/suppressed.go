@@ -1,0 +1,14 @@
+package hotdeferfix
+
+import "sync"
+
+// deliberate pins the lint:ignore path for hotdefer.
+//
+//mce:hotpath suppressed root
+func deliberate(mus []*sync.Mutex) {
+	for _, mu := range mus {
+		mu.Lock()
+		//lint:ignore hotdefer fixture: panic-safety outweighs the record cost here
+		defer mu.Unlock()
+	}
+}

@@ -1,0 +1,52 @@
+package hotslicefix
+
+// preallocated is the fixed shape: capacity matches the bound, the loop
+// never re-allocates.
+//
+//mce:hotpath prealloc root
+func preallocated(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// unbounded has no syntactic bound; hotslice stays quiet rather than
+// guessing.
+//
+//mce:hotpath unbounded root
+func unbounded(next func() (int, bool)) []int {
+	var out []int
+	for {
+		v, ok := next()
+		if !ok {
+			break
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// nested: the slice already carries a capacity — even a deliberate
+// underestimate — so the growth is a judgement call, not a finding.
+//
+//mce:hotpath nested root
+func nested(rows [][]int) []int {
+	out := make([]int, 0, len(rows))
+	for _, row := range rows {
+		for range row {
+			out = append(out, len(row))
+		}
+	}
+	return out
+}
+
+// coldCollect is not hot: growth off the hot path is fine.
+func coldCollect(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package hotslicefix
+
+// Fixture for hotslice: append-growth inside loops whose bound is
+// syntactically evident.
+
+// collectRange grows a slice across a range loop; the bound is len(xs).
+//
+//mce:hotpath range root
+func collectRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		if x > 0 {
+			out = append(out, x) // want `append-growth in a bounded hot loop.*make\(\[\]int, 0, len\(xs\)\)`
+		}
+	}
+	return out
+}
+
+// collectCount grows across a counted loop; the bound is n.
+//
+//mce:hotpath counted root
+func collectCount(n int) []int32 {
+	out := []int32{}
+	for i := 0; i < n; i++ {
+		out = append(out, int32(i)) // want `append-growth in a bounded hot loop.*make\(\[\]int32, 0, n\)`
+	}
+	return out
+}
+
+// collectMake pins the make-without-capacity declaration form.
+//
+//mce:hotpath make root
+func collectMake(keys []string) []string {
+	out := make([]string, 0)
+	for _, k := range keys {
+		out = append(out, k) // want `append-growth in a bounded hot loop.*make\(\[\]string, 0, len\(keys\)\)`
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+package hotslicefix
+
+// sparse pins the lint:ignore path: when matches are known to be rare,
+// preallocating the full bound wastes memory and the waiver documents it.
+//
+//mce:hotpath suppressed root
+func sparse(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		if x%1024 == 0 {
+			//lint:ignore hotslice fixture: hit rate ~0.1%, full prealloc would waste memory
+			out = append(out, x)
+		}
+	}
+	return out
+}

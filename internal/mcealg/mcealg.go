@@ -15,7 +15,7 @@ package mcealg
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
 
 	"mce/internal/bitset"
 	"mce/internal/graph"
@@ -199,6 +199,8 @@ func NewRunner(g *graph.Graph, c Combo) (*Runner, error) {
 
 // NewRunnerPar is NewRunner with explicit intra-enumeration parallelism.
 // par.Workers ≤ 1 always runs the sequential recursion, whatever the combo.
+//
+//mce:coldpath per-run adjacency construction
 func NewRunnerPar(g *graph.Graph, c Combo, par Par) (*Runner, error) {
 	switch c.Alg {
 	case BKPivot, Tomita, Eppstein, XPivot:
@@ -296,12 +298,14 @@ func (e *enumerator) put(s *bitset.Set) {
 // and must not be reordered: ancestors still rely on their prefix.
 func (e *enumerator) report(R []int32) {
 	e.buf = append(e.buf[:0], R...)
-	sort.Slice(e.buf, func(i, j int) bool { return e.buf[i] < e.buf[j] })
+	slices.Sort(e.buf) // not sort.Slice: that boxes the slice per emitted clique
 	e.emit(e.buf)
 }
 
 // bk is the pivoted Bron–Kerbosch recursion shared by BKPivot, Tomita and
 // XPivot; the three differ only in pivot choice.
+//
+//mce:hotpath sequential MCE recursion
 func (e *enumerator) bk(alg Algorithm, R []int32, P, X *bitset.Set) {
 	e.nodes++
 	if P.Empty() {
@@ -378,6 +382,8 @@ func (e *enumerator) pivot(alg Algorithm, P, X *bitset.Set) int32 {
 // degeneracy order of the subgraph induced by P, so each top-level call sees
 // a candidate set no larger than the degeneracy; recursion uses the Tomita
 // pivot, as in [17].
+//
+//mce:hotpath degeneracy-ordered MCE outer loop
 func (e *enumerator) eppstein(R []int32, P, X *bitset.Set) {
 	e.nodes++
 	if P.Empty() {

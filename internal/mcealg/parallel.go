@@ -21,7 +21,7 @@ package mcealg
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -222,28 +222,12 @@ func (r *Runner) parallelSubproblem(R []int32, P, X *bitset.Set, emit func([]int
 	for _, w := range p.workers {
 		all = append(all, w.runs...)
 	}
-	sort.Slice(all, func(i, j int) bool { return pathLess(all[i].key, all[j].key) })
+	slices.SortFunc(all, func(a, b cliqueRun) int { return slices.Compare(a.key, b.key) })
 	for i := range all {
 		for _, c := range all[i].cliques {
 			emit(c)
 		}
 	}
-}
-
-// pathLess orders leaf paths lexicographically. Run keys are leaf paths and
-// distinct leaves never prefix each other (a leaf has no descendants), so
-// the order is total.
-func pathLess(a, b []uint32) bool {
-	n := len(a)
-	if len(b) < n {
-		n = len(b)
-	}
-	for i := 0; i < n; i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
 }
 
 // runWorker is the pool goroutine body: pop own work, steal otherwise, wait
@@ -331,6 +315,8 @@ func (p *parPool) poison(v any) {
 
 // runTask executes one subproblem. Eppstein appears only on the root task
 // (its children are Tomita-pivoted, as in the sequential recursion).
+//
+//mce:hotpath work-stealing task body
 func (w *parWorker) runTask(t *parTask) {
 	if testHookTaskStart != nil {
 		testHookTaskStart()
@@ -482,7 +468,7 @@ func (w *parWorker) splitOrdered(alg Algorithm, R []int32, P, X *bitset.Set, ord
 func (w *parWorker) report(R []int32) {
 	c := make([]int32, len(R))
 	copy(c, R)
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	slices.Sort(c) // not sort.Slice: that boxes the slice per emitted clique
 	if w.newRun {
 		key := make([]uint32, len(w.path))
 		copy(key, w.path)

@@ -45,6 +45,8 @@ type Guard struct {
 
 // New builds a guard for the given budget in bytes. A budget ≤ 0 means
 // "unlimited" and returns nil, which every method accepts.
+//
+//mce:coldpath allocating constructor, once per batch
 func New(budget int64, met *telemetry.Engine) *Guard {
 	if budget <= 0 {
 		return nil

@@ -101,6 +101,8 @@ func NewEngine() *Engine {
 // ComboPicked records one decision-tree (or fixed-combo) selection. label is
 // the display name ("[Lists/Tomita]"); it is stored on first use so the
 // snapshot can name the slot without this package importing mcealg.
+//
+//mce:hotpath per-block combo accounting
 func (e *Engine) ComboPicked(i int, label string) {
 	if i < 0 || i >= NumCombos {
 		return
@@ -116,6 +118,8 @@ func (e *Engine) ComboPicked(i int, label string) {
 // ComboAnalyzed records one completed block analysis with the given combo:
 // the per-combo block count and total time, the global BlocksAnalyzed
 // counter and the BlockNs histogram.
+//
+//mce:hotpath per-block combo accounting
 func (e *Engine) ComboAnalyzed(i int, label string, d time.Duration) {
 	e.BlocksAnalyzed.Inc()
 	e.BlockNs.Observe(int64(d))
@@ -141,6 +145,8 @@ type BlockInstr struct {
 
 // MergeBlockInstr folds one block's counters into the shared engine (two
 // atomic adds) and resets ins for reuse.
+//
+//mce:hotpath per-block counter merge
 func (e *Engine) MergeBlockInstr(ins *BlockInstr) {
 	if ins == nil {
 		return

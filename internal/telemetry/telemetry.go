@@ -22,9 +22,13 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Inc adds 1.
+//
+//mce:hotpath instrumentation fast path
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (n must be ≥ 0 for the value to stay monotonic).
+//
+//mce:hotpath instrumentation fast path
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Load returns the current value.
@@ -35,6 +39,8 @@ func (c *Counter) Load() int64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Add moves the gauge by n (negative to decrease).
+//
+//mce:hotpath instrumentation fast path
 func (g *Gauge) Add(n int64) { g.v.Add(n) }
 
 // Set replaces the gauge value.
@@ -93,6 +99,8 @@ func NewDurationHistogram() *Histogram {
 }
 
 // Observe records one value.
+//
+//mce:hotpath instrumentation fast path
 func (h *Histogram) Observe(v int64) {
 	i := sort.Search(len(h.bounds), func(i int) bool { return v < h.bounds[i] })
 	h.buckets[i].Add(1)

@@ -241,3 +241,31 @@ func TestConcurrentUpdates(t *testing.T) {
 		t.Fatalf("histogram min/max = %d/%d", s.RoundTripNs.Min, s.RoundTripNs.Max)
 	}
 }
+
+// TestHotPathZeroAllocs is the dynamic half of the hotalloc gate for the
+// instrumentation fast paths: the //mce:hotpath-annotated Counter.Inc/Add,
+// Gauge.Add, Histogram.Observe and the per-block MergeBlockInstr — both the
+// telemetry-disabled nil path and the enabled two-atomic-add merge — have no
+// entry in .mcevet/allocbudget.json (the engine's only budgeted sites are
+// the one-time ComboPicked/ComboAnalyzed label stores), so a run must
+// observe zero allocations too.
+func TestHotPathZeroAllocs(t *testing.T) {
+	e := NewEngine()
+	h := NewDurationHistogram()
+	var c Counter
+	var g Gauge
+	ins := &BlockInstr{}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Add(-1)
+		h.Observe(17)
+		ins.RecursionNodes = 5
+		ins.PivotSelections = 2
+		e.MergeBlockInstr(ins)
+		e.MergeBlockInstr(nil) // the telemetry-disabled path
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry fast paths allocate %v/run, want 0", allocs)
+	}
+}
