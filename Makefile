@@ -3,7 +3,7 @@ GO ?= go
 .PHONY: all build test vet lint fmt race vulncheck fuzz-smoke bench-smoke bench-baseline bench-record allocbudget-check check bench chaos chaos-straggler
 
 # The checked-in per-PR benchmark record (bench-record writes BENCH_$(PR).json).
-PR ?= 9
+PR ?= 10
 
 all: check
 
@@ -60,13 +60,17 @@ fuzz-smoke:
 	$(GO) test -run=Fuzz -fuzz=FuzzReadTriples -fuzztime=10s ./internal/gio
 	$(GO) test -run=Fuzz -fuzz=FuzzLoadBoundedAgreesWithLoad -fuzztime=10s ./internal/gio
 	$(GO) test -run=Fuzz -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/runlog
+	$(GO) test -run=Fuzz -fuzz=FuzzIndexOpen -fuzztime=10s ./internal/cliqdb
 
 # Crash-recovery chaos: the coordinator is SIGKILLed at randomized points and
-# must resume to the exact clique set (chaos_resume_test.go), alongside the
-# fault-injection cluster chaos tests. Runs under -race; MCE_CHAOS=1 arms the
-# kill-based tests, MCE_CHAOS_ARTIFACTS collects journal+segments on failure.
+# must resume to the exact clique set (chaos_resume_test.go), and the index
+# compiler is SIGKILLed mid-compile and must leave the live index absent or
+# byte-identical, then self-heal to the control bytes
+# (internal/cliqdb/chaos_compile_test.go) — alongside the fault-injection
+# cluster chaos tests. Runs under -race; MCE_CHAOS=1 arms the kill-based
+# tests, MCE_CHAOS_ARTIFACTS collects journal+segments on failure.
 chaos:
-	MCE_CHAOS=1 $(GO) test -race -count=1 -run 'Chaos|Resume' . ./internal/cluster ./internal/core ./cmd/mcefind
+	MCE_CHAOS=1 $(GO) test -race -count=1 -run 'Chaos|Resume' . ./internal/cluster ./internal/core ./internal/cliqdb ./cmd/mcefind
 
 # Straggler chaos in isolation (also part of `chaos`): a worker delayed
 # ~100× the healthy round trip must be masked by hedged dispatch — equal

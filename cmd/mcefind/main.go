@@ -34,6 +34,8 @@
 //	                  start a run from scratch)
 //	-skip-poison      record poison-task verdicts and keep going instead of
 //	                  failing the run; completing with skips exits 3
+//	-index-out PATH   also compile the clique set into a cliqdb index at
+//	                  PATH (serve it with mced); dense IDs, not -labels
 //	-debug-addr a     serve live JSON telemetry (/debug/vars) and pprof
 //	                  (/debug/pprof/) on this HTTP address while running
 //
@@ -65,6 +67,7 @@ import (
 	"time"
 
 	"mce"
+	"mce/internal/cliqdb"
 	"mce/internal/telemetry"
 )
 
@@ -111,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkpoint  = fs.String("checkpoint", "", "journal run progress into this directory and resume from it")
 		resume      = fs.Bool("resume", false, "require prior run state in the -checkpoint directory")
 		skipPoison  = fs.Bool("skip-poison", false, "skip poison tasks instead of failing the run (exit 3 on skips)")
+		indexOut    = fs.String("index-out", "", "compile the clique set into a cliqdb index at this path (serve with mced)")
 		debugAddr   = fs.String("debug-addr", "", "serve JSON telemetry and pprof on this HTTP address (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -134,6 +138,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mcefind: -checkpoint cannot combine with -stream (a resume would re-emit cliques already printed)")
 		return 2
 	}
+	if *indexOut != "" && *stream {
+		fmt.Fprintln(stderr, "mcefind: -index-out cannot combine with -stream (the index compiler needs the full clique set in memory)")
+		return 2
+	}
 	if *resume && !mce.HasCheckpoint(*checkpoint) {
 		fmt.Fprintf(stderr, "mcefind: -resume: no run journal in %s\n", *checkpoint)
 		return 1
@@ -143,6 +151,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if strings.HasSuffix(fs.Arg(0), ".mceg") {
 		if *checkpoint != "" {
 			fmt.Fprintln(stderr, "mcefind: -checkpoint is not supported for out-of-core (.mceg) runs")
+			return 2
+		}
+		if *indexOut != "" {
+			fmt.Fprintln(stderr, "mcefind: -index-out is not supported for out-of-core (.mceg) runs")
 			return 2
 		}
 		return runOutOfCore(fs.Arg(0), *m, *ratio, *minSize, *countOnly, *stats, *format, stdout, stderr)
@@ -330,6 +342,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 				lvl.Decomp.Round(time.Millisecond), lvl.Analysis.Round(time.Millisecond))
 		}
 		printTelemetry(stderr, s.Telemetry)
+	}
+
+	if *indexOut != "" {
+		if res.Stats.SkippedBlocks > 0 {
+			// An index silently missing cliques would serve wrong answers
+			// forever; an incomplete run gets no index.
+			fmt.Fprintf(stderr, "mcefind: not writing %s: %d poison-task skip(s) left the clique set incomplete\n",
+				*indexOut, res.Stats.SkippedBlocks)
+		} else {
+			ist, err := cliqdb.Build(res.Cliques, *indexOut)
+			if err != nil {
+				fmt.Fprintln(stderr, "mcefind:", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "mcefind: index %s: %d cliques over %d vertices, %d bytes, digest %08x; serve with: mced -db %s\n",
+				*indexOut, ist.Cliques, ist.Vertices, ist.Bytes, ist.Digest, *indexOut)
+		}
 	}
 
 	// finish reports poison-task skips and picks the exit code: a run that

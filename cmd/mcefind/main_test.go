@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mce"
+	"mce/internal/cliqdb"
 )
 
 func runCmd(t *testing.T, args ...string) (int, string, string) {
@@ -289,5 +290,46 @@ func TestCheckpointResumeRoundTrip(t *testing.T) {
 	}
 	if !strings.Contains(errs, "resumed") || !strings.Contains(errs, "from checkpoint") {
 		t.Fatalf("stats missing resumed-blocks line: %q", errs)
+	}
+}
+
+// TestIndexOutCompilesQueryableIndex runs the full pipeline the serving
+// story promises: enumerate a graph, compile -index-out, open the index
+// with cliqdb and cross-check its answers against the printed cliques.
+func TestIndexOutCompilesQueryableIndex(t *testing.T) {
+	p := writeTriangleTail(t)
+	idx := filepath.Join(t.TempDir(), "run.cliqdb")
+	code, out, errs := runCmd(t, "-index-out", idx, p)
+	if code != 0 {
+		t.Fatalf("code=%d errs=%q", code, errs)
+	}
+	if !strings.Contains(errs, "serve with: mced -db") {
+		t.Fatalf("no index summary on stderr: %q", errs)
+	}
+	db, err := cliqdb.Open(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if db.NumCliques() != len(lines) {
+		t.Fatalf("index has %d cliques, run printed %d", db.NumCliques(), len(lines))
+	}
+	// Vertex 2 is in both cliques ({0,1,2} and {2,3}), vertex 3 in one.
+	if n := db.CliqueCount(2); n != 2 {
+		t.Fatalf("CliqueCount(2) = %d, want 2", n)
+	}
+	if n := db.CliqueCount(3); n != 1 {
+		t.Fatalf("CliqueCount(3) = %d, want 1", n)
+	}
+}
+
+func TestIndexOutRefusedForStreamAndOutOfCore(t *testing.T) {
+	p := writeTriangleTail(t)
+	idx := filepath.Join(t.TempDir(), "run.cliqdb")
+	if code, _, errs := runCmd(t, "-stream", "-index-out", idx, p); code != 2 || !strings.Contains(errs, "-index-out") {
+		t.Fatalf("stream+index-out: code=%d errs=%q", code, errs)
+	}
+	if code, _, errs := runCmd(t, "-index-out", idx, "g.mceg"); code != 2 || !strings.Contains(errs, "-index-out") {
+		t.Fatalf("mceg+index-out: code=%d errs=%q", code, errs)
 	}
 }

@@ -1,0 +1,294 @@
+package cliqdb
+
+// The offline compiler: cliqstore segments (or an in-memory clique family)
+// in, one verified index file out. The compile is deterministic — cliques
+// are sorted into canonical order and duplicates dropped, so the same
+// segment set always produces byte-identical output — and atomic: the
+// index is assembled in memory, written to a temp file in the destination
+// directory, fsynced, then renamed over the live name. A crash at any
+// point leaves either the previous index or the new one, never a torn
+// file; the SIGKILL chaos suite (chaos_compile_test.go) kills compiles at
+// randomized points to hold the compiler to that.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mce/internal/cliqstore"
+)
+
+// compileThrottle, when non-nil, is called at encode and write batch
+// boundaries. It exists for the chaos suite: the re-execed child installs a
+// sleep here so the parent's SIGKILL reliably lands mid-compile. Production
+// code never sets it.
+var compileThrottle func()
+
+// throttleEvery is how many cliques (encode) or bytes (write) pass between
+// compileThrottle calls.
+const (
+	throttleCliques = 512
+	writeChunk      = 64 << 10
+)
+
+// BuildStats describes one compiled index.
+type BuildStats struct {
+	// Cliques is the number of cliques in the index after deduplication.
+	Cliques int
+	// Vertices is the vertex ID space (max member + 1).
+	Vertices int32
+	// Bytes is the size of the index file.
+	Bytes int64
+	// Digest is the content digest sealed into the header.
+	Digest uint32
+}
+
+// CompileSegments compiles every cliqstore segment under segDir into an
+// index at path. Each segment must verify against its own trailer; a
+// truncated or corrupt segment fails the compile — the segments are the
+// authoritative source and a bad one must be re-derived by re-running the
+// enumeration, not papered over.
+func CompileSegments(segDir, path string) (*BuildStats, error) {
+	var cliques [][]int32
+	if _, err := cliqstore.WalkDir(segDir, func(c []int32) error {
+		cp := make([]int32, len(c))
+		copy(cp, c)
+		cliques = append(cliques, cp)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("cliqdb: compile: %w", err)
+	}
+	return Build(cliques, path)
+}
+
+// Build compiles an in-memory clique family into an index at path. The
+// input is not mutated: cliques are copied into canonical order
+// (lexicographic over ascending members) with exact duplicates removed.
+// Every clique must have strictly ascending, non-negative members.
+func Build(cliques [][]int32, path string) (*BuildStats, error) {
+	image, st, err := encode(cliques)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeAtomic(path, image); err != nil {
+		return nil, err
+	}
+	st.Bytes = int64(len(image))
+	return st, nil
+}
+
+// encode assembles the full index image in memory.
+func encode(cliques [][]int32) ([]byte, *BuildStats, error) {
+	ordered := make([][]int32, len(cliques))
+	copy(ordered, cliques)
+	sort.Slice(ordered, func(i, j int) bool { return compareCliques(ordered[i], ordered[j]) < 0 })
+
+	var nVerts int32
+	kept := make([][]int32, 0, len(ordered))
+	for _, c := range ordered {
+		if len(c) == 0 {
+			return nil, nil, fmt.Errorf("cliqdb: empty clique")
+		}
+		prev := int32(-1)
+		for _, v := range c {
+			if v < 0 || v <= prev {
+				return nil, nil, fmt.Errorf("cliqdb: clique %v not strictly ascending and non-negative", c)
+			}
+			prev = v
+		}
+		if c[len(c)-1] >= nVerts {
+			nVerts = c[len(c)-1] + 1
+		}
+		if len(kept) > 0 && compareCliques(kept[len(kept)-1], c) == 0 {
+			continue // exact duplicate (sorted input makes duplicates adjacent)
+		}
+		kept = append(kept, c)
+	}
+	n := len(kept)
+
+	// CLIQ + COFF + per-vertex counts + content digest, one pass.
+	var (
+		cliq    []byte
+		coff    = make([]byte, 0, (n+1)*4)
+		counts  = make([]uint32, nVerts)
+		crc     = crc32.NewIEEE()
+		hbuf    [4]byte
+		varbuf  [binary.MaxVarintLen64]byte
+		sizeIdx = make([]uint32, n)
+	)
+	putU32 := func(dst []byte, v uint32) []byte {
+		binary.LittleEndian.PutUint32(hbuf[:], v)
+		return append(dst, hbuf[:4]...)
+	}
+	uv := func(dst []byte, v uint64) []byte {
+		k := binary.PutUvarint(varbuf[:], v)
+		return append(dst, varbuf[:k]...)
+	}
+	for id, c := range kept {
+		coff = putU32(coff, uint32(len(cliq)))
+		cliq = uv(cliq, uint64(len(c)))
+		prev := int32(0)
+		binary.LittleEndian.PutUint32(hbuf[:], uint32(len(c)))
+		crc.Write(hbuf[:])
+		for i, v := range c {
+			delta := uint64(v - prev)
+			if i == 0 {
+				delta = uint64(v)
+			}
+			cliq = uv(cliq, delta)
+			prev = v
+			counts[v]++
+			binary.LittleEndian.PutUint32(hbuf[:], uint32(v))
+			crc.Write(hbuf[:])
+		}
+		sizeIdx[id] = uint32(id)
+		if compileThrottle != nil && id%throttleCliques == throttleCliques-1 {
+			compileThrottle()
+		}
+	}
+	coff = putU32(coff, uint32(len(cliq)))
+	digest := crc.Sum32()
+
+	// VPST + VOFF: walk cliques in ID order, appending each ID to the
+	// posting of every member — each posting comes out ascending. Encoded
+	// with a count prefix so lookups can preallocate.
+	type postingState struct {
+		buf  []byte
+		last uint32
+		n    uint32
+	}
+	posts := make([]postingState, nVerts)
+	for id, c := range kept {
+		for _, v := range c {
+			p := &posts[v]
+			delta := uint32(id) - p.last
+			if p.n == 0 {
+				delta = uint32(id)
+			}
+			p.buf = uv(p.buf, uint64(delta))
+			p.last = uint32(id)
+			p.n++
+		}
+	}
+	var vpst []byte
+	voff := make([]byte, 0, (int(nVerts)+1)*4)
+	for v := int32(0); v < nVerts; v++ {
+		voff = putU32(voff, uint32(len(vpst)))
+		vpst = uv(vpst, uint64(posts[v].n))
+		vpst = append(vpst, posts[v].buf...)
+	}
+	voff = putU32(voff, uint32(len(vpst)))
+
+	// SIZE: clique IDs by (size desc, id asc).
+	sort.Slice(sizeIdx, func(i, j int) bool {
+		a, b := sizeIdx[i], sizeIdx[j]
+		if len(kept[a]) != len(kept[b]) {
+			return len(kept[a]) > len(kept[b])
+		}
+		return a < b
+	})
+	size := make([]byte, 0, n*4)
+	for _, id := range sizeIdx {
+		size = putU32(size, id)
+	}
+
+	meta := make([]byte, metaLen)
+	binary.LittleEndian.PutUint32(meta[0:], formatVersion)
+	binary.LittleEndian.PutUint32(meta[4:], uint32(nVerts))
+	binary.LittleEndian.PutUint64(meta[8:], uint64(n))
+	binary.LittleEndian.PutUint32(meta[16:], digest)
+
+	// Frame the sections, then the footer, then the trailer.
+	image := append([]byte(nil), headMagic[:]...)
+	type entry struct {
+		tag [4]byte
+		off uint64
+		ln  uint64
+		crc uint32
+	}
+	var entries []entry
+	writeSection := func(tag [4]byte, payload []byte) {
+		entries = append(entries, entry{tag: tag, off: uint64(len(image)), ln: uint64(len(payload)), crc: crc32.ChecksumIEEE(payload)})
+		image = append(image, tag[:]...)
+		var l [8]byte
+		binary.LittleEndian.PutUint64(l[:], uint64(len(payload)))
+		image = append(image, l[:]...)
+		image = append(image, payload...)
+		image = putU32(image, crc32.ChecksumIEEE(payload))
+	}
+	writeSection(tagMeta, meta)
+	writeSection(tagCliq, cliq)
+	writeSection(tagCoff, coff)
+	writeSection(tagVpst, vpst)
+	writeSection(tagVoff, voff)
+	writeSection(tagSize, size)
+
+	foot := make([]byte, 0, 4+len(entries)*24)
+	foot = putU32(foot, uint32(len(entries)))
+	for _, e := range entries {
+		foot = append(foot, e.tag[:]...)
+		var l [8]byte
+		binary.LittleEndian.PutUint64(l[:], e.off)
+		foot = append(foot, l[:]...)
+		binary.LittleEndian.PutUint64(l[:], e.ln)
+		foot = append(foot, l[:]...)
+		foot = putU32(foot, e.crc)
+	}
+	footOff := uint64(len(image))
+	image = append(image, tagFtr[:]...)
+	var l [8]byte
+	binary.LittleEndian.PutUint64(l[:], uint64(len(foot)))
+	image = append(image, l[:]...)
+	image = append(image, foot...)
+	image = putU32(image, crc32.ChecksumIEEE(foot))
+	binary.LittleEndian.PutUint64(l[:], footOff)
+	image = append(image, l[:]...)
+	image = append(image, tailMagic[:]...)
+
+	return image, &BuildStats{Cliques: n, Vertices: nVerts, Digest: digest}, nil
+}
+
+// writeAtomic lands the index image under path via temp + fsync + rename,
+// writing in bounded chunks (with the chaos throttle between them) so a
+// kill mid-write is exercised against a partially written temp file, never
+// a partially written live index.
+func writeAtomic(path string, image []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("cliqdb: write index: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cliqdb: write index: %w", err)
+	}
+	for off := 0; off < len(image); off += writeChunk {
+		end := off + writeChunk
+		if end > len(image) {
+			end = len(image)
+		}
+		if _, err := f.Write(image[off:end]); err != nil {
+			return fail(err)
+		}
+		if compileThrottle != nil {
+			compileThrottle()
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cliqdb: write index: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cliqdb: write index: %w", err)
+	}
+	return nil
+}

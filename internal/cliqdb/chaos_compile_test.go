@@ -1,0 +1,201 @@
+package cliqdb
+
+// Crash-safety chaos harness for the index compiler: a compile is SIGKILLed
+// at randomized points and the live index must afterwards be either absent
+// or byte-identical to the control — never torn — and OpenOrRebuild must
+// self-heal to exactly the control bytes. The test binary re-execs itself
+// as the compiler (TestMain intercepts MCE_CLIQDB_CHAOS_CHILD) so the kill
+// is a real process death: no deferred cleanup, no flushed buffers.
+//
+// Gated behind MCE_CHAOS=1 (`make chaos`), like the coordinator kill-resume
+// harness at the repo root; tier-1 keeps the in-process corruption tests in
+// cliqdb_test.go instead.
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"mce/internal/cliqstore"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("MCE_CLIQDB_CHAOS_CHILD") == "1" {
+		os.Exit(chaosCompileChild())
+	}
+	os.Exit(m.Run())
+}
+
+// chaosCompileChild is the compiler the parent kills: one CompileSegments
+// with the chaos throttle installed, so the parent's randomized kill delay
+// reliably lands mid-encode or mid-write.
+func chaosCompileChild() int {
+	segDir, path := os.Getenv("MCE_CLIQDB_SEGDIR"), os.Getenv("MCE_CLIQDB_OUT")
+	if segDir == "" || path == "" {
+		fmt.Fprintln(os.Stderr, "chaos compile child: MCE_CLIQDB_SEGDIR / MCE_CLIQDB_OUT not set")
+		return 1
+	}
+	compileThrottle = func() { time.Sleep(20 * time.Millisecond) }
+	if _, err := CompileSegments(segDir, path); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos compile child:", err)
+		return 1
+	}
+	return 0
+}
+
+// chaosCliqueFamily is the synthetic workload: enough cliques that the
+// child's throttled compile passes several kill windows, with overlapping
+// members so the postings sections carry real weight.
+func chaosCliqueFamily() [][]int32 {
+	cliques := make([][]int32, 0, 2400)
+	for i := 0; i < 2400; i++ {
+		a := int32(i % 800)
+		cliques = append(cliques, []int32{a, a + 1 + int32(i%7), a + 10 + int32(i%13), a + 30})
+	}
+	return cliques
+}
+
+func writeChaosSegments(t *testing.T, segDir string) {
+	t.Helper()
+	if err := os.MkdirAll(segDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	cliques := chaosCliqueFamily()
+	per := (len(cliques) + 2) / 3
+	for s := 0; s < 3; s++ {
+		lo, hi := s*per, (s+1)*per
+		if hi > len(cliques) {
+			hi = len(cliques)
+		}
+		f, err := os.Create(filepath.Join(segDir, fmt.Sprintf("L000-B%06d.cliq", s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := cliqstore.NewWriter(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range cliques[lo:hi] {
+			if err := w.Write(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestChaosKillCompileSelfHeals SIGKILLs index compiles at randomized
+// points and asserts the two crash-safety invariants: (1) atomicity — after
+// every kill the live index is either absent or byte-identical to the
+// control, never torn; (2) self-healing — OpenOrRebuild over the post-kill
+// state produces an index byte-identical to the control (the compile is
+// deterministic, so the healed index IS the lost one).
+func TestChaosKillCompileSelfHeals(t *testing.T) {
+	if os.Getenv("MCE_CHAOS") == "" {
+		t.Skip("kill-based chaos harness; run via `make chaos` (MCE_CHAOS=1)")
+	}
+	dir := t.TempDir()
+	segDir := filepath.Join(dir, "segments")
+	writeChaosSegments(t, segDir)
+
+	controlPath := filepath.Join(dir, "control.cliqdb")
+	if _, err := CompileSegments(segDir, controlPath); err != nil {
+		t.Fatal(err)
+	}
+	control, err := os.ReadFile(controlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seed := int64(1)
+	if s := os.Getenv("MCE_CHAOS_SEED"); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			seed = v
+		}
+	}
+	rnd := rand.New(rand.NewSource(seed))
+
+	livePath := filepath.Join(dir, "live.cliqdb")
+	kills := 0
+	for attempt := 0; attempt < 10; attempt++ {
+		cmd := exec.Command(os.Args[0], "-test.run=^$")
+		cmd.Env = append(os.Environ(),
+			"MCE_CLIQDB_CHAOS_CHILD=1",
+			"MCE_CLIQDB_SEGDIR="+segDir,
+			"MCE_CLIQDB_OUT="+livePath,
+		)
+		var errBuf bytes.Buffer
+		cmd.Stderr = &errBuf
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+
+		// The throttled compile takes ~100ms+; a uniform delay across that
+		// window lands kills in segment reading, encode and the chunked
+		// temp-file write alike.
+		delay := time.Duration(5+rnd.Intn(150)) * time.Millisecond
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("chaos compile child failed on its own: %v\n%s", err, errBuf.String())
+			}
+		case <-time.After(delay):
+			_ = cmd.Process.Kill()
+			if err := <-done; err != nil {
+				kills++
+			}
+		}
+
+		// Invariant 1: atomicity. The live index never exists in a torn
+		// state, killed or not.
+		if data, err := os.ReadFile(livePath); err == nil {
+			if !bytes.Equal(data, control) {
+				t.Fatalf("attempt %d (delay %v): live index exists but differs from control (%d vs %d bytes)",
+					attempt, delay, len(data), len(control))
+			}
+		} else if !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+
+		// Invariant 2: self-healing. Whatever state the kill left, open
+		// recovers a verified index with the control's exact bytes.
+		db, _, err := OpenOrRebuild(livePath, segDir)
+		if err != nil {
+			t.Fatalf("attempt %d: OpenOrRebuild after kill: %v", attempt, err)
+		}
+		healed, err := os.ReadFile(livePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(healed, control) {
+			t.Fatalf("attempt %d: healed index differs from control (%d vs %d bytes)", attempt, len(healed), len(control))
+		}
+		if db.NumCliques() == 0 {
+			t.Fatalf("attempt %d: healed index is empty", attempt)
+		}
+
+		// Remove the healed index so the next attempt compiles from
+		// scratch; leftover *.tmp* files from killed writes stay behind on
+		// purpose — rebuilds must not trip over them.
+		if err := os.Remove(livePath); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if kills == 0 {
+		t.Fatal("every compile finished before a kill landed; the chaos run exercised nothing")
+	}
+	t.Logf("killed %d compiles (seed %d)", kills, seed)
+}

@@ -1,0 +1,90 @@
+package cliqstore
+
+// Segment-directory iteration: a checkpointed run (internal/runlog) leaves
+// one sealed segment per completed block under <checkpoint>/segments/. The
+// functions here give downstream consumers — the cliqdb index compiler
+// above all — a deterministic, verified view of that directory: segments
+// are visited in sorted filename order and every one must verify against
+// its trailer, so a torn or bit-flipped segment surfaces as an error
+// instead of silently shrinking the clique set.
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SegmentExt is the filename extension of sealed clique segments as written
+// by internal/runlog.
+const SegmentExt = ".cliq"
+
+// SegmentFiles lists the clique segments of dir in sorted filename order —
+// the canonical iteration order for everything built from a segment
+// directory. Temp files (in-flight atomic writes) and non-segment files are
+// ignored. A missing directory is an error; an existing directory with no
+// segments returns an empty list.
+func SegmentFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cliqstore: segment dir: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), SegmentExt) {
+			continue
+		}
+		out = append(out, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// WalkDir streams every clique of every segment in dir, in sorted filename
+// order, calling fn per clique (the slice is reused; copy to retain). Every
+// segment is verified against its trailer as it drains: a truncated or
+// corrupt segment fails the walk with ErrTruncated / ErrCorrupt (wrapped,
+// naming the file) rather than yielding a partial clique set. Returns the
+// number of cliques visited.
+func WalkDir(dir string, fn func(clique []int32) error) (int64, error) {
+	files, err := SegmentFiles(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, path := range files {
+		n, err := walkSegment(path, fn)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// walkSegment drains one segment file through fn.
+func walkSegment(path string, fn func(clique []int32) error) (int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("cliqstore: segment: %w", err)
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return 0, fmt.Errorf("cliqstore: segment %s: %w", filepath.Base(path), err)
+	}
+	if err := r.ForEach(fn); err != nil {
+		return r.Count(), fmt.Errorf("cliqstore: segment %s: %w", filepath.Base(path), err)
+	}
+	return r.Count(), nil
+}
+
+// IsNotExist reports whether err means the segment directory itself is
+// missing, as opposed to a directory whose contents failed to read or
+// verify.
+func IsNotExist(err error) bool {
+	return errors.Is(err, fs.ErrNotExist)
+}

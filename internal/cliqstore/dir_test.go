@@ -1,0 +1,99 @@
+package cliqstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSegmentFile seals the given cliques into one segment file.
+func writeSegmentFile(t *testing.T, path string, cliques [][]int32) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cliques {
+		if err := w.Write(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalkDirVisitsSortedOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Written out of order on purpose; the walk must be filename-sorted.
+	writeSegmentFile(t, filepath.Join(dir, "L001-B000002.cliq"), [][]int32{{7, 8}})
+	writeSegmentFile(t, filepath.Join(dir, "L000-B000001.cliq"), [][]int32{{3, 4, 5}})
+	writeSegmentFile(t, filepath.Join(dir, "L000-B000000.cliq"), [][]int32{{0, 1}, {2, 6}})
+	// Distractors: temp file from an in-flight atomic write, unrelated file.
+	os.WriteFile(filepath.Join(dir, "L009-B000009.cliq.tmp"), []byte("junk"), 0o644)
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("junk"), 0o644)
+
+	var got [][]int32
+	n, err := WalkDir(dir, func(c []int32) error {
+		cp := make([]int32, len(c))
+		copy(cp, c)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int32{{0, 1}, {2, 6}, {3, 4, 5}, {7, 8}}
+	if n != int64(len(want)) || len(got) != len(want) {
+		t.Fatalf("walked %d cliques (%d reported), want %d", len(got), n, len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("clique %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("clique %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestWalkDirRejectsTruncatedSegment(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "L000-B000000.cliq")
+	writeSegmentFile(t, path, [][]int32{{0, 1, 2}, {3, 4}})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = WalkDir(dir, func([]int32) error { return nil })
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("walk over truncated segment: err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestWalkDirMissingDirectory(t *testing.T) {
+	_, err := WalkDir(filepath.Join(t.TempDir(), "nope"), func([]int32) error { return nil })
+	if err == nil || !IsNotExist(err) {
+		t.Fatalf("missing dir: err = %v, want IsNotExist", err)
+	}
+}
+
+func TestWalkDirEmptyDirectory(t *testing.T) {
+	n, err := WalkDir(t.TempDir(), func([]int32) error { return nil })
+	if err != nil || n != 0 {
+		t.Fatalf("empty dir: n=%d err=%v, want 0, nil", n, err)
+	}
+}

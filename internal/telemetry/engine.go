@@ -81,13 +81,26 @@ type Engine struct {
 	CheckpointReplayNs      Counter // time spent replaying the journal on open
 	CheckpointBlocksSkipped Counter // journaled-done blocks served from segments instead of re-analysed
 
+	// Query serving (cmd/mced, internal/cliqdb).
+	QueriesAdmitted    Counter // requests past admission control
+	QueriesShed        Counter // requests rejected with 429 by admission control
+	QueriesTimedOut    Counter // admitted requests that hit their deadline (504)
+	CacheHits          Counter // result-cache hits
+	CacheMisses        Counter // result-cache misses (query executed)
+	SingleflightShared Counter // callers that piggybacked on an in-flight query
+	DegradedServes     Counter // queries answered from a stale index during rebuild
+	IndexRebuilds      Counter // index self-heals / explicit rebuilds completed
+
 	// BlockNs is the per-block analysis wall-time distribution; RoundTripNs
 	// is the coordinator-side task round-trip distribution (send → analyse →
-	// receive, including simulated link costs).
+	// receive, including simulated link costs); QueryNs is the admitted-query
+	// latency distribution on the serving path.
 	BlockNs     *Histogram
 	RoundTripNs *Histogram
+	QueryNs     *Histogram
 
-	combos [NumCombos]comboCell
+	combos    [NumCombos]comboCell
+	endpoints [NumEndpoints]endpointCell
 }
 
 // NewEngine returns a ready-to-use engine.
@@ -95,6 +108,7 @@ func NewEngine() *Engine {
 	return &Engine{
 		BlockNs:     NewDurationHistogram(),
 		RoundTripNs: NewDurationHistogram(),
+		QueryNs:     NewDurationHistogram(),
 	}
 }
 
@@ -210,10 +224,21 @@ type Snapshot struct {
 	CheckpointReplayNs      int64 `json:"checkpoint_replay_ns"`
 	CheckpointBlocksSkipped int64 `json:"checkpoint_blocks_skipped"`
 
+	QueriesAdmitted    int64 `json:"queries_admitted"`
+	QueriesShed        int64 `json:"queries_shed"`
+	QueriesTimedOut    int64 `json:"queries_timed_out"`
+	CacheHits          int64 `json:"cache_hits"`
+	CacheMisses        int64 `json:"cache_misses"`
+	SingleflightShared int64 `json:"singleflight_shared"`
+	DegradedServes     int64 `json:"degraded_serves"`
+	IndexRebuilds      int64 `json:"index_rebuilds"`
+
 	BlockNs     HistogramSnapshot `json:"block_ns"`
 	RoundTripNs HistogramSnapshot `json:"round_trip_ns"`
+	QueryNs     HistogramSnapshot `json:"query_ns"`
 
-	Combos []ComboStat `json:"combos,omitempty"`
+	Combos    []ComboStat    `json:"combos,omitempty"`
+	Endpoints []EndpointStat `json:"endpoints,omitempty"`
 }
 
 // Snapshot captures the engine's current state. It is safe to call while
@@ -256,8 +281,18 @@ func (e *Engine) Snapshot() Snapshot {
 		CheckpointBytes:         e.CheckpointBytes.Load(),
 		CheckpointReplayNs:      e.CheckpointReplayNs.Load(),
 		CheckpointBlocksSkipped: e.CheckpointBlocksSkipped.Load(),
-		BlockNs:                 e.BlockNs.Snapshot(),
-		RoundTripNs:             e.RoundTripNs.Snapshot(),
+		QueriesAdmitted:         e.QueriesAdmitted.Load(),
+		QueriesShed:             e.QueriesShed.Load(),
+		QueriesTimedOut:         e.QueriesTimedOut.Load(),
+		CacheHits:               e.CacheHits.Load(),
+		CacheMisses:             e.CacheMisses.Load(),
+		SingleflightShared:      e.SingleflightShared.Load(),
+		DegradedServes:          e.DegradedServes.Load(),
+		IndexRebuilds:           e.IndexRebuilds.Load(),
+
+		BlockNs:     e.BlockNs.Snapshot(),
+		RoundTripNs: e.RoundTripNs.Snapshot(),
+		QueryNs:     e.QueryNs.Snapshot(),
 	}
 	for i := range e.combos {
 		c := &e.combos[i]
@@ -270,6 +305,23 @@ func (e *Engine) Snapshot() Snapshot {
 			name = *l
 		}
 		s.Combos = append(s.Combos, ComboStat{Combo: name, Picks: picks, Blocks: blocks, TotalNs: c.ns.Load()})
+	}
+	for i := range e.endpoints {
+		c := &e.endpoints[i]
+		requests := c.requests.Load()
+		if requests == 0 {
+			continue
+		}
+		name := "endpoint-" + strconv.Itoa(i)
+		if l := c.label.Load(); l != nil {
+			name = *l
+		}
+		s.Endpoints = append(s.Endpoints, EndpointStat{
+			Endpoint: name,
+			Requests: requests,
+			Errors:   c.errors.Load(),
+			TotalNs:  c.ns.Load(),
+		})
 	}
 	return s
 }

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEndpointObserved(t *testing.T) {
+	e := NewEngine()
+	e.EndpointObserved(0, "cliques-of", 2*time.Millisecond, 200)
+	e.EndpointObserved(0, "cliques-of", 3*time.Millisecond, 200)
+	e.EndpointObserved(1, "top-k", time.Millisecond, 500)
+	e.EndpointObserved(-1, "bogus", time.Millisecond, 200)           // ignored slot
+	e.EndpointObserved(NumEndpoints, "bogus", time.Millisecond, 200) // ignored slot
+
+	s := e.Snapshot()
+	if len(s.Endpoints) != 2 {
+		t.Fatalf("snapshot has %d endpoints, want 2", len(s.Endpoints))
+	}
+	a, b := s.Endpoints[0], s.Endpoints[1]
+	if a.Endpoint != "cliques-of" || a.Requests != 2 || a.Errors != 0 || a.TotalNs != int64(5*time.Millisecond) {
+		t.Fatalf("cliques-of stat = %+v", a)
+	}
+	if b.Endpoint != "top-k" || b.Requests != 1 || b.Errors != 1 {
+		t.Fatalf("top-k stat = %+v", b)
+	}
+	// Out-of-range slots still land in the global latency histogram.
+	if s.QueryNs.Count != 5 {
+		t.Fatalf("QueryNs.Count = %d, want 5", s.QueryNs.Count)
+	}
+	if len(s.Combos) != 0 {
+		t.Fatalf("unexpected combo rows: %+v", s.Combos)
+	}
+}
+
+func TestEndpointUnusedSlotsOmitted(t *testing.T) {
+	e := NewEngine()
+	if got := e.Snapshot().Endpoints; len(got) != 0 {
+		t.Fatalf("fresh engine has endpoint rows: %+v", got)
+	}
+}
