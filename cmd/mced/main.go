@@ -6,17 +6,19 @@
 //
 // Usage:
 //
-//	mced -db run.cliqdb [-segments ckpt/segments] [-listen :9877]
+//	mced -db run.cliqdb [-segments run.cliqdb.segments] [-listen :9877]
 //	     [-deadline 2s] [-max-inflight 64] [-mem-budget-mb 0] [-cache 256]
 //	     [-max-results 1000] [-drain-timeout 5s] [-debug-addr :6060]
 //
 // The daemon is built for production failure modes, not just the happy
 // path:
 //
-//   - The index is verified end to end at open. With -segments, a torn or
-//     bit-flipped index is rebuilt from the authoritative cliqstore
-//     segments automatically (the compile is deterministic, so the healed
-//     index is byte-identical to the lost one).
+//   - The index is verified end to end at open. With -segments (the
+//     serving segment directory mcefind -index-out writes beside the
+//     index — not a run checkpoint's segments, which hold level-local
+//     resume state and are refused), a torn or bit-flipped index is
+//     rebuilt automatically; the compile is deterministic, so the healed
+//     index is byte-identical to the lost one.
 //   - Every query carries a context deadline (-deadline); requests that
 //     blow it get 504 instead of holding a connection forever.
 //   - Admission control sheds load before it hurts: a bounded in-flight
@@ -75,7 +77,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 	fs := flag.NewFlagSet("mced", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	dbPath := fs.String("db", "", "cliqdb index file to serve (required)")
-	segments := fs.String("segments", "", "cliqstore segment directory backing self-healing and /v1/rebuild (empty = disabled)")
+	segments := fs.String("segments", "", "serving segment directory backing self-healing and /v1/rebuild, as written by mcefind -index-out (empty = disabled)")
 	listen := fs.String("listen", ":9877", "HTTP address to listen on")
 	deadline := fs.Duration("deadline", 2*time.Second, "per-request deadline; queries over it get 504")
 	maxInflight := fs.Int("max-inflight", 64, "max queries in flight; excess gets 429 with Retry-After")
@@ -94,6 +96,16 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal, started 
 	}
 
 	met := telemetry.NewEngine()
+
+	if *segments != "" {
+		// A run checkpoint's segment directory holds resume state, not the
+		// final clique family; refuse it now rather than at the first
+		// self-heal or /v1/rebuild.
+		if err := cliqdb.CheckServingSegments(*segments); err != nil {
+			fmt.Fprintln(stderr, "mced:", err)
+			return 2
+		}
+	}
 
 	var db queryDB
 	if testHookDB != nil {

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"syscall"
 	"testing"
@@ -17,6 +18,27 @@ import (
 	"mce/internal/cliqdb"
 	"mce/internal/cliqstore"
 )
+
+// TestRefusesCheckpointSegments pins the startup guard: -segments pointed
+// at a run checkpoint's segment directory (resume state, not the final
+// clique family) must fail configuration immediately, before a self-heal
+// or /v1/rebuild could bake wrong cliques into an index.
+func TestRefusesCheckpointSegments(t *testing.T) {
+	ckpt := t.TempDir()
+	segDir := filepath.Join(ckpt, "segments")
+	if err := os.MkdirAll(segDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ckpt, "journal.mcej"), []byte("j"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errBuf bytes.Buffer
+	code := run([]string{"-db", filepath.Join(ckpt, "x.cliqdb"), "-segments", segDir, "-listen", "127.0.0.1:0"},
+		&out, &errBuf, make(chan os.Signal, 1), make(chan [2]string, 1))
+	if code != 2 || !strings.Contains(errBuf.String(), "checkpoint") {
+		t.Fatalf("code=%d stderr=%q, want config refusal naming the checkpoint contract", code, errBuf.String())
+	}
+}
 
 // startDaemon launches run() in a goroutine and waits for it to come up.
 // The returned stop function sends one SIGTERM and waits for a clean exit.

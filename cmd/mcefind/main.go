@@ -35,7 +35,8 @@
 //	-skip-poison      record poison-task verdicts and keep going instead of
 //	                  failing the run; completing with skips exits 3
 //	-index-out PATH   also compile the clique set into a cliqdb index at
-//	                  PATH (serve it with mced); dense IDs, not -labels
+//	                  PATH plus serving segments at PATH.segments (serve
+//	                  with mced); dense IDs, not -labels
 //	-debug-addr a     serve live JSON telemetry (/debug/vars) and pprof
 //	                  (/debug/pprof/) on this HTTP address while running
 //
@@ -68,6 +69,7 @@ import (
 
 	"mce"
 	"mce/internal/cliqdb"
+	"mce/internal/cliqstore"
 	"mce/internal/telemetry"
 )
 
@@ -356,8 +358,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "mcefind:", err)
 				return 1
 			}
-			fmt.Fprintf(stderr, "mcefind: index %s: %d cliques over %d vertices, %d bytes, digest %08x; serve with: mced -db %s\n",
-				*indexOut, ist.Cliques, ist.Vertices, ist.Bytes, ist.Digest, *indexOut)
+			// The serving segments beside the index back mced's self-healing
+			// with the final clique family. A run checkpoint's segments can't:
+			// they hold level-local, pre-filter resume state, and cliqdb
+			// refuses to compile them.
+			segOut := *indexOut + ".segments"
+			if err := cliqstore.WriteDir(segOut, res.Cliques); err != nil {
+				fmt.Fprintln(stderr, "mcefind:", err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "mcefind: index %s: %d cliques over %d vertices, %d bytes, digest %08x; serve with: mced -db %s -segments %s\n",
+				*indexOut, ist.Cliques, ist.Vertices, ist.Bytes, ist.Digest, *indexOut, segOut)
 		}
 	}
 

@@ -321,6 +321,30 @@ func TestIndexOutCompilesQueryableIndex(t *testing.T) {
 	if n := db.CliqueCount(3); n != 1 {
 		t.Fatalf("CliqueCount(3) = %d, want 1", n)
 	}
+
+	// -index-out also writes the serving segments the hint names, and a
+	// rebuild from them reproduces the index byte-identically — the
+	// self-healing guarantee over the real pipeline's artifacts, not
+	// test-authored segments.
+	segs := idx + ".segments"
+	if !strings.Contains(errs, "-segments "+segs) {
+		t.Fatalf("serve hint does not name the serving segments: %q", errs)
+	}
+	healed := filepath.Join(t.TempDir(), "healed.cliqdb")
+	if _, err := cliqdb.CompileSegments(segs, healed); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(healed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("index rebuilt from serving segments is not byte-identical to the original")
+	}
 }
 
 func TestIndexOutRefusedForStreamAndOutOfCore(t *testing.T) {

@@ -14,11 +14,13 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"mce/internal/cliqstore"
+	"mce/internal/runlog"
 )
 
 // compileThrottle, when non-nil, is called at encode and write batch
@@ -51,7 +53,16 @@ type BuildStats struct {
 // truncated or corrupt segment fails the compile — the segments are the
 // authoritative source and a bad one must be re-derived by re-running the
 // enumeration, not papered over.
+//
+// The segments must hold the run's final clique family in the graph's own
+// vertex IDs — the directory mcefind -index-out writes beside the index.
+// A run checkpoint's segment directory is NOT that: its segments are
+// resume state (level-local IDs, pre-Lemma-1-filter), and compiling them
+// would serve wrong cliques under wrong labels, so it is refused.
 func CompileSegments(segDir, path string) (*BuildStats, error) {
+	if err := CheckServingSegments(segDir); err != nil {
+		return nil, err
+	}
 	var cliques [][]int32
 	if _, err := cliqstore.WalkDir(segDir, func(c []int32) error {
 		cp := make([]int32, len(c))
@@ -62,6 +73,17 @@ func CompileSegments(segDir, path string) (*BuildStats, error) {
 		return nil, fmt.Errorf("cliqdb: compile: %w", err)
 	}
 	return Build(cliques, path)
+}
+
+// CheckServingSegments rejects segment directories that cannot back a
+// serving index — today, a run checkpoint's segment directory (see
+// CompileSegments). mced runs this at startup so a misconfigured -segments
+// fails the daemon immediately instead of at the first self-heal.
+func CheckServingSegments(segDir string) error {
+	if runlog.IsCheckpointSegmentDir(segDir) {
+		return fmt.Errorf("cliqdb: %s is a run checkpoint's segment directory, which holds per-level resume state rather than the final clique family; point at the <index>.segments directory mcefind -index-out writes", segDir)
+	}
+	return nil
 }
 
 // Build compiles an in-memory clique family into an index at path. The
@@ -108,6 +130,9 @@ func encode(cliques [][]int32) ([]byte, *BuildStats, error) {
 		kept = append(kept, c)
 	}
 	n := len(kept)
+	if uint64(n) > 1<<31 {
+		return nil, nil, fmt.Errorf("cliqdb: %d cliques exceeds the format limit of 2^31", n)
+	}
 
 	// CLIQ + COFF + per-vertex counts + content digest, one pass.
 	var (
@@ -149,6 +174,12 @@ func encode(cliques [][]int32) ([]byte, *BuildStats, error) {
 			compileThrottle()
 		}
 	}
+	// COFF/VOFF offsets are uint32; a section past 4 GiB would wrap them
+	// silently and emit an index that can never verify, bricking
+	// OpenOrRebuild's self-healing. Fail the compile loudly instead.
+	if len(cliq) > math.MaxUint32 {
+		return nil, nil, fmt.Errorf("cliqdb: CLIQ section is %d bytes, past the 4 GiB uint32 offset limit", len(cliq))
+	}
 	coff = putU32(coff, uint32(len(cliq)))
 	digest := crc.Sum32()
 
@@ -179,6 +210,9 @@ func encode(cliques [][]int32) ([]byte, *BuildStats, error) {
 		voff = putU32(voff, uint32(len(vpst)))
 		vpst = uv(vpst, uint64(posts[v].n))
 		vpst = append(vpst, posts[v].buf...)
+	}
+	if len(vpst) > math.MaxUint32 {
+		return nil, nil, fmt.Errorf("cliqdb: VPST section is %d bytes, past the 4 GiB uint32 offset limit", len(vpst))
 	}
 	voff = putU32(voff, uint32(len(vpst)))
 

@@ -1,7 +1,8 @@
 // Package cliqdb is the serving-side clique database: a compact, checksummed
-// on-disk index compiled offline from the cliqstore segments a checkpointed
-// enumeration run leaves behind, and opened read-only by the query daemon
-// (cmd/mced). The split mirrors the create-db / search-db shape the ROADMAP
+// on-disk index compiled offline from cliqstore segments holding a run's
+// final clique family (the serving segment directory mcefind -index-out
+// writes — a run checkpoint's own segments are level-local resume state and
+// are refused), and opened read-only by the query daemon (cmd/mced). The split mirrors the create-db / search-db shape the ROADMAP
 // names: enumeration is the expensive offline build, queries are cheap
 // online lookups over a vertex → containing-cliques inverted index plus a
 // size-ordered index for top-k and community percolation.
@@ -20,10 +21,10 @@
 //     O(index size)), the size index must be the exact (size desc, id asc)
 //     permutation, and the recomputed content digest must match the header.
 //     A DB that opens cannot serve wrong data from a corrupt file.
-//   - The segments stay authoritative: OpenOrRebuild answers any detected
-//     corruption (or a missing index) with an automatic recompile from the
-//     segment directory, and the compile is deterministic — same segments,
-//     byte-identical index — so self-healing is idempotent.
+//   - The serving segments stay authoritative: OpenOrRebuild answers any
+//     detected corruption (or a missing index) with an automatic recompile
+//     from the segment directory, and the compile is deterministic — same
+//     segments, byte-identical index — so self-healing is idempotent.
 //
 // # On-disk format (version 1)
 //
@@ -377,8 +378,14 @@ func openBytes(data []byte) (*DB, error) {
 	if [8]byte(data[len(data)-8:]) != tailMagic {
 		return nil, fmt.Errorf("%w: missing trailer magic", ErrTruncated)
 	}
+	// All bounds checks below are subtraction-form: footOff, s.off and s.ln
+	// come straight from untrusted bytes, so addition-form checks like
+	// off+overhead > len can wrap at uint64 extremes and admit offsets that
+	// later panic slicing. The min-length check above guarantees
+	// len(data) >= len(headMagic)+trailerLen, so `limit` cannot underflow.
 	footOff := binary.LittleEndian.Uint64(data[len(data)-trailerLen:])
-	if footOff < uint64(len(headMagic)) || footOff+frameOverhead > uint64(len(data)-trailerLen) {
+	limit := uint64(len(data) - trailerLen)
+	if footOff < uint64(len(headMagic)) || footOff > limit || limit-footOff < frameOverhead {
 		return nil, fmt.Errorf("%w: footer offset %d outside file", ErrCorrupt, footOff)
 	}
 	footPayload, err := frame(data, footOff, tagFtr)
@@ -399,7 +406,7 @@ func openBytes(data []byte) (*DB, error) {
 		if s.tag != want[i] {
 			return nil, fmt.Errorf("%w: section %d is %q, want %q", ErrCorrupt, i, s.tag[:], want[i][:])
 		}
-		if s.off+frameOverhead+s.ln > uint64(len(data)) {
+		if total := uint64(len(data)); s.off > total || total-s.off < frameOverhead || s.ln > total-s.off-frameOverhead {
 			return nil, fmt.Errorf("%w: section %q overruns file", ErrCorrupt, s.tag[:])
 		}
 		p, err := frame(data, s.off, s.tag)
@@ -417,17 +424,21 @@ func openBytes(data []byte) (*DB, error) {
 // frame parses one tag/length/payload/CRC frame at off and returns the
 // payload after checking tag and checksum.
 func frame(data []byte, off uint64, tag [4]byte) ([]byte, error) {
-	if off+12 > uint64(len(data)) {
+	// Subtraction-form bounds checks: off and ln are untrusted, and
+	// addition-form checks wrap at uint64 extremes (see openBytes).
+	total := uint64(len(data))
+	if off > total || total-off < 12 {
 		return nil, fmt.Errorf("%w: frame header at %d overruns file", ErrTruncated, off)
 	}
 	if [4]byte(data[off:off+4]) != tag {
 		return nil, fmt.Errorf("%w: expected section %q at offset %d", ErrCorrupt, tag[:], off)
 	}
 	ln := binary.LittleEndian.Uint64(data[off+4 : off+12])
-	end := off + 12 + ln
-	if ln > uint64(len(data)) || end+4 > uint64(len(data)) {
+	avail := total - off - 12
+	if ln > avail || avail-ln < 4 {
 		return nil, fmt.Errorf("%w: section %q payload overruns file", ErrTruncated, tag[:])
 	}
+	end := off + 12 + ln
 	payload := data[off+12 : end]
 	sum := binary.LittleEndian.Uint32(data[end : end+4])
 	if crc32.ChecksumIEEE(payload) != sum {

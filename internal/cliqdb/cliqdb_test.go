@@ -2,11 +2,14 @@ package cliqdb
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
+	"strings"
 	"testing"
 
 	"mce/internal/cliqstore"
@@ -315,6 +318,67 @@ func TestOpenDetectsCorruption(t *testing.T) {
 	}
 	if _, err := Open(path); err != nil {
 		t.Fatalf("pristine index failed to open: %v", err)
+	}
+}
+
+// TestCompileSegmentsRefusesCheckpointDir pins the serving-segment
+// contract: a run checkpoint's segment directory holds level-local,
+// pre-Lemma-1-filter resume state, so compiling it would build an index
+// with non-maximal cliques under wrong vertex labels. It must be refused,
+// not compiled.
+func TestCompileSegmentsRefusesCheckpointDir(t *testing.T) {
+	ckpt := t.TempDir()
+	segDir := filepath.Join(ckpt, "segments")
+	if err := os.MkdirAll(segDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(ckpt, "journal.mcej"), []byte("j"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	writeSegment(t, filepath.Join(segDir, "L000-B000000.cliq"), testCliques())
+	out := filepath.Join(t.TempDir(), "out.mcdb")
+	if _, err := CompileSegments(segDir, out); err == nil {
+		t.Fatal("CompileSegments accepted a run checkpoint's segment directory")
+	} else if !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("refusal does not explain the checkpoint contract: %v", err)
+	}
+	// The same segments without a journal beside them are an ordinary
+	// serving directory and compile fine.
+	if err := os.Remove(filepath.Join(ckpt, "journal.mcej")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompileSegments(segDir, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenRejectsWrappingOffsets pins the subtraction-form bounds checks:
+// offsets near 2^64 wrapped the old addition-form checks so openBytes
+// panicked slicing instead of returning a rebuildable error.
+func TestOpenRejectsWrappingOffsets(t *testing.T) {
+	// Footer offset 2^64-8 inside a minimal 24-byte image.
+	hugeFoot := append([]byte(nil), headMagic[:]...)
+	hugeFoot = binary.LittleEndian.AppendUint64(hugeFoot, ^uint64(7))
+	hugeFoot = append(hugeFoot, tailMagic[:]...)
+
+	// A valid image whose CLIQ footer entry gets offset 2^64-5, with the
+	// footer CRC recomputed so parsing reaches the section bounds check.
+	image, _, err := encode(testCliques())
+	if err != nil {
+		t.Fatal(err)
+	}
+	footOff := binary.LittleEndian.Uint64(image[len(image)-trailerLen:])
+	payLen := binary.LittleEndian.Uint64(image[footOff+4 : footOff+12])
+	pay := image[footOff+12 : footOff+12+payLen]
+	binary.LittleEndian.PutUint64(pay[4+1*24+4:], ^uint64(4))
+	binary.LittleEndian.PutUint32(image[footOff+12+payLen:], crc32.ChecksumIEEE(pay))
+
+	for name, img := range map[string][]byte{"footer": hugeFoot, "section": image} {
+		if _, err := openBytes(img); err == nil {
+			t.Errorf("%s offset near 2^64 went undetected", name)
+		} else if !Rebuildable(err) {
+			t.Errorf("%s offset near 2^64: error not rebuildable: %v", name, err)
+		}
 	}
 }
 

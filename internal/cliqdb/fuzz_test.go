@@ -2,6 +2,8 @@ package cliqdb
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 )
 
@@ -24,6 +26,27 @@ func FuzzIndexOpen(f *testing.F) {
 	f.Add(seed([][]int32{{0, 5, 100}, {2, 3}, {3, 4, 5, 6}, {0, 1}}))
 	f.Add([]byte{})
 	f.Add([]byte("MCEDB1\r\nnot really an index MCEDBEND"))
+
+	// Regression seeds for the uint64 wrap in the open-path bounds checks:
+	// offsets near 2^64 made the old addition-form checks (off+overhead >
+	// len) wrap around and pass, so openBytes panicked slicing instead of
+	// returning ErrCorrupt. The second image re-CRCs the footer after
+	// rewriting the CLIQ entry's offset so it reaches the section bounds
+	// check rather than dying at the footer CRC.
+	hugeFoot := append([]byte(nil), headMagic[:]...)
+	hugeFoot = binary.LittleEndian.AppendUint64(hugeFoot, ^uint64(7)) // footOff = 2^64-8
+	hugeFoot = append(hugeFoot, tailMagic[:]...)
+	f.Add(hugeFoot)
+	rewriteSectionOff := func(image []byte, entry int, off uint64) []byte {
+		img := append([]byte(nil), image...)
+		footOff := binary.LittleEndian.Uint64(img[len(img)-trailerLen:])
+		payLen := binary.LittleEndian.Uint64(img[footOff+4 : footOff+12])
+		pay := img[footOff+12 : footOff+12+payLen]
+		binary.LittleEndian.PutUint64(pay[4+entry*24+4:], off)
+		binary.LittleEndian.PutUint32(img[footOff+12+payLen:], crc32.ChecksumIEEE(pay))
+		return img
+	}
+	f.Add(rewriteSectionOff(seed([][]int32{{0, 1, 2}, {1, 2, 3}, {4, 9}}), 1, ^uint64(4))) // CLIQ off = 2^64-5
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		db, err := openBytes(data)

@@ -22,6 +22,73 @@ import (
 // by internal/runlog.
 const SegmentExt = ".cliq"
 
+// FamilySegment is the filename of the canonical whole-family segment
+// WriteDir produces.
+const FamilySegment = "family" + SegmentExt
+
+// WriteDir writes cliques as a canonical serving segment directory at dir
+// (created if missing): one sealed segment holding the entire family,
+// landed temp + fsync + rename so a crash never leaves a torn segment
+// under the live name, with any stale segments from a previous family
+// removed after the rename. This is the directory to back index
+// self-healing with (mced -segments): unlike a run checkpoint's segment
+// directory — which holds per-level resume state in level-local vertex
+// IDs, before the Lemma 1 filter — it holds the final clique family in
+// the graph's own IDs.
+func WriteDir(dir string, cliques [][]int32) error {
+	fail := func(err error) error { return fmt.Errorf("cliqstore: write segment dir: %w", err) }
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fail(err)
+	}
+	f, err := os.CreateTemp(dir, FamilySegment+".tmp*")
+	if err != nil {
+		return fail(err)
+	}
+	tmp := f.Name()
+	abort := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fail(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		return abort(err)
+	}
+	for _, c := range cliques {
+		if err := w.Write(c); err != nil {
+			return abort(err)
+		}
+	}
+	if err := w.Finish(); err != nil {
+		return abort(err)
+	}
+	if err := f.Sync(); err != nil {
+		return abort(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fail(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, FamilySegment)); err != nil {
+		os.Remove(tmp)
+		return fail(err)
+	}
+	// The family segment is now live; stale siblings would feed extra
+	// cliques into the next compile.
+	files, err := SegmentFiles(dir)
+	if err != nil {
+		return err
+	}
+	for _, p := range files {
+		if filepath.Base(p) != FamilySegment {
+			if err := os.Remove(p); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	return nil
+}
+
 // SegmentFiles lists the clique segments of dir in sorted filename order —
 // the canonical iteration order for everything built from a segment
 // directory. Temp files (in-flight atomic writes) and non-segment files are

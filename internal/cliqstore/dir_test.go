@@ -84,6 +84,54 @@ func TestWalkDirRejectsTruncatedSegment(t *testing.T) {
 	}
 }
 
+// TestWriteDirRoundTrip pins the serving-segment writer: the family comes
+// back exactly through WalkDir, and rewriting a directory replaces the
+// family and removes stale segments so the next compile sees only the new
+// cliques.
+func TestWriteDirRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "idx.segments")
+	family := [][]int32{{0, 1, 2}, {2, 3}, {1, 4}}
+	if err := WriteDir(dir, family); err != nil {
+		t.Fatal(err)
+	}
+	// A stale segment from an older layout must not survive a rewrite.
+	writeSegmentFile(t, filepath.Join(dir, "stale.cliq"), [][]int32{{7, 8}})
+	next := [][]int32{{0, 1}, {5, 6}}
+	if err := WriteDir(dir, next); err != nil {
+		t.Fatal(err)
+	}
+	var got [][]int32
+	n, err := WalkDir(dir, func(c []int32) error {
+		cp := make([]int32, len(c))
+		copy(cp, c)
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(next)) {
+		t.Fatalf("WalkDir visited %d cliques, want %d", n, len(next))
+	}
+	for i := range next {
+		if len(got[i]) != len(next[i]) {
+			t.Fatalf("clique %d = %v, want %v", i, got[i], next[i])
+		}
+		for j := range next[i] {
+			if got[i][j] != next[i][j] {
+				t.Fatalf("clique %d = %v, want %v", i, got[i], next[i])
+			}
+		}
+	}
+	files, err := SegmentFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || filepath.Base(files[0]) != FamilySegment {
+		t.Fatalf("segment files after rewrite = %v, want only %s", files, FamilySegment)
+	}
+}
+
 func TestWalkDirMissingDirectory(t *testing.T) {
 	_, err := WalkDir(filepath.Join(t.TempDir(), "nope"), func([]int32) error { return nil })
 	if err == nil || !IsNotExist(err) {

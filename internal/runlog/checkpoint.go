@@ -162,6 +162,18 @@ func HasJournal(dir string) bool {
 	return err == nil && !st.IsDir()
 }
 
+// IsCheckpointSegmentDir reports whether dir is the segment directory of a
+// run checkpoint — a "segments" directory with the run journal beside it.
+// Those segments are resume state, not the run's answer: each block's
+// cliques are journaled in its recursion level's local vertex-ID space,
+// before the parent level's Lemma 1 filter, and only the resume replay
+// (translate + filter on the way back up) turns them into the final clique
+// family. Serving-side consumers must refuse to compile them directly.
+func IsCheckpointSegmentDir(dir string) bool {
+	dir = filepath.Clean(dir)
+	return filepath.Base(dir) == segmentsDir && HasJournal(filepath.Dir(dir))
+}
+
 // Open attaches to the checkpoint directory at dir, creating it when
 // absent. An existing journal is replayed (its torn tail truncated) and its
 // identity checked against id — ErrIdentityMismatch (wrapped) refuses a
